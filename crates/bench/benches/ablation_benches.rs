@@ -1,0 +1,66 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//! packet size, adaptive bias, global-link degree, and VC capacity.
+//!
+//! Criterion measures the *simulator cost* of each choice; the
+//! `ablations` binary reports the *simulated outcomes* (comm time, hops,
+//! saturation) for the same grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_core::config::{AppSelection, ExperimentConfig, RoutingPolicy};
+use dfly_core::runner::run_experiment;
+use dfly_placement::PlacementPolicy;
+use std::hint::black_box;
+
+fn base() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.app = AppSelection::FillBoundary { ranks: 27 };
+    cfg.placement = PlacementPolicy::RandomNode;
+    cfg.routing = RoutingPolicy::Adaptive;
+    cfg.msg_scale = 0.25;
+    cfg
+}
+
+fn bench_packet_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_packet_size");
+    g.sample_size(10);
+    for kib in [1u32, 4, 8] {
+        g.bench_function(format!("{kib}KiB"), |b| {
+            let mut cfg = base();
+            cfg.network.packet_size = kib * 1024;
+            b.iter(|| black_box(run_experiment(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptive_bias(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_adaptive_bias");
+    g.sample_size(10);
+    for bias in [0u64, 4096, 32768] {
+        g.bench_function(format!("bias_{bias}"), |b| {
+            let mut cfg = base();
+            cfg.network.adaptive_bias_bytes = bias;
+            b.iter(|| black_box(run_experiment(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_vc_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vc_capacity");
+    g.sample_size(10);
+    for kib in [4u64, 8, 32] {
+        g.bench_function(format!("{kib}KiB_local_vc"), |b| {
+            let mut cfg = base();
+            cfg.network.packet_size = 4096.min(kib as u32 * 1024);
+            cfg.network.terminal_vc_bytes = kib * 1024;
+            cfg.network.local_vc_bytes = kib * 1024;
+            cfg.network.global_vc_bytes = 2 * kib * 1024;
+            b.iter(|| black_box(run_experiment(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_packet_size, bench_adaptive_bias, bench_vc_capacity);
+criterion_main!(benches);

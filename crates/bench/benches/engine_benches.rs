@@ -1,0 +1,87 @@
+//! Engine micro-benchmarks: event queue and RNG throughput — the
+//! simulator's innermost loops.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfly_engine::{EventQueue, Ns, Xoshiro256};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(Ns((i * 7919) % 100_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some(e) = q.pop() {
+                    sum = sum.wrapping_add(e.event);
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("cascading_events_10k", |b| {
+        // The simulator's actual pattern: each popped event schedules a
+        // couple of successors.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.schedule(Ns(0), 0u32);
+            let mut popped = 0u32;
+            while let Some(e) = q.pop() {
+                popped += 1;
+                if popped >= 10_000 {
+                    break;
+                }
+                if e.event < 5_000 {
+                    q.schedule_after(Ns(3), e.event + 1);
+                    q.schedule_after(Ns(11), e.event + 2);
+                }
+            }
+            black_box(popped)
+        });
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64_x1k", |b| {
+        let mut rng = Xoshiro256::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("next_below_x1k", |b| {
+        let mut rng = Xoshiro256::seed_from(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc += rng.next_below(863);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("shuffle_3456", |b| {
+        let mut rng = Xoshiro256::seed_from(3);
+        let base: Vec<u32> = (0..3456).collect();
+        b.iter_batched(
+            || base.clone(),
+            |mut v| {
+                rng.shuffle(&mut v);
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Miniature versions of the paper's experiment pipelines, so
+//! `cargo bench` exercises every reproduction path end to end:
+//!
+//! * `fig3_cell` — one cell of the Figure 3 grid (one app, one config);
+//! * `fig7_point` — one sensitivity point (scaled message load);
+//! * `fig8_point` — one interference run (app + uniform background).
+//!
+//! These benchmark the *simulator*; the figures themselves are produced
+//! by the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_core::config::{AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy};
+use dfly_core::runner::run_experiment;
+use dfly_engine::Ns;
+use dfly_placement::PlacementPolicy;
+use dfly_workloads::BackgroundSpec;
+use std::hint::black_box;
+
+fn mini(app: AppSelection) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.app = app;
+    cfg.msg_scale = 0.25;
+    cfg
+}
+
+fn bench_fig3_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_cell");
+    g.sample_size(10);
+    for (label, placement, routing) in [
+        ("cont_min", PlacementPolicy::Contiguous, RoutingPolicy::Minimal),
+        ("rand_adp", PlacementPolicy::RandomNode, RoutingPolicy::Adaptive),
+    ] {
+        g.bench_function(format!("cr24_{label}"), |b| {
+            let mut cfg = mini(AppSelection::CrystalRouter { ranks: 24 });
+            cfg.placement = placement;
+            cfg.routing = routing;
+            b.iter(|| black_box(run_experiment(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_point");
+    g.sample_size(10);
+    for scale in [0.1f64, 1.0] {
+        g.bench_function(format!("fb27_scale_{scale}"), |b| {
+            let mut cfg = mini(AppSelection::FillBoundary { ranks: 27 });
+            cfg.placement = PlacementPolicy::RandomNode;
+            cfg.routing = RoutingPolicy::Adaptive;
+            cfg.msg_scale = scale;
+            b.iter(|| black_box(run_experiment(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_point");
+    g.sample_size(10);
+    g.bench_function("amg8_uniform_bg", |b| {
+        let mut cfg = mini(AppSelection::Amg { ranks: 8 });
+        cfg.placement = PlacementPolicy::Contiguous;
+        cfg.routing = RoutingPolicy::Minimal;
+        cfg.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::uniform(16 * 1024, Ns::from_us(4), 0),
+        });
+        b.iter(|| black_box(run_experiment(&cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_cell, bench_fig7_point, bench_fig8_point);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Network model benchmarks: end-to-end packet throughput of the
+//! simulator under both routing policies and under congestion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_network::{Network, NetworkParams, Routing};
+use dfly_topology::{NodeId, Topology, TopologyConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn run_uniform(topo: &Arc<Topology>, routing: Routing, msgs: u64, bytes: u64) -> u64 {
+    let mut net = Network::new(topo.clone(), NetworkParams::default(), routing, 11);
+    let nodes = topo.config().total_nodes() as u64;
+    let mut rng = Xoshiro256::seed_from(13);
+    for i in 0..msgs {
+        let s = NodeId(rng.next_below(nodes) as u32);
+        let d = NodeId(rng.next_below(nodes) as u32);
+        net.send(Ns(i * 20), s, d, bytes, i);
+    }
+    net.run_to_idle();
+    net.events_processed()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+    let mut g = c.benchmark_group("network_throughput");
+    g.sample_size(20);
+    g.bench_function("uniform_minimal_500msgs", |b| {
+        b.iter(|| black_box(run_uniform(&topo, Routing::Minimal, 500, 16 * 1024)));
+    });
+    g.bench_function("uniform_adaptive_500msgs", |b| {
+        b.iter(|| black_box(run_uniform(&topo, Routing::Adaptive, 500, 16 * 1024)));
+    });
+    g.bench_function("hotspot_contended_adaptive", |b| {
+        // Everyone hammers one router's nodes: worst-case back-pressure.
+        b.iter_batched(
+            || Network::new(topo.clone(), NetworkParams::default(), Routing::Adaptive, 17),
+            |mut net| {
+                for src in 4..64u32 {
+                    net.send(Ns::ZERO, NodeId(src), NodeId(src % 4), 32 * 1024, src as u64);
+                }
+                net.run_to_idle();
+                black_box(net.events_processed())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Placement-policy benchmarks at Theta scale: allocation cost of each
+//! policy, and task-mapping arrangement cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfly_engine::Xoshiro256;
+use dfly_placement::{NodePool, PlacementPolicy, TaskMapping};
+use dfly_topology::{Topology, TopologyConfig};
+use std::hint::black_box;
+
+fn bench_allocate(c: &mut Criterion) {
+    let topo = Topology::build(TopologyConfig::theta());
+    let mut g = c.benchmark_group("placement_allocate_1000_of_3456");
+    for policy in PlacementPolicy::ALL {
+        g.bench_function(policy.label(), |b| {
+            let mut rng = Xoshiro256::seed_from(9);
+            b.iter_batched(
+                || NodePool::new(&topo),
+                |mut pool| {
+                    black_box(policy.allocate(&topo, &mut pool, 1000, &mut rng).unwrap())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let topo = Topology::build(TopologyConfig::theta());
+    let mut pool = NodePool::new(&topo);
+    let mut rng = Xoshiro256::seed_from(9);
+    let alloc = PlacementPolicy::RandomRouter
+        .allocate(&topo, &mut pool, 1728, &mut rng)
+        .unwrap();
+    let mut g = c.benchmark_group("task_mapping_1728");
+    for mapping in TaskMapping::ALL {
+        g.bench_function(mapping.label(), |b| {
+            let mut rng = Xoshiro256::seed_from(11);
+            b.iter(|| black_box(mapping.arrange(&alloc, 4, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Statistics-kernel benchmarks at the population sizes the reproduction
+//! actually processes (tens of thousands of channels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_engine::Xoshiro256;
+use dfly_stats::{gini, BoxStats, Cdf};
+use std::hint::black_box;
+
+fn samples(n: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from(5);
+    (0..n).map(|_| rng.next_f64() * 1e6).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = samples(27_648); // Theta's directed-channel count
+    let mut g = c.benchmark_group("stats_kernels_27648");
+    g.bench_function("box_stats", |b| {
+        b.iter(|| black_box(BoxStats::from_samples(&data)));
+    });
+    g.bench_function("cdf_build_and_query", |b| {
+        b.iter(|| {
+            let cdf = Cdf::from_samples(data.iter().copied());
+            black_box((cdf.quantile(0.5), cdf.percent_at_or_below(5e5)))
+        });
+    });
+    g.bench_function("gini", |b| {
+        b.iter(|| black_box(gini(&data)));
+    });
+    g.bench_function("sampled_points_100", |b| {
+        let cdf = Cdf::from_samples(data.iter().copied());
+        b.iter(|| black_box(cdf.sampled_points(100)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

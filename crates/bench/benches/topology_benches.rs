@@ -1,0 +1,53 @@
+//! Topology benchmarks: machine construction and path computation (the
+//! per-packet routing cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_engine::Xoshiro256;
+use dfly_topology::{paths, RouterId, Topology, TopologyConfig};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    g.bench_function("theta_3456_nodes", |b| {
+        b.iter(|| black_box(Topology::build(TopologyConfig::theta())));
+    });
+    g.bench_function("small_64_nodes", |b| {
+        b.iter(|| black_box(Topology::build(TopologyConfig::small_test())));
+    });
+    g.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let topo = Topology::build(TopologyConfig::theta());
+    let n = topo.config().total_routers() as u64;
+    let mut g = c.benchmark_group("paths");
+    g.bench_function("minimal_x1k", |b| {
+        let mut rng = Xoshiro256::seed_from(5);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..1_000 {
+                let s = RouterId(rng.next_below(n) as u32);
+                let d = RouterId(rng.next_below(n) as u32);
+                total += paths::minimal_path(&topo, s, d, &mut rng).hops();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("nonminimal_x1k", |b| {
+        let mut rng = Xoshiro256::seed_from(6);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..1_000 {
+                let s = RouterId(rng.next_below(n) as u32);
+                let d = RouterId(rng.next_below(n) as u32);
+                let i = paths::random_intermediate(&topo, &mut rng);
+                total += paths::nonminimal_path(&topo, s, i, d, &mut rng).hops();
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Workload generation benchmarks: trace synthesis at paper scale and
+//! communication-matrix extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_workloads::{generate, AppKind, CommMatrix, WorkloadSpec};
+use std::hint::black_box;
+
+fn spec(kind: AppKind) -> WorkloadSpec {
+    WorkloadSpec {
+        kind,
+        ranks: kind.paper_ranks(),
+        msg_scale: 1.0,
+        seed: 21,
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    g.sample_size(20);
+    for kind in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+        g.bench_function(format!("{}_paper_scale", kind.label()), |b| {
+            b.iter(|| black_box(generate(&spec(kind))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let trace = generate(&spec(AppKind::Amg));
+    let mut g = c.benchmark_group("comm_matrix");
+    g.sample_size(20);
+    g.bench_function("amg_1728_ranks", |b| {
+        b.iter(|| black_box(CommMatrix::from_trace(&trace)));
+    });
+    let m = CommMatrix::from_trace(&trace);
+    g.bench_function("block_view_32", |b| {
+        b.iter(|| black_box(m.block_view(32)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablations over the model's design choices (DESIGN.md section 8):
+//! simulated outcomes (communication time, hops, saturation) as each
+//! parameter varies, demonstrating which conclusions are robust to the
+//! substitutions this reproduction makes.
+
+use dfly_bench::parse_args;
+use dfly_core::config::{ExperimentConfig, RoutingPolicy};
+use dfly_core::runner::run_experiment;
+use dfly_network::MetricsFilter;
+use dfly_placement::PlacementPolicy;
+use dfly_stats::AsciiTable;
+use dfly_workloads::AppKind;
+
+fn report(
+    table: &mut AsciiTable,
+    csv: &mut dfly_stats::CsvWriter<std::io::BufWriter<std::fs::File>>,
+    param: &str,
+    value: String,
+    cfg: &ExperimentConfig,
+) {
+    let r = run_experiment(cfg);
+    let sat: f64 = r
+        .metrics
+        .local_saturation_ms(&MetricsFilter::All)
+        .iter()
+        .sum();
+    let median = r.comm_time_stats().median;
+    table.row(vec![
+        param.to_string(),
+        value.clone(),
+        format!("{median:.3}"),
+        format!("{:.2}", r.mean_hops()),
+        format!("{sat:.3}"),
+    ]);
+    csv.row(&[
+        param.to_string(),
+        value,
+        format!("{median:.6}"),
+        format!("{:.4}", r.mean_hops()),
+        format!("{sat:.6}"),
+    ])
+    .expect("csv");
+}
+
+fn main() {
+    let args = parse_args();
+    println!("Design-choice ablations — mode: {}", args.mode_label());
+    let mut base = args.base_config(AppKind::FillBoundary);
+    base.placement = PlacementPolicy::RandomNode;
+    base.routing = RoutingPolicy::Adaptive;
+    if matches!(args.mode, dfly_bench::Mode::Full) {
+        // Keep the ablation grid affordable at full scale.
+        base.msg_scale = 0.5;
+    }
+
+    let mut table = AsciiTable::new(vec![
+        "parameter",
+        "value",
+        "median comm (ms)",
+        "mean hops",
+        "local sat (ms)",
+    ]);
+    let mut csv = args.csv(
+        "ablations.csv",
+        &["parameter", "value", "median_comm_ms", "mean_hops", "local_sat_ms"],
+    );
+
+    for kib in [1u32, 2, 4, 8] {
+        let mut cfg = base.clone();
+        cfg.network.packet_size = kib * 1024;
+        report(&mut table, &mut csv, "packet_size", format!("{kib}KiB"), &cfg);
+    }
+    for bias in [0u64, 4096, 32768, 262144] {
+        let mut cfg = base.clone();
+        cfg.network.adaptive_bias_bytes = bias;
+        report(&mut table, &mut csv, "adaptive_bias", format!("{bias}B"), &cfg);
+    }
+    // Candidate degrees; each mode keeps those whose endpoint count
+    // divides evenly among its peer groups.
+    for glinks in [2u32, 4, 5, 8, 10, 15] {
+        let mut cfg = base.clone();
+        cfg.topology.global_links_per_router = glinks;
+        if cfg.topology.validate().is_err() {
+            continue;
+        }
+        report(&mut table, &mut csv, "global_links_per_router", glinks.to_string(), &cfg);
+    }
+    for kib in [4u64, 8, 16, 32] {
+        let mut cfg = base.clone();
+        cfg.network.terminal_vc_bytes = kib * 1024;
+        cfg.network.local_vc_bytes = kib * 1024;
+        cfg.network.global_vc_bytes = 2 * kib * 1024;
+        report(&mut table, &mut csv, "vc_capacity", format!("{kib}KiB"), &cfg);
+    }
+    csv.finish().expect("csv");
+    print!("{}", table.render());
+    println!("\nWrote {}", args.out_dir.join("ablations.csv").display());
+}

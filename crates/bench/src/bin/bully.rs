@@ -1,0 +1,92 @@
+//! Extension experiment: real multi-job co-runs (the "bully" study of the
+//! paper's predecessor, Yang et al. SC'16, and the production scenario the
+//! paper's Section IV-C approximates with synthetic traffic).
+//!
+//! Co-runs the communication-intensive CR with the latency-sensitive AMG
+//! under each placement policy and reports each job's slowdown relative to
+//! running alone — showing that CR bullies AMG, and that localized
+//! placement contains the damage.
+
+use dfly_bench::parse_args;
+use dfly_core::config::{AppSelection, RoutingPolicy};
+use dfly_core::multijob::{run_multijob, JobSpec, MultiJobConfig};
+use dfly_placement::PlacementPolicy;
+use dfly_stats::AsciiTable;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    println!("Multi-job co-run ('bully') study — mode: {}", args.mode_label());
+    let base = args.base_config(AppKind::CrystalRouter);
+    // Keep the pair within the machine: CR + AMG at the quick/full sizes.
+    let (cr_ranks, amg_ranks) = match args.mode {
+        dfly_bench::Mode::Quick => (216, 343),
+        dfly_bench::Mode::Full => (1000, 1728),
+    };
+
+    let mut csv = args.csv(
+        "bully_corun.csv",
+        &["placement", "routing", "job", "solo_median_ms", "corun_median_ms", "slowdown_pct"],
+    );
+    for routing in [RoutingPolicy::Minimal, RoutingPolicy::Adaptive] {
+        let mut table = AsciiTable::new(vec![
+            "placement",
+            "CR solo (ms)",
+            "CR co-run (ms)",
+            "AMG solo (ms)",
+            "AMG co-run (ms)",
+            "AMG slowdown %",
+        ]);
+        for placement in PlacementPolicy::ALL {
+            let cr = JobSpec {
+                app: AppSelection::CrystalRouter { ranks: cr_ranks },
+                placement,
+                msg_scale: 1.0,
+            };
+            let amg = JobSpec {
+                app: AppSelection::Amg { ranks: amg_ranks },
+                placement,
+                msg_scale: 1.0,
+            };
+            let mk = |jobs: Vec<JobSpec>| MultiJobConfig {
+                topology: base.topology.clone(),
+                network: base.network,
+                routing,
+                jobs,
+                seed: base.seed,
+            };
+            let cr_solo = run_multijob(&mk(vec![cr]));
+            let amg_solo = run_multijob(&mk(vec![amg]));
+            let corun = run_multijob(&mk(vec![cr, amg]));
+
+            let cr_solo_m = cr_solo.jobs[0].comm_time_stats().median;
+            let amg_solo_m = amg_solo.jobs[0].comm_time_stats().median;
+            let cr_co_m = corun.jobs[0].comm_time_stats().median;
+            let amg_co_m = corun.jobs[1].comm_time_stats().median;
+            let amg_slow = 100.0 * (amg_co_m / amg_solo_m - 1.0);
+            table.row(vec![
+                placement.label().to_string(),
+                format!("{cr_solo_m:.3}"),
+                format!("{cr_co_m:.3}"),
+                format!("{amg_solo_m:.3}"),
+                format!("{amg_co_m:.3}"),
+                format!("{amg_slow:+.1}"),
+            ]);
+            for (job, solo, co) in [("CR", cr_solo_m, cr_co_m), ("AMG", amg_solo_m, amg_co_m)] {
+                csv.row(&[
+                    placement.label().to_string(),
+                    routing.label().to_string(),
+                    job.to_string(),
+                    format!("{solo:.6}"),
+                    format!("{co:.6}"),
+                    format!("{:.2}", 100.0 * (co / solo - 1.0)),
+                ])
+                .expect("csv");
+            }
+        }
+        println!("\n== CR + AMG co-run, {} routing ==", routing.label());
+        print!("{}", table.render());
+    }
+    csv.finish().expect("csv");
+    println!("\nWrote {}", args.out_dir.join("bully_corun.csv").display());
+}

@@ -1,0 +1,10 @@
+//! Figure 10: Fill Boundary under uniform-random and bursty background
+//! traffic.
+
+use dfly_bench::parse_args;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    dfly_bench::figures::fig_interference(&args, AppKind::FillBoundary, 10);
+}

@@ -1,0 +1,10 @@
+//! Figures 4, 5, 6: network-level metrics of the application study
+//! (all three in one pass; see also the `fig4`, `fig5`, `fig6` aliases).
+
+use dfly_bench::parse_args;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    dfly_bench::figures::fig456(&args, &[AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg]);
+}

@@ -1,0 +1,10 @@
+//! Figure 5: network traffic and link saturation metrics (see
+//! `dfly_bench::figures::fig456` for the shared implementation).
+
+use dfly_bench::parse_args;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    dfly_bench::figures::fig456(&args, &[AppKind::FillBoundary]);
+}

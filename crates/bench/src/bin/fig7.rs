@@ -1,0 +1,13 @@
+//! Figure 7: sensitivity of communication performance to message load
+//! (max comm time relative to rand-adp, four extreme configurations).
+
+use dfly_bench::parse_args;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    dfly_bench::figures::fig7(
+        &args,
+        &[AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg],
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 8: AMG under uniform-random background traffic.
+
+use dfly_bench::parse_args;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    dfly_bench::figures::fig_interference(&args, AppKind::Amg, 8);
+}

@@ -1,0 +1,54 @@
+//! Extension experiment (the paper's stated future work): task mapping.
+//! For a fixed allocation, how should ranks be arranged on it? Runs each
+//! app under contiguous and random-node placement with linear,
+//! router-round-robin, and random rank mappings.
+
+use dfly_bench::parse_args;
+use dfly_core::runner::run_experiment;
+use dfly_placement::{PlacementPolicy, TaskMapping};
+use dfly_stats::AsciiTable;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    println!("Task-mapping study — mode: {}", args.mode_label());
+    let mut csv = args.csv(
+        "mapping_study.csv",
+        &["app", "placement", "mapping", "median_ms", "mean_hops"],
+    );
+    for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+        let mut table = AsciiTable::new(vec!["placement", "mapping", "median (ms)", "mean hops"]);
+        for placement in [PlacementPolicy::Contiguous, PlacementPolicy::RandomNode] {
+            for mapping in TaskMapping::ALL {
+                let mut cfg = args.base_config(app);
+                cfg.placement = placement;
+                cfg.mapping = mapping;
+                cfg.routing = dfly_core::config::RoutingPolicy::Adaptive;
+                let r = run_experiment(&cfg);
+                let median = r.comm_time_stats().median;
+                table.row(vec![
+                    placement.label().to_string(),
+                    mapping.label().to_string(),
+                    format!("{median:.3}"),
+                    format!("{:.2}", r.mean_hops()),
+                ]);
+                csv.row(&[
+                    app.label().to_string(),
+                    placement.label().to_string(),
+                    mapping.label().to_string(),
+                    format!("{median:.6}"),
+                    format!("{:.3}", r.mean_hops()),
+                ])
+                .expect("csv");
+            }
+        }
+        println!("\n== {} ==", app.label());
+        print!("{}", table.render());
+    }
+    csv.finish().expect("csv");
+    println!(
+        "\n(linear mapping preserves rank-neighborhood locality; rr-router \
+         deliberately breaks it)\nWrote {}",
+        args.out_dir.join("mapping_study.csv").display()
+    );
+}

@@ -1,0 +1,30 @@
+//! Performance probe: one full-scale CR run per routing policy, timing the
+//! simulator. Not a paper figure — a development tool for sizing the
+//! reproduction binaries' budgets.
+
+use dfly_bench::parse_args;
+use dfly_core::config::RoutingPolicy;
+use dfly_core::runner::run_experiment;
+use dfly_placement::PlacementPolicy;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+        let mut cfg = args.base_config(app);
+        cfg.placement = PlacementPolicy::RandomNode;
+        cfg.routing = RoutingPolicy::Adaptive;
+        let t0 = std::time::Instant::now();
+        let r = run_experiment(&cfg);
+        let wall = t0.elapsed();
+        println!(
+            "{}: ranks={} sim_end={} events={:.1}M wall={:.2}s ({:.2}M ev/s)",
+            app.label(),
+            cfg.app.ranks(),
+            r.job_end,
+            r.events as f64 / 1e6,
+            wall.as_secs_f64(),
+            r.events as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Table I: nomenclature of placement and routing configurations.
+
+fn main() {
+    dfly_bench::figures::table1();
+}

@@ -1,0 +1,8 @@
+//! Table II: peak background traffic load on the network.
+
+use dfly_bench::parse_args;
+
+fn main() {
+    let args = parse_args();
+    dfly_bench::figures::table2(&args);
+}

@@ -1,0 +1,35 @@
+//! Development tool: run the four extreme configurations for each app and
+//! print the median communication times, to tune latency/bias parameters
+//! against the paper's qualitative orderings. Not a paper figure.
+
+use dfly_bench::parse_args;
+use dfly_core::report::ConfigLabel;
+use dfly_core::sweep::run_config_grid;
+use dfly_engine::Ns;
+use dfly_workloads::AppKind;
+
+fn main() {
+    let args = parse_args();
+    // Allow overriding parameters through env vars for fast sweeps.
+    let glat = std::env::var("TUNE_GLOBAL_LAT_NS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let bias = std::env::var("TUNE_ADAPTIVE_BIAS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+        let mut base = args.base_config(app);
+        if let Some(g) = glat {
+            base.topology.global_latency = Ns(g);
+        }
+        if let Some(b) = bias {
+            base.network.adaptive_bias_bytes = b;
+        }
+        let grid = run_config_grid(&base, &ConfigLabel::extremes());
+        print!("{:>4}:", app.label());
+        for g in &grid {
+            print!("  {} {:.3}ms", g.label, g.result.comm_time_stats().median);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Model validation report, mirroring the CODES-vs-Theta validation the
+//! paper cites (ping-pong and bisection pairing, <8% error): compares
+//! the simulator against closed-form expectations on an idle network.
+
+use dfly_bench::parse_args;
+use dfly_core::validate::{run_bisection, run_pingpong};
+use dfly_network::{NetworkParams, Routing};
+use dfly_stats::AsciiTable;
+
+fn main() {
+    let args = parse_args();
+    let cfg = match args.mode {
+        dfly_bench::Mode::Quick => dfly_topology::TopologyConfig::quick(),
+        dfly_bench::Mode::Full => dfly_topology::TopologyConfig::theta(),
+    };
+    println!("Model validation — mode: {}", args.mode_label());
+
+    println!("\n== Ping-pong vs closed form (same-row pair, minimal routing) ==");
+    let mut table = AsciiTable::new(vec!["message", "measured RTT", "expected RTT", "error %"]);
+    let mut csv = args.csv(
+        "validate_pingpong.csv",
+        &["bytes", "measured_ns", "expected_ns", "error_pct"],
+    );
+    for bytes in [1u64 << 10, 4 << 10, 64 << 10, 190 << 10, 1 << 20, 8 << 20] {
+        let r = run_pingpong(&cfg, NetworkParams::default(), bytes);
+        table.row(vec![
+            format!("{} KiB", bytes >> 10),
+            r.measured_rtt.to_string(),
+            r.expected_rtt.to_string(),
+            format!("{:.2}", 100.0 * r.relative_error),
+        ]);
+        csv.row(&[
+            bytes.to_string(),
+            r.measured_rtt.as_nanos().to_string(),
+            r.expected_rtt.as_nanos().to_string(),
+            format!("{:.4}", 100.0 * r.relative_error),
+        ])
+        .expect("csv");
+    }
+    csv.finish().expect("csv");
+    print!("{}", table.render());
+    println!("(the CODES-vs-Theta validation bar the paper cites is 8%)");
+
+    println!("\n== Bisection pairing (group g <-> g + G/2) ==");
+    let mut table = AsciiTable::new(vec![
+        "routing",
+        "makespan",
+        "capacity bound",
+        "efficiency",
+        "achieved GiB/s",
+    ]);
+    for routing in [Routing::Minimal, Routing::Adaptive] {
+        let r = run_bisection(&cfg, NetworkParams::default(), 1 << 20, routing);
+        table.row(vec![
+            routing.label().to_string(),
+            r.makespan.to_string(),
+            r.capacity_bound.to_string(),
+            format!("{:.3}", r.efficiency),
+            format!("{:.1}", r.achieved_gib_per_sec),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(efficiency = capacity-bound / makespan; 1.0 = wire speed on the direct global links)");
+}

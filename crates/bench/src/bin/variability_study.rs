@@ -1,0 +1,72 @@
+//! Extension experiment: run-to-run variability — the statistic that
+//! motivates the whole paper (its ref [5] reports 15%+, up to 100%, on
+//! production Cray XC systems).
+//!
+//! Measures each placement policy's variability across seeds, solo and
+//! under uniform-random background traffic, for the AMG application (the
+//! paper's interference-sensitive case).
+
+use dfly_bench::{figures, parse_args};
+use dfly_core::config::RoutingPolicy;
+use dfly_core::variability::measure_variability;
+use dfly_placement::PlacementPolicy;
+use dfly_stats::AsciiTable;
+use dfly_workloads::{BackgroundKind, AppKind};
+
+fn main() {
+    let args = parse_args();
+    println!("Run-to-run variability study — mode: {}", args.mode_label());
+    let runs = 5;
+    let mut csv = args.csv(
+        "variability_study.csv",
+        &["scenario", "placement", "mean_median_ms", "variability_pct", "cv_pct"],
+    );
+    for (scenario, with_bg) in [("solo", false), ("uniform-bg", true)] {
+        let mut table = AsciiTable::new(vec![
+            "placement",
+            "mean median (ms)",
+            "run-to-run variability %",
+            "CV %",
+        ]);
+        for placement in PlacementPolicy::ALL {
+            let mut cfg = args.base_config(AppKind::Amg);
+            cfg.placement = placement;
+            cfg.routing = RoutingPolicy::Adaptive;
+            if with_bg {
+                // Calibrate the background off a single solo run, as the
+                // interference figures do.
+                let solo = dfly_core::runner::run_experiment(&cfg);
+                cfg.background = Some(dfly_core::config::BackgroundConfig {
+                    spec: figures::background_for(
+                        AppKind::Amg,
+                        BackgroundKind::UniformRandom,
+                        solo.job_end,
+                    ),
+                });
+            }
+            let report = measure_variability(&cfg, runs);
+            table.row(vec![
+                placement.label().to_string(),
+                format!("{:.3}", report.median_stats.mean),
+                format!("{:.1}", report.variability_percent),
+                format!("{:.1}", report.cv_percent),
+            ]);
+            csv.row(&[
+                scenario.to_string(),
+                placement.label().to_string(),
+                format!("{:.6}", report.median_stats.mean),
+                format!("{:.2}", report.variability_percent),
+                format!("{:.2}", report.cv_percent),
+            ])
+            .expect("csv");
+        }
+        println!("\n== AMG, {scenario} ({runs} seeds per config) ==");
+        print!("{}", table.render());
+    }
+    csv.finish().expect("csv");
+    println!(
+        "\n(the paper's motivating statistic: production run-to-run \
+         variability of 15%+, up to 100%, caused by network sharing)\nWrote {}",
+        args.out_dir.join("variability_study.csv").display()
+    );
+}

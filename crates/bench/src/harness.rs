@@ -1,0 +1,206 @@
+//! Shared plumbing for the reproduction binaries.
+
+use dfly_core::config::ExperimentConfig;
+use dfly_core::report::ConfigLabel;
+use dfly_core::runner::ExperimentResult;
+use dfly_stats::{render_boxplot_row, AsciiTable, BoxStats, Cdf, CsvWriter};
+use dfly_workloads::AppKind;
+use std::path::PathBuf;
+
+/// Reproduction fidelity mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// 768-node machine, proportionally scaled apps (default).
+    Quick,
+    /// The paper's 3,456-node Theta machine and app sizes.
+    Full,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Fidelity mode.
+    pub mode: Mode,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl RunArgs {
+    /// Base experiment config for an app under this mode.
+    pub fn base_config(&self, app: AppKind) -> ExperimentConfig {
+        match self.mode {
+            Mode::Quick => ExperimentConfig::quick(app),
+            Mode::Full => ExperimentConfig::theta(app),
+        }
+    }
+
+    /// Mode label for report headers.
+    pub fn mode_label(&self) -> &'static str {
+        match self.mode {
+            Mode::Quick => "quick (768-node machine, scaled apps)",
+            Mode::Full => "full (Theta: 3456 nodes, paper app sizes)",
+        }
+    }
+
+    /// Open a CSV in the output directory.
+    pub fn csv(&self, name: &str, header: &[&str]) -> CsvWriter<std::io::BufWriter<std::fs::File>> {
+        let path = self.out_dir.join(name);
+        CsvWriter::create(&path, header).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"))
+    }
+}
+
+/// Parse `--quick` / `--full` / `--out DIR` from `std::env::args`.
+pub fn parse_args() -> RunArgs {
+    let mut mode = Mode::Quick;
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--full" => mode = Mode::Full,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: [--quick|--full] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    RunArgs { mode, out_dir }
+}
+
+/// Print a box-plot table (one row per configuration) with an ASCII
+/// rendering scaled over the common axis — the terminal form of the
+/// paper's communication-time figures.
+pub fn print_boxplot_table(title: &str, rows: &[(String, BoxStats)]) {
+    println!("\n== {title} ==");
+    let lo = rows.iter().map(|(_, s)| s.min).fold(f64::INFINITY, f64::min);
+    let hi = rows.iter().map(|(_, s)| s.max).fold(0.0f64, f64::max);
+    let axis_hi = if hi > lo { hi } else { lo + 1.0 };
+    let mut table = AsciiTable::new(vec![
+        "config", "min", "q1", "median", "q3", "max", "boxplot",
+    ]);
+    for (label, s) in rows {
+        table.row(vec![
+            label.clone(),
+            format!("{:.3}", s.min),
+            format!("{:.3}", s.q1),
+            format!("{:.3}", s.median),
+            format!("{:.3}", s.q3),
+            format!("{:.3}", s.max),
+            render_boxplot_row(s, lo, axis_hi, 44),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(communication time in ms; axis {lo:.3}..{axis_hi:.3})");
+}
+
+/// Print a CDF family as a table of sampled points and write the full
+/// series to CSV: one `(config, x, percent)` row per step.
+pub fn emit_cdf_family(
+    args: &RunArgs,
+    csv_name: &str,
+    title: &str,
+    x_label: &str,
+    series: &[(String, Cdf)],
+) {
+    let mut csv = args.csv(csv_name, &["config", x_label, "percent_of_channels"]);
+    for (label, cdf) in series {
+        for (x, pct) in cdf.steps() {
+            csv.row(&[label.clone(), format!("{x:.6}"), format!("{pct:.4}")])
+                .expect("csv write");
+        }
+    }
+    csv.finish().expect("csv flush");
+
+    println!("\n== {title} ==");
+    let mut table = AsciiTable::new(vec!["config", "p50", "p90", "p99", "max"]);
+    for (label, cdf) in series {
+        if cdf.is_empty() {
+            table.row(vec![label.clone(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        table.row(vec![
+            label.clone(),
+            format!("{:.4}", cdf.quantile(0.50)),
+            format!("{:.4}", cdf.quantile(0.90)),
+            format!("{:.4}", cdf.quantile(0.99)),
+            format!("{:.4}", cdf.max().unwrap()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("({x_label}; full series in {csv_name})");
+}
+
+/// Format a grid result row label.
+pub fn label_of(label: &ConfigLabel) -> String {
+    label.to_string()
+}
+
+/// Summarize one experiment on stdout (used by several binaries).
+pub fn print_run_summary(label: &str, r: &ExperimentResult) {
+    let s = r.comm_time_stats();
+    println!(
+        "{label:>10}: comm time median {:.3} ms (min {:.3}, max {:.3}), mean hops {:.2}, events {:.1}M",
+        s.median,
+        s.min,
+        s.max,
+        r.mean_hops(),
+        r.events as f64 / 1e6,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxplot_table_prints_all_configs() {
+        let rows = vec![
+            ("cont-min".to_string(), BoxStats::from_samples(&[1.0, 2.0, 3.0]).unwrap()),
+            ("rand-adp".to_string(), BoxStats::from_samples(&[0.5, 1.0, 1.5]).unwrap()),
+        ];
+        // Smoke: must not panic on a normal and on a degenerate axis.
+        print_boxplot_table("test", &rows);
+        let flat = vec![("x".to_string(), BoxStats::from_samples(&[2.0, 2.0]).unwrap())];
+        print_boxplot_table("flat", &flat);
+    }
+
+    #[test]
+    fn emit_cdf_family_writes_full_series() {
+        let dir = std::env::temp_dir().join("dfly_bench_harness_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = RunArgs {
+            mode: Mode::Quick,
+            out_dir: dir.clone(),
+        };
+        let series = vec![
+            ("a".to_string(), Cdf::from_samples([1.0, 2.0, 3.0])),
+            ("b".to_string(), Cdf::from_samples([])),
+        ];
+        emit_cdf_family(&args, "t.csv", "title", "x", &series);
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "config,x,percent_of_channels");
+        assert_eq!(lines.len(), 4); // header + 3 points of series a
+        assert!(lines[3].starts_with("a,3.000000,100"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_args_csv_creates_nested_dirs() {
+        let dir = std::env::temp_dir().join("dfly_bench_csv_test/nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = RunArgs {
+            mode: Mode::Full,
+            out_dir: dir.clone(),
+        };
+        let mut w = args.csv("file.csv", &["a"]);
+        w.row(&["1"]).unwrap();
+        w.finish().unwrap();
+        assert!(dir.join("file.csv").exists());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

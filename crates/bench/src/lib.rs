@@ -1,0 +1,21 @@
+//! # dfly-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! (see `DESIGN.md` section 6 for the full index) plus Criterion
+//! benchmarks over every subsystem.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` (default) — the 768-node machine with proportionally scaled
+//!   apps; minutes of wall-clock, same qualitative shapes.
+//! * `--full` — the paper's 3,456-node Theta machine and app sizes.
+//! * `--out DIR` — where CSV artifacts go (default `results/`).
+//!
+//! The shared plumbing lives here; the binaries are thin.
+
+pub mod harness;
+
+pub mod figures;
+pub use harness::{
+    emit_cdf_family, label_of, parse_args, print_boxplot_table, print_run_summary, Mode, RunArgs,
+};

@@ -1,0 +1,246 @@
+//! Experiment configuration.
+
+use dfly_network::NetworkParams;
+use dfly_placement::{PlacementPolicy, TaskMapping};
+use dfly_topology::TopologyConfig;
+use dfly_workloads::{AppKind, BackgroundSpec, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Routing mechanism — re-exported network type under the study's name.
+pub type RoutingPolicy = dfly_network::Routing;
+
+/// The application under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppSelection {
+    /// Crystal Router miniapp.
+    CrystalRouter {
+        /// MPI ranks (paper: 1000).
+        ranks: u32,
+    },
+    /// Fill Boundary miniapp.
+    FillBoundary {
+        /// MPI ranks (paper: 1000).
+        ranks: u32,
+    },
+    /// Algebraic MultiGrid solver.
+    Amg {
+        /// MPI ranks (paper: 1728).
+        ranks: u32,
+    },
+}
+
+impl AppSelection {
+    /// The app at the paper's rank count.
+    pub fn paper(kind: AppKind) -> AppSelection {
+        match kind {
+            AppKind::CrystalRouter => AppSelection::CrystalRouter { ranks: 1000 },
+            AppKind::FillBoundary => AppSelection::FillBoundary { ranks: 1000 },
+            AppKind::Amg => AppSelection::Amg { ranks: 1728 },
+        }
+    }
+
+    /// The underlying workload kind.
+    pub fn kind(&self) -> AppKind {
+        match self {
+            AppSelection::CrystalRouter { .. } => AppKind::CrystalRouter,
+            AppSelection::FillBoundary { .. } => AppKind::FillBoundary,
+            AppSelection::Amg { .. } => AppKind::Amg,
+        }
+    }
+
+    /// Rank count.
+    pub fn ranks(&self) -> u32 {
+        match *self {
+            AppSelection::CrystalRouter { ranks }
+            | AppSelection::FillBoundary { ranks }
+            | AppSelection::Amg { ranks } => ranks,
+        }
+    }
+
+    /// Workload spec at a message scale.
+    pub fn spec(&self, msg_scale: f64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            kind: self.kind(),
+            ranks: self.ranks(),
+            msg_scale,
+            seed,
+        }
+    }
+}
+
+/// Background (external interference) traffic configuration. The synthetic
+/// job always occupies **all** nodes not assigned to the target app, as in
+/// the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackgroundConfig {
+    /// Traffic pattern and load.
+    pub spec: BackgroundSpec,
+}
+
+/// A complete experiment: one application run (optionally with background
+/// traffic) on one machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Machine shape and link parameters.
+    pub topology: TopologyConfig,
+    /// Packet / buffer / adaptive-bias parameters.
+    pub network: NetworkParams,
+    /// The application under test.
+    pub app: AppSelection,
+    /// Job placement policy.
+    pub placement: PlacementPolicy,
+    /// Rank-to-node arrangement within the allocation (the paper's
+    /// future-work axis; `Linear` reproduces the paper).
+    pub mapping: TaskMapping,
+    /// Routing mechanism.
+    pub routing: RoutingPolicy,
+    /// Message-size multiplier (Figure 7's x-axis; 1.0 = original).
+    pub msg_scale: f64,
+    /// Optional background traffic (Figures 8–10).
+    pub background: Option<BackgroundConfig>,
+    /// Master seed; placement, routing, workload jitter, and background
+    /// destinations each derive an independent stream from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's configuration: Theta topology, paper-size app, original
+    /// message loads.
+    pub fn theta(app: AppKind) -> ExperimentConfig {
+        ExperimentConfig {
+            topology: TopologyConfig::theta(),
+            network: NetworkParams::default(),
+            app: AppSelection::paper(app),
+            placement: PlacementPolicy::Contiguous,
+            mapping: TaskMapping::Linear,
+            routing: RoutingPolicy::Minimal,
+            msg_scale: 1.0,
+            background: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A miniature configuration for tests and doctests: the small 64-node
+    /// machine with a 16-rank app.
+    pub fn small_test() -> ExperimentConfig {
+        ExperimentConfig {
+            topology: TopologyConfig::small_test(),
+            network: NetworkParams::default(),
+            app: AppSelection::CrystalRouter { ranks: 16 },
+            placement: PlacementPolicy::Contiguous,
+            mapping: TaskMapping::Linear,
+            routing: RoutingPolicy::Minimal,
+            msg_scale: 1.0,
+            background: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The `--quick` reproduction configuration: the 768-node machine with
+    /// the app scaled to ~1/4.5 of its paper rank count, preserving the
+    /// app-size : machine-size ratio of the paper.
+    pub fn quick(app: AppKind) -> ExperimentConfig {
+        let ranks = match app {
+            AppKind::CrystalRouter | AppKind::FillBoundary => 216, // 6x6x6
+            AppKind::Amg => 343,                                   // 7x7x7
+        };
+        let app = match app {
+            AppKind::CrystalRouter => AppSelection::CrystalRouter { ranks },
+            AppKind::FillBoundary => AppSelection::FillBoundary { ranks },
+            AppKind::Amg => AppSelection::Amg { ranks },
+        };
+        ExperimentConfig {
+            topology: TopologyConfig::quick(),
+            app,
+            ..ExperimentConfig::theta(AppKind::CrystalRouter)
+        }
+    }
+
+    /// Validate the whole configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.topology.validate()?;
+        self.network.validate()?;
+        if self.msg_scale <= 0.0 {
+            return Err("msg_scale must be positive".into());
+        }
+        let nodes = self.topology.total_nodes();
+        if self.app.ranks() > nodes {
+            return Err(format!(
+                "app needs {} ranks but the machine has {} nodes",
+                self.app.ranks(),
+                nodes
+            ));
+        }
+        if let Some(bg) = &self.background {
+            bg.spec.validate()?;
+            if nodes - self.app.ranks() < 2 {
+                return Err("background job needs at least 2 free nodes".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_app_sizes() {
+        assert_eq!(AppSelection::paper(AppKind::CrystalRouter).ranks(), 1000);
+        assert_eq!(AppSelection::paper(AppKind::FillBoundary).ranks(), 1000);
+        assert_eq!(AppSelection::paper(AppKind::Amg).ranks(), 1728);
+    }
+
+    #[test]
+    fn selection_kind_roundtrip() {
+        for kind in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+            assert_eq!(AppSelection::paper(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn spec_carries_scale_and_seed() {
+        let s = AppSelection::Amg { ranks: 100 }.spec(2.5, 42);
+        assert_eq!(s.kind, AppKind::Amg);
+        assert_eq!(s.ranks, 100);
+        assert_eq!(s.msg_scale, 2.5);
+        assert_eq!(s.seed, 42);
+    }
+
+    #[test]
+    fn theta_and_small_and_quick_validate() {
+        for kind in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+            ExperimentConfig::theta(kind).validate().unwrap();
+            ExperimentConfig::quick(kind).validate().unwrap();
+        }
+        ExperimentConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_oversized_app() {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = AppSelection::CrystalRouter { ranks: 100 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_scale() {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.msg_scale = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_background_node_budget() {
+        use dfly_engine::Ns;
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = AppSelection::CrystalRouter { ranks: 63 };
+        cfg.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::uniform(1024, Ns::from_us(10), 1),
+        });
+        assert!(cfg.validate().is_err());
+        cfg.app = AppSelection::CrystalRouter { ranks: 32 };
+        assert!(cfg.validate().is_ok());
+    }
+}

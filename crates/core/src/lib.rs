@@ -1,0 +1,40 @@
+//! # dfly-core
+//!
+//! The experiment framework of the trade-off study: everything above the
+//! raw network model and below the per-figure reproduction binaries.
+//!
+//! * [`config`] — experiment configuration: topology, app, placement,
+//!   routing, message scale, background traffic, seeds.
+//! * [`mpi`] — the MPI-like rank execution engine: replays a
+//!   [`dfly_workloads::JobTrace`] over the network with per-rank
+//!   dependency-chained phases (the role DUMPI replay plays in CODES).
+//! * [`runner`] — runs one experiment end to end and collects the paper's
+//!   metrics (per-rank communication time, average hops, channel traffic,
+//!   link saturation).
+//! * [`sweep`] — runs placement x routing grids and message-scale sweeps,
+//!   parallelizing across simulations with scoped threads.
+//! * [`report`] — config labels (`cont-min` ... `rand-adp`) and result
+//!   summaries in the paper's terms.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod mpi;
+pub mod multijob;
+pub mod recommend;
+pub mod report;
+pub mod runner;
+pub mod scheduler;
+pub mod sweep;
+pub mod validate;
+pub mod variability;
+
+pub use config::{AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy};
+pub use mpi::{JobResult, LoadSeries, MpiDriver, MultiDriver};
+pub use multijob::{run_multijob, JobSpec, MultiJobConfig, MultiJobResult};
+pub use recommend::{recommend, CommIntensity, Recommendation};
+pub use report::ConfigLabel;
+pub use runner::{run_experiment, ExperimentResult};
+pub use scheduler::{run_schedule, ScheduleResult, SchedulerConfig, Submission};
+pub use variability::{measure_variability, VariabilityReport};
+pub use sweep::{run_config_grid, GridResult};

@@ -1,0 +1,800 @@
+//! The MPI-like rank execution engine.
+//!
+//! Replays one or more [`JobTrace`]s over the network: each rank walks its
+//! phases in order, entering phase `p+1` only when (a) every send it
+//! issued in phase `p` has been delivered and (b) every message addressed
+//! to it in phase `p` has arrived. This reproduces the dependency
+//! structure of DUMPI trace replay with computation delays stripped
+//! (paper Section III-A).
+//!
+//! The per-rank **communication time** — the paper's headline metric — is
+//! the time at which the rank's last phase completes, since every rank
+//! starts at t=0 and compute time is ignored.
+//!
+//! Two kinds of co-runners are supported:
+//!
+//! * full traced jobs, via [`MultiDriver`] (the multi-job production
+//!   scenario the paper motivates; its predecessor study calls the
+//!   resulting interference the "bully" effect);
+//! * open-loop synthetic background traffic ([`BackgroundRunner`]),
+//!   injected incrementally through network wakeups, window by window, so
+//!   interference runs never materialize millions of future messages.
+
+use dfly_engine::Ns;
+use dfly_network::{Delivery, Network, NetworkEvent};
+use dfly_topology::NodeId;
+use dfly_workloads::{BackgroundTraffic, JobTrace};
+
+/// Tag bit marking background messages.
+const BG_FLAG: u64 = 1 << 63;
+/// Tag layout for app messages: [62:48] job, [47:24] phase, [23:0] rank.
+const JOB_SHIFT: u32 = 48;
+const PHASE_SHIFT: u32 = 24;
+const RANK_MASK: u64 = (1 << PHASE_SHIFT) - 1;
+const PHASE_MASK: u64 = (1 << (JOB_SHIFT - PHASE_SHIFT)) - 1;
+
+/// Outcome of one job in a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Per-rank communication time (completion of the rank's last phase).
+    pub rank_comm_time: Vec<Ns>,
+    /// Per-rank average packet hops (router-to-router traversals),
+    /// averaged over all packets the rank sent.
+    pub rank_avg_hops: Vec<f64>,
+    /// Time the job finished.
+    pub job_end: Ns,
+    /// Background messages injected during the run (whole-run total,
+    /// reported on every job of the run).
+    pub background_messages: u64,
+}
+
+impl JobResult {
+    /// The slowest rank's communication time (Figure 7's metric).
+    pub fn max_comm_time(&self) -> Ns {
+        self.rank_comm_time.iter().copied().max().unwrap_or(Ns::ZERO)
+    }
+
+    /// Per-rank communication times in fractional milliseconds.
+    pub fn comm_times_ms(&self) -> Vec<f64> {
+        self.rank_comm_time.iter().map(|t| t.as_ms_f64()).collect()
+    }
+}
+
+struct RankState {
+    phase: usize,
+    outstanding_sends: u32,
+    recvs_got: Vec<u32>,
+    finished_at: Option<Ns>,
+    hops_weighted: f64,
+    packets_sent: u64,
+}
+
+struct JobContext<'a> {
+    trace: &'a JobTrace,
+    placement: &'a [NodeId],
+    expected_recvs: Vec<Vec<u32>>,
+    ranks: Vec<RankState>,
+    unfinished: usize,
+}
+
+/// Background injection state: a synthetic job occupying a node set.
+pub struct BackgroundRunner {
+    traffic: BackgroundTraffic,
+    nodes: Vec<NodeId>,
+    injected_until: Ns,
+    window: Ns,
+    messages: u64,
+}
+
+impl BackgroundRunner {
+    /// Background traffic over the given (non-empty) node set.
+    pub fn new(traffic: BackgroundTraffic, nodes: Vec<NodeId>) -> BackgroundRunner {
+        assert!(nodes.len() >= 2, "background job needs >= 2 nodes");
+        let window = traffic.spec().interval.max(Ns::from_us(200));
+        BackgroundRunner {
+            traffic,
+            nodes,
+            injected_until: Ns::ZERO,
+            window,
+            messages: 0,
+        }
+    }
+
+    /// Inject the next window of messages; returns the time of the next
+    /// refill.
+    fn refill(&mut self, net: &mut Network, scratch: &mut Vec<dfly_workloads::BgMessage>) -> Ns {
+        let from = self.injected_until;
+        let to = from + self.window;
+        scratch.clear();
+        self.traffic.batch(from, to, scratch);
+        for m in scratch.iter() {
+            net.send(
+                m.at,
+                self.nodes[m.src_index as usize],
+                self.nodes[m.dst_index as usize],
+                m.bytes,
+                BG_FLAG | self.messages,
+            );
+            self.messages += 1;
+        }
+        self.injected_until = to;
+        to
+    }
+}
+
+/// A sampled time series of instantaneous network load, recorded through
+/// periodic wakeups (see [`MultiDriver::with_sampler`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadSeries {
+    /// Sample timestamps.
+    pub times: Vec<Ns>,
+    /// Bytes queued in channel buffers at each sample.
+    pub queued_bytes: Vec<u64>,
+    /// Packets alive (injected, not yet delivered) at each sample.
+    pub packets_in_flight: Vec<u64>,
+}
+
+impl LoadSeries {
+    /// Peak queued bytes over the run.
+    pub fn peak_queued(&self) -> u64 {
+        self.queued_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The queued-bytes series as f64 (for sparklines/CSV).
+    pub fn queued_f64(&self) -> Vec<f64> {
+        self.queued_bytes.iter().map(|&b| b as f64).collect()
+    }
+}
+
+struct Sampler {
+    interval: Ns,
+    next: Ns,
+    series: LoadSeries,
+}
+
+/// Drives any number of traced jobs (plus optional open-loop background
+/// traffic) to completion on one shared network.
+pub struct MultiDriver<'a> {
+    net: &'a mut Network,
+    jobs: Vec<JobContext<'a>>,
+    /// node -> (job, rank), dense over the machine.
+    node_owner: Vec<(u32, u32)>,
+    background: Option<BackgroundRunner>,
+    bg_scratch: Vec<dfly_workloads::BgMessage>,
+    sampler: Option<Sampler>,
+}
+
+const NO_OWNER: (u32, u32) = (u32::MAX, u32::MAX);
+
+impl<'a> MultiDriver<'a> {
+    /// Set up a driver over `jobs`: each entry is a trace plus the node
+    /// each of its ranks runs on. Node sets must be disjoint.
+    pub fn new(
+        net: &'a mut Network,
+        jobs: &[(&'a JobTrace, &'a [NodeId])],
+        background: Option<BackgroundRunner>,
+    ) -> MultiDriver<'a> {
+        assert!(!jobs.is_empty(), "need at least one job");
+        assert!(
+            jobs.len() < (1 << (63 - JOB_SHIFT)) as usize,
+            "too many jobs for the tag encoding"
+        );
+        let total_nodes = net.topology().config().total_nodes() as usize;
+        let mut node_owner = vec![NO_OWNER; total_nodes];
+        let mut contexts = Vec::with_capacity(jobs.len());
+        for (job_idx, (trace, placement)) in jobs.iter().enumerate() {
+            assert_eq!(
+                trace.ranks() as usize,
+                placement.len(),
+                "job {job_idx}: placement size must equal rank count"
+            );
+            trace.validate().expect("invalid trace");
+            assert!(
+                (trace.ranks() as u64) <= RANK_MASK && (trace.phase_count() as u64) <= PHASE_MASK,
+                "job {job_idx} exceeds tag encoding limits"
+            );
+            for (rank, &node) in placement.iter().enumerate() {
+                assert_eq!(
+                    node_owner[node.index()],
+                    NO_OWNER,
+                    "node {node} assigned twice"
+                );
+                node_owner[node.index()] = (job_idx as u32, rank as u32);
+            }
+            let phases = trace.phase_count();
+            let expected_recvs = trace.recv_counts();
+            let ranks = (0..trace.ranks())
+                .map(|_| RankState {
+                    phase: 0,
+                    outstanding_sends: 0,
+                    recvs_got: vec![0; phases],
+                    finished_at: None,
+                    hops_weighted: 0.0,
+                    packets_sent: 0,
+                })
+                .collect();
+            contexts.push(JobContext {
+                trace,
+                placement,
+                expected_recvs,
+                ranks,
+                unfinished: trace.ranks() as usize,
+            });
+        }
+        MultiDriver {
+            net,
+            jobs: contexts,
+            node_owner,
+            background,
+            bg_scratch: Vec::new(),
+            sampler: None,
+        }
+    }
+
+    /// Record a [`LoadSeries`] sample of the network every `interval`
+    /// while the run progresses. Retrieve it with
+    /// [`MultiDriver::run_with_series`].
+    pub fn with_sampler(mut self, interval: Ns) -> Self {
+        assert!(interval > Ns::ZERO, "sampling interval must be positive");
+        self.sampler = Some(Sampler {
+            interval,
+            next: Ns::ZERO,
+            series: LoadSeries::default(),
+        });
+        self
+    }
+
+    /// Run all jobs to completion; results in job order.
+    pub fn run(self) -> Vec<JobResult> {
+        self.run_with_series().0
+    }
+
+    /// Run all jobs to completion, also returning the sampled load series
+    /// (empty unless [`MultiDriver::with_sampler`] was used).
+    pub fn run_with_series(mut self) -> (Vec<JobResult>, LoadSeries) {
+        for job in 0..self.jobs.len() as u32 {
+            for rank in 0..self.jobs[job as usize].trace.ranks() {
+                self.issue_phase_sends(job, rank, Ns::ZERO);
+            }
+        }
+        for job in 0..self.jobs.len() as u32 {
+            for rank in 0..self.jobs[job as usize].trace.ranks() {
+                self.advance_if_complete(job, rank, Ns::ZERO);
+            }
+        }
+        if self.background.is_some() {
+            self.refill_background();
+        }
+        if let Some(s) = &self.sampler {
+            self.net.schedule_wakeup(s.next);
+        }
+
+        while self.jobs.iter().any(|j| j.unfinished > 0) {
+            match self.net.poll() {
+                Some(NetworkEvent::Delivery(d)) => self.on_delivery(d),
+                Some(NetworkEvent::Wakeup) => self.on_wakeup(),
+                None => panic!(
+                    "network drained with unfinished ranks — dependency deadlock in trace"
+                ),
+            }
+        }
+
+        let bg_messages = self.background.as_ref().map_or(0, |b| b.messages);
+        let series = self.sampler.map(|s| s.series).unwrap_or_default();
+        let results: Vec<JobResult> = self.jobs
+            .iter()
+            .map(|job| {
+                let job_end = job
+                    .ranks
+                    .iter()
+                    .filter_map(|r| r.finished_at)
+                    .max()
+                    .unwrap_or(Ns::ZERO);
+                JobResult {
+                    rank_comm_time: job
+                        .ranks
+                        .iter()
+                        .map(|r| r.finished_at.expect("all ranks finished"))
+                        .collect(),
+                    rank_avg_hops: job
+                        .ranks
+                        .iter()
+                        .map(|r| {
+                            if r.packets_sent == 0 {
+                                0.0
+                            } else {
+                                r.hops_weighted / r.packets_sent as f64
+                            }
+                        })
+                        .collect(),
+                    job_end,
+                    background_messages: bg_messages,
+                }
+            })
+            .collect();
+        (results, series)
+    }
+
+    /// Background refills and load samples share the wakeup channel; each
+    /// fires only when its own deadline has passed (wakeups meant for the
+    /// other are harmless no-ops).
+    fn on_wakeup(&mut self) {
+        let now = self.net.now();
+        if self
+            .background
+            .as_ref()
+            .is_some_and(|bg| now >= bg.injected_until)
+        {
+            self.refill_background();
+        }
+        let due = self.sampler.as_ref().is_some_and(|s| now >= s.next);
+        if due {
+            let queued = self.net.total_queued_bytes();
+            let in_flight = self.net.packets_in_flight() as u64;
+            let s = self.sampler.as_mut().expect("sampler checked above");
+            s.series.times.push(now);
+            s.series.queued_bytes.push(queued);
+            s.series.packets_in_flight.push(in_flight);
+            s.next = now + s.interval;
+            self.net.schedule_wakeup(s.next);
+        }
+    }
+
+    fn refill_background(&mut self) {
+        let Some(bg) = self.background.as_mut() else {
+            return;
+        };
+        let next = bg.refill(self.net, &mut self.bg_scratch);
+        self.net.schedule_wakeup(next);
+    }
+
+    fn issue_phase_sends(&mut self, job: u32, rank: u32, now: Ns) {
+        let job = job as usize;
+        let ctx = &mut self.jobs[job];
+        let phase = ctx.ranks[rank as usize].phase;
+        let Some(ph) = ctx.trace.programs[rank as usize].phases.get(phase) else {
+            return;
+        };
+        ctx.ranks[rank as usize].outstanding_sends = ph.sends.len() as u32;
+        let src_node = ctx.placement[rank as usize];
+        let tag = ((job as u64) << JOB_SHIFT) | ((phase as u64) << PHASE_SHIFT) | rank as u64;
+        for s in &ph.sends {
+            self.net
+                .send(now, src_node, ctx.placement[s.peer as usize], s.bytes, tag);
+        }
+    }
+
+    /// Advance the rank through any phases that are already complete.
+    fn advance_if_complete(&mut self, job: u32, rank: u32, now: Ns) {
+        loop {
+            let ctx = &self.jobs[job as usize];
+            let state = &ctx.ranks[rank as usize];
+            if state.finished_at.is_some() {
+                return;
+            }
+            let phase = state.phase;
+            let total_phases = ctx.trace.programs[rank as usize].phases.len();
+            if phase >= total_phases {
+                // Empty program.
+                let ctx = &mut self.jobs[job as usize];
+                ctx.ranks[rank as usize].finished_at = Some(now);
+                ctx.unfinished -= 1;
+                return;
+            }
+            let expected = ctx.expected_recvs[rank as usize]
+                .get(phase)
+                .copied()
+                .unwrap_or(0);
+            if state.outstanding_sends > 0 || state.recvs_got[phase] < expected {
+                return;
+            }
+            // Phase complete: move on.
+            let next = phase + 1;
+            let ctx = &mut self.jobs[job as usize];
+            ctx.ranks[rank as usize].phase = next;
+            if next >= total_phases {
+                ctx.ranks[rank as usize].finished_at = Some(now);
+                ctx.unfinished -= 1;
+                return;
+            }
+            self.issue_phase_sends(job, rank, now);
+        }
+    }
+
+    fn on_delivery(&mut self, d: Delivery) {
+        if d.tag & BG_FLAG != 0 {
+            return; // background message: nobody waits on it
+        }
+        let now = self.net.now();
+        let job = (d.tag >> JOB_SHIFT) as u32;
+        let phase = ((d.tag >> PHASE_SHIFT) & PHASE_MASK) as usize;
+        let src_rank = (d.tag & RANK_MASK) as u32;
+        let (dst_job, dst_rank) = self.node_owner[d.dst.index()];
+        debug_assert_eq!(dst_job, job, "app delivery crossed job boundaries");
+
+        // Sender side: hops accounting + outstanding-send bookkeeping.
+        {
+            let packets = self.net.params().packets_for(d.bytes);
+            let s = &mut self.jobs[job as usize].ranks[src_rank as usize];
+            s.hops_weighted += d.avg_hops * packets as f64;
+            s.packets_sent += packets;
+            debug_assert_eq!(s.phase, phase, "send completed outside its phase");
+            s.outstanding_sends -= 1;
+        }
+        // Receiver side: count the arrival against the sender's phase.
+        self.jobs[job as usize].ranks[dst_rank as usize].recvs_got[phase] += 1;
+
+        self.advance_if_complete(job, src_rank, now);
+        if dst_rank != src_rank {
+            self.advance_if_complete(job, dst_rank, now);
+        }
+    }
+}
+
+/// Drives a single job — thin wrapper over [`MultiDriver`] kept for the
+/// common case.
+pub struct MpiDriver<'a> {
+    inner: MultiDriver<'a>,
+}
+
+impl<'a> MpiDriver<'a> {
+    /// Set up a driver. `placement[rank]` is the node rank runs on.
+    pub fn new(
+        net: &'a mut Network,
+        trace: &'a JobTrace,
+        placement: &'a [NodeId],
+        background: Option<BackgroundRunner>,
+    ) -> MpiDriver<'a> {
+        MpiDriver {
+            inner: MultiDriver::new(net, &[(trace, placement)], background),
+        }
+    }
+
+    /// Run the job to completion.
+    pub fn run(self) -> JobResult {
+        self.inner
+            .run()
+            .into_iter()
+            .next()
+            .expect("exactly one job")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_network::{NetworkParams, Routing};
+    use dfly_topology::{Topology, TopologyConfig};
+    use dfly_workloads::{generate, AppKind, BackgroundSpec, Phase, RankProgram, SendOp, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn network(routing: Routing) -> Network {
+        let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+        Network::new(topo, NetworkParams::default(), routing, 99)
+    }
+
+    fn contiguous(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn two_rank_pingpong() {
+        let trace = JobTrace {
+            programs: vec![
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![SendOp { peer: 1, bytes: 4096 }] },
+                        Phase { sends: vec![] }, // waits for the reply
+                    ],
+                },
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![] }, // waits for rank 0's message
+                        Phase { sends: vec![SendOp { peer: 0, bytes: 4096 }] },
+                    ],
+                },
+            ],
+        };
+        let mut net = network(Routing::Minimal);
+        let placement = contiguous(2);
+        let result = MpiDriver::new(&mut net, &trace, &placement, None).run();
+        assert_eq!(result.rank_comm_time.len(), 2);
+        assert!(result.rank_comm_time[0] >= result.rank_comm_time[1]);
+        assert!(result.job_end > Ns::ZERO);
+        assert_eq!(result.background_messages, 0);
+    }
+
+    #[test]
+    fn dependency_serializes_phases() {
+        // One rank sends a chain through 3 peers; each phase must wait for
+        // the previous, so total time ~3x one-hop time.
+        let chain = JobTrace {
+            programs: vec![
+                RankProgram {
+                    phases: vec![Phase { sends: vec![SendOp { peer: 1, bytes: 100_000 }] }],
+                },
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![] },
+                        Phase { sends: vec![SendOp { peer: 2, bytes: 100_000 }] },
+                    ],
+                },
+                RankProgram {
+                    phases: vec![Phase { sends: vec![] }, Phase { sends: vec![] }],
+                },
+            ],
+        };
+        let single = JobTrace {
+            programs: vec![
+                RankProgram {
+                    phases: vec![Phase { sends: vec![SendOp { peer: 1, bytes: 100_000 }] }],
+                },
+                RankProgram { phases: vec![Phase { sends: vec![] }] },
+                RankProgram { phases: vec![] },
+            ],
+        };
+        let mut net = network(Routing::Minimal);
+        let p = contiguous(3);
+        let chained = MpiDriver::new(&mut net, &chain, &p, None).run();
+        let mut net2 = network(Routing::Minimal);
+        let one = MpiDriver::new(&mut net2, &single, &p, None).run();
+        assert!(
+            chained.job_end.as_nanos() > (one.job_end.as_nanos() * 3) / 2,
+            "chain {} vs single {}",
+            chained.job_end,
+            one.job_end
+        );
+    }
+
+    #[test]
+    fn empty_programs_finish_at_zero() {
+        let trace = JobTrace {
+            programs: vec![RankProgram::default(), RankProgram::default()],
+        };
+        let mut net = network(Routing::Minimal);
+        let p = contiguous(2);
+        let r = MpiDriver::new(&mut net, &trace, &p, None).run();
+        assert_eq!(r.rank_comm_time, vec![Ns::ZERO, Ns::ZERO]);
+        assert_eq!(r.job_end, Ns::ZERO);
+    }
+
+    #[test]
+    fn full_cr_app_runs_on_small_machine() {
+        let trace = generate(&WorkloadSpec {
+            kind: AppKind::CrystalRouter,
+            ranks: 32,
+            msg_scale: 0.1,
+            seed: 5,
+        });
+        let mut net = network(Routing::Adaptive);
+        let p = contiguous(32);
+        let r = MpiDriver::new(&mut net, &trace, &p, None).run();
+        assert!(r.job_end > Ns::ZERO);
+        assert_eq!(r.rank_comm_time.len(), 32);
+        assert!(r.rank_comm_time.iter().all(|&t| t > Ns::ZERO));
+        assert!(r.rank_avg_hops.iter().all(|&h| (0.0..=10.0).contains(&h)));
+        assert!(r.rank_avg_hops.iter().any(|&h| h > 0.0));
+    }
+
+    #[test]
+    fn all_three_apps_complete() {
+        for kind in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+            let trace = generate(&WorkloadSpec {
+                kind,
+                ranks: 27,
+                msg_scale: 0.05,
+                seed: 6,
+            });
+            let mut net = network(Routing::Minimal);
+            let p = contiguous(27);
+            let r = MpiDriver::new(&mut net, &trace, &p, None).run();
+            assert!(r.job_end > Ns::ZERO, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn placement_affects_comm_time() {
+        let trace = generate(&WorkloadSpec {
+            kind: AppKind::Amg,
+            ranks: 27,
+            msg_scale: 1.0,
+            seed: 8,
+        });
+        let run = |placement: Vec<NodeId>| {
+            let mut net = network(Routing::Minimal);
+            MpiDriver::new(&mut net, &trace, &placement, None).run()
+        };
+        let cont = run(contiguous(27));
+        let spread: Vec<NodeId> = (0..27).map(|i| NodeId(i * 2)).collect();
+        let scattered = run(spread);
+        assert_ne!(cont.job_end, scattered.job_end);
+    }
+
+    #[test]
+    fn background_traffic_slows_the_app() {
+        let trace = generate(&WorkloadSpec {
+            kind: AppKind::Amg,
+            ranks: 8,
+            msg_scale: 1.0,
+            seed: 4,
+        });
+        let placement = contiguous(8);
+        let mut quiet_net = network(Routing::Adaptive);
+        let quiet = MpiDriver::new(&mut quiet_net, &trace, &placement, None).run();
+
+        let mut noisy_net = network(Routing::Adaptive);
+        let bg_nodes: Vec<NodeId> = (8..64).map(NodeId).collect();
+        let bg = BackgroundRunner::new(
+            BackgroundTraffic::new(
+                BackgroundSpec::uniform(64 * 1024, Ns::from_us(2), 77),
+                bg_nodes.len() as u32,
+            ),
+            bg_nodes,
+        );
+        let noisy = MpiDriver::new(&mut noisy_net, &trace, &placement, Some(bg)).run();
+        assert!(noisy.background_messages > 0);
+        assert!(
+            noisy.job_end > quiet.job_end,
+            "background should slow the app: {} vs {}",
+            noisy.job_end,
+            quiet.job_end
+        );
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let trace = generate(&WorkloadSpec {
+            kind: AppKind::FillBoundary,
+            ranks: 27,
+            msg_scale: 0.2,
+            seed: 12,
+        });
+        let run = || {
+            let mut net = network(Routing::Adaptive);
+            let p = contiguous(27);
+            MpiDriver::new(&mut net, &trace, &p, None).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement size")]
+    fn placement_arity_checked() {
+        let trace = JobTrace {
+            programs: vec![RankProgram::default(); 3],
+        };
+        let mut net = network(Routing::Minimal);
+        let p = contiguous(2);
+        let _ = MpiDriver::new(&mut net, &trace, &p, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_node_rejected() {
+        let trace = JobTrace {
+            programs: vec![RankProgram::default(); 2],
+        };
+        let mut net = network(Routing::Minimal);
+        let p = vec![NodeId(0), NodeId(0)];
+        let _ = MpiDriver::new(&mut net, &trace, &p, None);
+    }
+
+    // ----- multi-job -------------------------------------------------------
+
+    #[test]
+    fn two_jobs_run_concurrently_and_interfere() {
+        let cr = generate(&WorkloadSpec {
+            kind: AppKind::CrystalRouter,
+            ranks: 16,
+            msg_scale: 0.5,
+            seed: 31,
+        });
+        let amg = generate(&WorkloadSpec {
+            kind: AppKind::Amg,
+            ranks: 16,
+            msg_scale: 1.0,
+            seed: 32,
+        });
+        // Interleave the two jobs on even/odd nodes so they genuinely
+        // share routers and links (contiguous separate groups would be
+        // perfectly isolated and show no interference at all).
+        let p_cr: Vec<NodeId> = (0..16).map(|i| NodeId(i * 2)).collect();
+        let p_amg: Vec<NodeId> = (0..16).map(|i| NodeId(i * 2 + 1)).collect();
+
+        // Isolated AMG baseline.
+        let mut solo_net = network(Routing::Adaptive);
+        let solo = MpiDriver::new(&mut solo_net, &amg, &p_amg, None).run();
+
+        // Co-run with CR.
+        let mut net = network(Routing::Adaptive);
+        let results =
+            MultiDriver::new(&mut net, &[(&cr, &p_cr), (&amg, &p_amg)], None).run();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].job_end > Ns::ZERO);
+        assert!(results[1].job_end > Ns::ZERO);
+        // The communication-heavy CR bullies AMG: co-run AMG is slower
+        // than isolated AMG.
+        assert!(
+            results[1].job_end > solo.job_end,
+            "co-run AMG {} should exceed solo {}",
+            results[1].job_end,
+            solo.job_end
+        );
+    }
+
+    #[test]
+    fn multi_job_results_independent_of_listing_order_for_disjoint_apps() {
+        // Two identical jobs on disjoint far-apart node sets still share
+        // the network; results must be deterministic and per-job.
+        let t1 = generate(&WorkloadSpec {
+            kind: AppKind::Amg,
+            ranks: 8,
+            msg_scale: 0.5,
+            seed: 41,
+        });
+        let p1 = contiguous(8);
+        let p2: Vec<NodeId> = (32..40).map(NodeId).collect();
+        let mut net = network(Routing::Minimal);
+        let r = MultiDriver::new(&mut net, &[(&t1, &p1), (&t1, &p2)], None).run();
+        assert_eq!(r[0].rank_comm_time.len(), 8);
+        assert_eq!(r[1].rank_comm_time.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn multi_job_overlapping_placements_rejected() {
+        let t = JobTrace {
+            programs: vec![RankProgram::default(); 2],
+        };
+        let mut net = network(Routing::Minimal);
+        let p1 = vec![NodeId(0), NodeId(1)];
+        let p2 = vec![NodeId(1), NodeId(2)];
+        let _ = MultiDriver::new(&mut net, &[(&t, &p1), (&t, &p2)], None);
+    }
+
+    #[test]
+    fn sampler_records_load_series() {
+        let trace = generate(&WorkloadSpec {
+            kind: AppKind::FillBoundary,
+            ranks: 16,
+            msg_scale: 0.5,
+            seed: 71,
+        });
+        let p = contiguous(16);
+        let mut net = network(Routing::Minimal);
+        let (results, series) = MultiDriver::new(&mut net, &[(&trace, &p)], None)
+            .with_sampler(Ns::from_us(5))
+            .run_with_series();
+        assert_eq!(results.len(), 1);
+        assert!(series.times.len() >= 2, "too few samples: {}", series.times.len());
+        // Timestamps are strictly increasing and spaced by >= interval.
+        for w in series.times.windows(2) {
+            assert!(w[1] >= w[0] + Ns::from_us(5));
+        }
+        // Load was actually observed.
+        assert!(series.peak_queued() > 0);
+        assert_eq!(series.times.len(), series.queued_bytes.len());
+        assert_eq!(series.times.len(), series.packets_in_flight.len());
+    }
+
+    #[test]
+    fn run_without_sampler_returns_empty_series() {
+        let trace = JobTrace {
+            programs: vec![RankProgram::default(); 2],
+        };
+        let p = contiguous(2);
+        let mut net = network(Routing::Minimal);
+        let (_, series) =
+            MultiDriver::new(&mut net, &[(&trace, &p)], None).run_with_series();
+        assert!(series.times.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn multi_job_needs_jobs() {
+        let mut net = network(Routing::Minimal);
+        let _ = MultiDriver::new(&mut net, &[], None);
+    }
+}

@@ -1,0 +1,98 @@
+//! Config labels and result summaries in the paper's terms.
+
+use crate::config::RoutingPolicy;
+use dfly_placement::PlacementPolicy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A placement x routing combination, labelled as in the paper's Table I
+/// (`cont-min`, `cab-adp`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigLabel {
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Routing mechanism.
+    pub routing: RoutingPolicy,
+}
+
+impl ConfigLabel {
+    /// The ten combinations of Table I, minimal column first:
+    /// cont-min, cab-min, chas-min, rotr-min, rand-min,
+    /// cont-adp, cab-adp, chas-adp, rotr-adp, rand-adp.
+    pub fn all_ten() -> Vec<ConfigLabel> {
+        let mut out = Vec::with_capacity(10);
+        for routing in [RoutingPolicy::Minimal, RoutingPolicy::Adaptive] {
+            for placement in PlacementPolicy::ALL {
+                out.push(ConfigLabel { placement, routing });
+            }
+        }
+        out
+    }
+
+    /// The four "extreme" combinations of the sensitivity study
+    /// (Section IV-B): cont-min, rand-min, cont-adp, rand-adp.
+    pub fn extremes() -> Vec<ConfigLabel> {
+        [
+            (PlacementPolicy::Contiguous, RoutingPolicy::Minimal),
+            (PlacementPolicy::RandomNode, RoutingPolicy::Minimal),
+            (PlacementPolicy::Contiguous, RoutingPolicy::Adaptive),
+            (PlacementPolicy::RandomNode, RoutingPolicy::Adaptive),
+        ]
+        .into_iter()
+        .map(|(placement, routing)| ConfigLabel { placement, routing })
+        .collect()
+    }
+
+    /// The paper's baseline configuration for relative plots: `rand-adp`.
+    pub fn baseline() -> ConfigLabel {
+        ConfigLabel {
+            placement: PlacementPolicy::RandomNode,
+            routing: RoutingPolicy::Adaptive,
+        }
+    }
+}
+
+impl fmt::Display for ConfigLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.placement.label(), self.routing.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_matches_table_i() {
+        let labels: Vec<String> = ConfigLabel::all_ten()
+            .iter()
+            .map(|l| l.to_string())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "cont-min", "cab-min", "chas-min", "rotr-min", "rand-min", "cont-adp", "cab-adp",
+                "chas-adp", "rotr-adp", "rand-adp"
+            ]
+        );
+    }
+
+    #[test]
+    fn extremes_are_four() {
+        let e = ConfigLabel::extremes();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e[0].to_string(), "cont-min");
+        assert_eq!(e[3].to_string(), "rand-adp");
+    }
+
+    #[test]
+    fn baseline_is_rand_adp() {
+        assert_eq!(ConfigLabel::baseline().to_string(), "rand-adp");
+    }
+
+    #[test]
+    fn labels_unique_and_hashable() {
+        let set: std::collections::HashSet<_> = ConfigLabel::all_ten().into_iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

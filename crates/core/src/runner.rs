@@ -1,0 +1,293 @@
+//! End-to-end experiment execution.
+
+use crate::config::ExperimentConfig;
+use crate::mpi::{BackgroundRunner, MpiDriver};
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_network::{MetricsFilter, Network, NetworkMetrics};
+use dfly_placement::NodePool;
+use dfly_stats::{BoxStats, Cdf};
+use dfly_topology::{NodeId, RouterId, Topology};
+use dfly_workloads::{generate, BackgroundTraffic};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Everything one experiment produced.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Node each rank ran on.
+    pub placement: Vec<NodeId>,
+    /// Per-rank communication time.
+    pub rank_comm_times: Vec<Ns>,
+    /// Per-rank average packet hops.
+    pub rank_avg_hops: Vec<f64>,
+    /// Channel traffic / saturation snapshot at job completion.
+    pub metrics: NetworkMetrics,
+    /// Routers serving the application's nodes (the Figures 8–10 filter).
+    pub app_routers: HashSet<RouterId>,
+    /// Job completion time.
+    pub job_end: Ns,
+    /// Simulator events processed (throughput metric).
+    pub events: u64,
+    /// Background messages injected (0 without background).
+    pub background_messages: u64,
+}
+
+impl ExperimentResult {
+    /// Per-rank communication times in milliseconds.
+    pub fn comm_times_ms(&self) -> Vec<f64> {
+        self.rank_comm_times.iter().map(|t| t.as_ms_f64()).collect()
+    }
+
+    /// Box-plot statistics of communication time (ms) — one box of
+    /// Figure 3 / 8(a) / 9(a–b) / 10(a–b).
+    pub fn comm_time_stats(&self) -> BoxStats {
+        BoxStats::from_samples(&self.comm_times_ms()).expect("at least one rank")
+    }
+
+    /// The slowest rank's communication time.
+    pub fn max_comm_time(&self) -> Ns {
+        self.rank_comm_times.iter().copied().max().unwrap_or(Ns::ZERO)
+    }
+
+    /// CDF of per-rank average hops — Figure 4(a).
+    pub fn hops_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.rank_avg_hops.iter().copied())
+    }
+
+    /// Mean of the per-rank average hops.
+    pub fn mean_hops(&self) -> f64 {
+        if self.rank_avg_hops.is_empty() {
+            return 0.0;
+        }
+        self.rank_avg_hops.iter().sum::<f64>() / self.rank_avg_hops.len() as f64
+    }
+
+    /// The metrics filter restricted to the app's routers (Figures 8–10).
+    pub fn app_filter(&self) -> MetricsFilter {
+        MetricsFilter::Routers(self.app_routers.clone())
+    }
+
+    /// CDF of local-channel traffic in MB.
+    pub fn local_traffic_mb_cdf(&self, filter: &MetricsFilter) -> Cdf {
+        Cdf::from_samples(
+            self.metrics
+                .local_traffic(filter)
+                .into_iter()
+                .map(|b| b / 1e6),
+        )
+    }
+
+    /// CDF of global-channel traffic in MB.
+    pub fn global_traffic_mb_cdf(&self, filter: &MetricsFilter) -> Cdf {
+        Cdf::from_samples(
+            self.metrics
+                .global_traffic(filter)
+                .into_iter()
+                .map(|b| b / 1e6),
+        )
+    }
+
+    /// CDF of local-link saturation time in ms.
+    pub fn local_saturation_ms_cdf(&self, filter: &MetricsFilter) -> Cdf {
+        Cdf::from_samples(self.metrics.local_saturation_ms(filter))
+    }
+
+    /// CDF of global-link saturation time in ms.
+    pub fn global_saturation_ms_cdf(&self, filter: &MetricsFilter) -> Cdf {
+        Cdf::from_samples(self.metrics.global_saturation_ms(filter))
+    }
+}
+
+/// Run one experiment end to end.
+///
+/// Seeding: placement, workload jitter, routing decisions, and background
+/// destinations each get an independent RNG stream derived from
+/// `config.seed`, so e.g. changing the routing policy never perturbs the
+/// placement.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    config.validate().expect("invalid experiment config");
+    let topo = Arc::new(Topology::build(config.topology.clone()));
+
+    let mut master = Xoshiro256::seed_from(config.seed);
+    let mut placement_rng = master.split(1);
+    let workload_seed = master.split(2).next_u64();
+    let routing_seed = master.split(3).next_u64();
+    let background_seed = master.split(4).next_u64();
+
+    // Placement, then the rank-to-node arrangement within it.
+    let mut pool = NodePool::new(&topo);
+    let allocation = config
+        .placement
+        .allocate(&topo, &mut pool, config.app.ranks(), &mut placement_rng)
+        .expect("validated config cannot over-allocate");
+    let placement = config.mapping.arrange(
+        &allocation,
+        config.topology.nodes_per_router,
+        &mut placement_rng,
+    );
+
+    // Workload.
+    let trace = generate(&config.app.spec(config.msg_scale, workload_seed));
+
+    // Network.
+    let mut net = Network::new(
+        topo.clone(),
+        config.network,
+        config.routing,
+        routing_seed,
+    );
+
+    // Background job on the complement nodes.
+    let background = config.background.as_ref().map(|bg| {
+        let mut spec = bg.spec;
+        spec.seed = background_seed;
+        let bg_nodes = pool.free_nodes();
+        BackgroundRunner::new(
+            BackgroundTraffic::new(spec, bg_nodes.len() as u32),
+            bg_nodes,
+        )
+    });
+
+    let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
+    let metrics = net.metrics();
+    let app_routers: HashSet<RouterId> =
+        placement.iter().map(|&n| topo.node_router(n)).collect();
+
+    ExperimentResult {
+        config: config.clone(),
+        placement,
+        rank_comm_times: result.rank_comm_time,
+        rank_avg_hops: result.rank_avg_hops,
+        metrics,
+        app_routers,
+        job_end: result.job_end,
+        events: net.events_processed(),
+        background_messages: result.background_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AppSelection, BackgroundConfig};
+    use dfly_placement::PlacementPolicy;
+    use dfly_workloads::BackgroundSpec;
+
+    fn small(placement: PlacementPolicy, routing: crate::config::RoutingPolicy) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.placement = placement;
+        cfg.routing = routing;
+        cfg.msg_scale = 0.1;
+        cfg
+    }
+
+    #[test]
+    fn basic_run_produces_complete_result() {
+        let cfg = small(PlacementPolicy::Contiguous, crate::config::RoutingPolicy::Minimal);
+        let r = run_experiment(&cfg);
+        assert_eq!(r.rank_comm_times.len(), 16);
+        assert_eq!(r.placement.len(), 16);
+        assert!(r.job_end > Ns::ZERO);
+        assert!(r.events > 0);
+        assert!(r.max_comm_time() >= r.rank_comm_times[0]);
+        assert!(!r.app_routers.is_empty());
+        let stats = r.comm_time_stats();
+        assert!(stats.max >= stats.median && stats.median >= stats.min);
+    }
+
+    #[test]
+    fn contiguous_fewer_hops_than_random() {
+        let cont = run_experiment(&small(
+            PlacementPolicy::Contiguous,
+            crate::config::RoutingPolicy::Minimal,
+        ));
+        let rand = run_experiment(&small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Minimal,
+        ));
+        assert!(
+            cont.mean_hops() < rand.mean_hops(),
+            "cont {} vs rand {}",
+            cont.mean_hops(),
+            rand.mean_hops()
+        );
+    }
+
+    #[test]
+    fn adaptive_more_hops_than_minimal() {
+        let min = run_experiment(&small(
+            PlacementPolicy::Contiguous,
+            crate::config::RoutingPolicy::Minimal,
+        ));
+        let adp = run_experiment(&small(
+            PlacementPolicy::Contiguous,
+            crate::config::RoutingPolicy::Adaptive,
+        ));
+        assert!(adp.mean_hops() >= min.mean_hops());
+    }
+
+    #[test]
+    fn cdfs_cover_channel_population() {
+        let r = run_experiment(&small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        ));
+        let all = MetricsFilter::All;
+        let local = r.local_traffic_mb_cdf(&all);
+        let global = r.global_traffic_mb_cdf(&all);
+        // Small machine: 8 routers/group x 4 groups; local channels =
+        // 32*(3+1) = 128; global = 2*6 pairs*8 = 96.
+        assert_eq!(local.len(), 128);
+        assert_eq!(global.len(), 96);
+        let app = r.app_filter();
+        assert!(r.local_traffic_mb_cdf(&app).len() <= local.len());
+    }
+
+    #[test]
+    fn results_deterministic_per_seed() {
+        let cfg = small(PlacementPolicy::RandomChassis, crate::config::RoutingPolicy::Adaptive);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.rank_comm_times, b.rank_comm_times);
+        assert_eq!(a.placement, b.placement);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed ^= 1;
+        let c = run_experiment(&cfg2);
+        assert_ne!(a.placement, c.placement);
+    }
+
+    #[test]
+    fn background_run_degrades_app() {
+        let mut quiet = small(PlacementPolicy::RandomNode, crate::config::RoutingPolicy::Adaptive);
+        quiet.app = AppSelection::Amg { ranks: 8 };
+        quiet.msg_scale = 1.0;
+        let mut noisy = quiet.clone();
+        noisy.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::uniform(64 * 1024, Ns::from_us(2), 0),
+        });
+        let q = run_experiment(&quiet);
+        let n = run_experiment(&noisy);
+        assert!(n.background_messages > 0);
+        assert!(
+            n.max_comm_time() > q.max_comm_time(),
+            "noisy {} vs quiet {}",
+            n.max_comm_time(),
+            q.max_comm_time()
+        );
+    }
+
+    #[test]
+    fn routing_change_does_not_change_placement() {
+        let a = run_experiment(&small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Minimal,
+        ));
+        let b = run_experiment(&small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        ));
+        assert_eq!(a.placement, b.placement);
+    }
+}

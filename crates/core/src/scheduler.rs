@@ -1,0 +1,461 @@
+//! A batch-scheduler substrate: jobs arrive over time, wait in an FCFS
+//! queue, get placed by a policy when enough nodes are free, run under
+//! network interference from their co-runners, and release their nodes on
+//! completion.
+//!
+//! The paper motivates its study with exactly this loop: interference
+//! makes runtimes unpredictable, which makes batch scheduling decisions
+//! poor (its refs [6], [7]). This module closes the loop — it measures
+//! queueing delay *and* interference slowdown per job under each placement
+//! policy, on the same packet-level network as every other experiment.
+
+use crate::config::RoutingPolicy;
+use crate::multijob::JobSpec;
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_network::{Network, NetworkEvent, NetworkParams};
+use dfly_placement::NodePool;
+use dfly_topology::{NodeId, Topology, TopologyConfig};
+use dfly_workloads::{generate, JobTrace};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A job submission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// What to run and how to place it.
+    pub job: JobSpec,
+    /// When the job enters the queue.
+    pub arrival: Ns,
+}
+
+/// Scheduler experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Machine shape.
+    pub topology: TopologyConfig,
+    /// Network parameters.
+    pub network: NetworkParams,
+    /// System-wide routing.
+    pub routing: RoutingPolicy,
+    /// The submission stream (any order; sorted by arrival internally).
+    pub submissions: Vec<Submission>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SchedulerConfig {
+    /// Validate: every job must individually fit the machine.
+    pub fn validate(&self) -> Result<(), String> {
+        self.topology.validate()?;
+        self.network.validate()?;
+        if self.submissions.is_empty() {
+            return Err("need at least one submission".into());
+        }
+        for (i, s) in self.submissions.iter().enumerate() {
+            if s.job.app.ranks() > self.topology.total_nodes() {
+                return Err(format!("submission {i} larger than the machine"));
+            }
+            if s.job.msg_scale <= 0.0 {
+                return Err(format!("submission {i}: msg_scale must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-job outcome of a scheduler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledJob {
+    /// The submission this outcome belongs to.
+    pub submission: Submission,
+    /// When the job started (allocation succeeded).
+    pub started_at: Ns,
+    /// When the job's last rank finished.
+    pub finished_at: Ns,
+    /// Queueing delay (`started_at - arrival`).
+    pub wait: Ns,
+    /// Communication runtime (`finished_at - started_at`).
+    pub runtime: Ns,
+}
+
+/// Outcome of a whole scheduler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// Jobs in completion order.
+    pub jobs: Vec<ScheduledJob>,
+    /// Total makespan (last completion).
+    pub makespan: Ns,
+}
+
+// --- internal per-job execution state (same phase semantics as mpi.rs) ---
+
+struct RankState {
+    phase: usize,
+    outstanding_sends: u32,
+    recvs_got: Vec<u32>,
+    finished_at: Option<Ns>,
+}
+
+struct RunningJob {
+    submission: Submission,
+    trace: JobTrace,
+    placement: Vec<NodeId>,
+    expected_recvs: Vec<Vec<u32>>,
+    ranks: Vec<RankState>,
+    unfinished: usize,
+    started_at: Ns,
+}
+
+const RANK_BITS: u32 = 24;
+const PHASE_SHIFT: u32 = RANK_BITS;
+const JOB_SHIFT: u32 = 48;
+
+/// Run a scheduler experiment.
+pub fn run_schedule(config: &SchedulerConfig) -> ScheduleResult {
+    config.validate().expect("invalid scheduler config");
+    let topo = Arc::new(Topology::build(config.topology.clone()));
+    let mut master = Xoshiro256::seed_from(config.seed);
+    let mut placement_rng = master.split(1);
+    let workload_seed = master.split(2).next_u64();
+    let routing_seed = master.split(3).next_u64();
+
+    let mut submissions = config.submissions.clone();
+    submissions.sort_by_key(|s| s.arrival);
+
+    let mut net = Network::new(topo.clone(), config.network, config.routing, routing_seed);
+    let mut pool = NodePool::new(&topo);
+    let mut queue: std::collections::VecDeque<(usize, Submission)> =
+        submissions.iter().copied().enumerate().collect();
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut node_owner: Vec<(u32, u32)> =
+        vec![(u32::MAX, u32::MAX); topo.config().total_nodes() as usize];
+    let mut done: Vec<ScheduledJob> = Vec::new();
+
+    // Wake at each arrival so admission happens at the right time.
+    for s in &submissions {
+        net.schedule_wakeup(s.arrival);
+    }
+
+    // FCFS admission: take queued jobs in order while the head fits and
+    // has arrived.
+    let admit = |net: &mut Network,
+                 pool: &mut NodePool,
+                 queue: &mut std::collections::VecDeque<(usize, Submission)>,
+                 running: &mut Vec<RunningJob>,
+                 node_owner: &mut Vec<(u32, u32)>,
+                 placement_rng: &mut Xoshiro256,
+                 topo: &Topology| {
+        loop {
+            let now = net.now();
+            let Some(&(idx, sub)) = queue.front() else {
+                return;
+            };
+            if sub.arrival > now || sub.job.app.ranks() > pool.free_count() {
+                return;
+            }
+            queue.pop_front();
+            let placement = sub
+                .job
+                .placement
+                .allocate(topo, pool, sub.job.app.ranks(), placement_rng)
+                .expect("checked free count");
+            let trace = generate(&sub.job.app.spec(sub.job.msg_scale, workload_seed ^ (idx as u64) << 32));
+            let job_id = running.len() as u32;
+            for (rank, &node) in placement.iter().enumerate() {
+                node_owner[node.index()] = (job_id, rank as u32);
+            }
+            let phases = trace.phase_count();
+            let expected_recvs = trace.recv_counts();
+            let ranks: Vec<RankState> = (0..trace.ranks())
+                .map(|_| RankState {
+                    phase: 0,
+                    outstanding_sends: 0,
+                    recvs_got: vec![0; phases],
+                    finished_at: None,
+                })
+                .collect();
+            let unfinished = trace.ranks() as usize;
+            running.push(RunningJob {
+                submission: sub,
+                trace,
+                placement,
+                expected_recvs,
+                ranks,
+                unfinished,
+                started_at: now,
+            });
+            // Issue phase 0 (and resolve empty phases) for every rank.
+            let job = running.last_mut().expect("just pushed");
+            for rank in 0..job.trace.ranks() {
+                issue_phase(net, job, job_id, rank, now);
+            }
+            for rank in 0..job.trace.ranks() {
+                advance(net, job, job_id, rank, now);
+            }
+        }
+    };
+
+    admit(
+        &mut net,
+        &mut pool,
+        &mut queue,
+        &mut running,
+        &mut node_owner,
+        &mut placement_rng,
+        &topo,
+    );
+
+    let total = submissions.len();
+    while done.len() < total {
+        match net.poll() {
+            Some(NetworkEvent::Wakeup) => {}
+            Some(NetworkEvent::Delivery(d)) => {
+                let now = net.now();
+                let job_id = (d.tag >> JOB_SHIFT) as u32;
+                let phase = ((d.tag >> PHASE_SHIFT) & ((1 << (JOB_SHIFT - PHASE_SHIFT)) - 1)) as usize;
+                let src_rank = (d.tag & ((1 << RANK_BITS) - 1)) as u32;
+                let (dst_job, dst_rank) = node_owner[d.dst.index()];
+                debug_assert_eq!(dst_job, job_id);
+                let job = &mut running[job_id as usize];
+                {
+                    let s = &mut job.ranks[src_rank as usize];
+                    debug_assert_eq!(s.phase, phase);
+                    s.outstanding_sends -= 1;
+                }
+                job.ranks[dst_rank as usize].recvs_got[phase] += 1;
+                advance(&mut net, job, job_id, src_rank, now);
+                if dst_rank != src_rank {
+                    advance(&mut net, job, job_id, dst_rank, now);
+                }
+                if job.unfinished == 0 && job.placement.first().is_some() {
+                    // Job complete: release its nodes and record it.
+                    let placement = std::mem::take(&mut job.placement);
+                    for &n in &placement {
+                        node_owner[n.index()] = (u32::MAX, u32::MAX);
+                    }
+                    pool.release(&placement);
+                    done.push(ScheduledJob {
+                        submission: job.submission,
+                        started_at: job.started_at,
+                        finished_at: now,
+                        wait: job.started_at - job.submission.arrival,
+                        runtime: now - job.started_at,
+                    });
+                }
+            }
+            None => {
+                // Network idle: if jobs remain queued, jump to the next
+                // arrival (the wakeups guarantee there is one).
+                if done.len() < total && queue.is_empty() && running.iter().all(|j| j.unfinished == 0)
+                {
+                    panic!("scheduler stalled with jobs unaccounted for");
+                }
+            }
+        }
+        admit(
+            &mut net,
+            &mut pool,
+            &mut queue,
+            &mut running,
+            &mut node_owner,
+            &mut placement_rng,
+            &topo,
+        );
+    }
+
+    let makespan = done.iter().map(|j| j.finished_at).max().unwrap_or(Ns::ZERO);
+    ScheduleResult {
+        jobs: done,
+        makespan,
+    }
+}
+
+fn issue_phase(net: &mut Network, job: &mut RunningJob, job_id: u32, rank: u32, now: Ns) {
+    let phase = job.ranks[rank as usize].phase;
+    let Some(ph) = job.trace.programs[rank as usize].phases.get(phase) else {
+        return;
+    };
+    job.ranks[rank as usize].outstanding_sends = ph.sends.len() as u32;
+    let src = job.placement[rank as usize];
+    let tag = ((job_id as u64) << JOB_SHIFT) | ((phase as u64) << PHASE_SHIFT) | rank as u64;
+    for s in &ph.sends {
+        net.send(now, src, job.placement[s.peer as usize], s.bytes, tag);
+    }
+}
+
+fn advance(net: &mut Network, job: &mut RunningJob, job_id: u32, rank: u32, now: Ns) {
+    loop {
+        let state = &job.ranks[rank as usize];
+        if state.finished_at.is_some() {
+            return;
+        }
+        let phase = state.phase;
+        let total = job.trace.programs[rank as usize].phases.len();
+        if phase >= total {
+            job.ranks[rank as usize].finished_at = Some(now);
+            job.unfinished -= 1;
+            return;
+        }
+        let expected = job.expected_recvs[rank as usize]
+            .get(phase)
+            .copied()
+            .unwrap_or(0);
+        if state.outstanding_sends > 0 || state.recvs_got[phase] < expected {
+            return;
+        }
+        let next = phase + 1;
+        job.ranks[rank as usize].phase = next;
+        if next >= total {
+            job.ranks[rank as usize].finished_at = Some(now);
+            job.unfinished -= 1;
+            return;
+        }
+        issue_phase(net, job, job_id, rank, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppSelection;
+    use dfly_placement::PlacementPolicy;
+
+    fn job(app: AppSelection, placement: PlacementPolicy) -> JobSpec {
+        JobSpec {
+            app,
+            placement,
+            msg_scale: 0.3,
+        }
+    }
+
+    fn cfg(submissions: Vec<Submission>) -> SchedulerConfig {
+        SchedulerConfig {
+            topology: TopologyConfig::small_test(),
+            network: NetworkParams::default(),
+            routing: RoutingPolicy::Adaptive,
+            submissions,
+            seed: 0xF1F0,
+        }
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let r = run_schedule(&cfg(vec![Submission {
+            job: job(AppSelection::Amg { ranks: 27 }, PlacementPolicy::Contiguous),
+            arrival: Ns::ZERO,
+        }]));
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].wait, Ns::ZERO);
+        assert!(r.jobs[0].runtime > Ns::ZERO);
+        assert_eq!(r.makespan, r.jobs[0].finished_at);
+    }
+
+    #[test]
+    fn arrival_time_delays_start() {
+        let arrival = Ns::from_us(500);
+        let r = run_schedule(&cfg(vec![Submission {
+            job: job(AppSelection::Amg { ranks: 16 }, PlacementPolicy::Contiguous),
+            arrival,
+        }]));
+        assert_eq!(r.jobs[0].started_at, arrival);
+        assert_eq!(r.jobs[0].wait, Ns::ZERO);
+    }
+
+    #[test]
+    fn oversubscribed_machine_queues_fcfs() {
+        // Two 40-node jobs on a 64-node machine: the second must wait for
+        // the first to finish.
+        let a = Submission {
+            job: job(AppSelection::CrystalRouter { ranks: 40 }, PlacementPolicy::Contiguous),
+            arrival: Ns::ZERO,
+        };
+        let b = Submission {
+            job: job(AppSelection::FillBoundary { ranks: 40 }, PlacementPolicy::Contiguous),
+            arrival: Ns(1),
+        };
+        let r = run_schedule(&cfg(vec![a, b]));
+        assert_eq!(r.jobs.len(), 2);
+        let first = &r.jobs[0];
+        let second = &r.jobs[1];
+        assert_eq!(first.submission.arrival, Ns::ZERO);
+        assert_eq!(second.started_at, first.finished_at);
+        assert!(second.wait > Ns::ZERO);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_and_interfere() {
+        // Two 16-node jobs fit together; the second's runtime exceeds its
+        // solo runtime because they share the network.
+        let solo = run_schedule(&cfg(vec![Submission {
+            job: job(AppSelection::Amg { ranks: 16 }, PlacementPolicy::RandomNode),
+            arrival: Ns::ZERO,
+        }]));
+        let both = run_schedule(&cfg(vec![
+            Submission {
+                job: job(
+                    AppSelection::CrystalRouter { ranks: 32 },
+                    PlacementPolicy::RandomNode,
+                ),
+                arrival: Ns::ZERO,
+            },
+            Submission {
+                job: job(AppSelection::Amg { ranks: 16 }, PlacementPolicy::RandomNode),
+                arrival: Ns::ZERO,
+            },
+        ]));
+        let amg_solo = solo.jobs[0].runtime;
+        let amg_corun = both
+            .jobs
+            .iter()
+            .find(|j| j.submission.job.app.ranks() == 16)
+            .unwrap()
+            .runtime;
+        assert!(
+            amg_corun > amg_solo,
+            "co-scheduled AMG {amg_corun} should exceed solo {amg_solo}"
+        );
+    }
+
+    #[test]
+    fn nodes_are_reusable_across_jobs() {
+        // Three sequential full-machine jobs: each reuses all 64 nodes.
+        let subs: Vec<Submission> = (0..3)
+            .map(|i| Submission {
+                job: job(AppSelection::Amg { ranks: 64 }, PlacementPolicy::Contiguous),
+                arrival: Ns(i),
+            })
+            .collect();
+        let r = run_schedule(&cfg(subs));
+        assert_eq!(r.jobs.len(), 3);
+        for w in r.jobs.windows(2) {
+            assert!(w[1].started_at >= w[0].finished_at);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let subs = vec![
+            Submission {
+                job: job(AppSelection::CrystalRouter { ranks: 24 }, PlacementPolicy::RandomNode),
+                arrival: Ns::ZERO,
+            },
+            Submission {
+                job: job(AppSelection::Amg { ranks: 27 }, PlacementPolicy::RandomChassis),
+                arrival: Ns::from_us(50),
+            },
+        ];
+        let a = run_schedule(&cfg(subs.clone()));
+        let b = run_schedule(&cfg(subs));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_bad_submissions() {
+        assert!(cfg(vec![]).validate().is_err());
+        let too_big = cfg(vec![Submission {
+            job: job(AppSelection::CrystalRouter { ranks: 100 }, PlacementPolicy::Contiguous),
+            arrival: Ns::ZERO,
+        }]);
+        assert!(too_big.validate().is_err());
+    }
+}

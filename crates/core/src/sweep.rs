@@ -1,0 +1,142 @@
+//! Config grids and parameter sweeps, parallelized across simulations.
+//!
+//! Individual simulations are strictly sequential (determinism); campaigns
+//! — ten placement x routing combinations, message-scale sweeps — are
+//! embarrassingly parallel, so the sweep runner fans simulations out over
+//! scoped threads with a shared work queue.
+
+use crate::config::ExperimentConfig;
+use crate::report::ConfigLabel;
+use crate::runner::{run_experiment, ExperimentResult};
+use parking_lot::Mutex;
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// Which placement x routing combination.
+    pub label: ConfigLabel,
+    /// The experiment result.
+    pub result: ExperimentResult,
+}
+
+/// Run `base` under every given placement x routing combination.
+/// Results come back in the order of `labels`.
+pub fn run_config_grid(base: &ExperimentConfig, labels: &[ConfigLabel]) -> Vec<GridResult> {
+    let configs: Vec<ExperimentConfig> = labels
+        .iter()
+        .map(|l| {
+            let mut cfg = base.clone();
+            cfg.placement = l.placement;
+            cfg.routing = l.routing;
+            cfg
+        })
+        .collect();
+    let results = run_many(&configs);
+    labels
+        .iter()
+        .zip(results)
+        .map(|(&label, result)| GridResult { label, result })
+        .collect()
+}
+
+/// Run `base` at each message scale (same placement/routing), in order.
+pub fn run_scale_sweep(base: &ExperimentConfig, scales: &[f64]) -> Vec<ExperimentResult> {
+    let configs: Vec<ExperimentConfig> = scales
+        .iter()
+        .map(|&s| {
+            let mut cfg = base.clone();
+            cfg.msg_scale = s;
+            cfg
+        })
+        .collect();
+    run_many(&configs)
+}
+
+/// Run a batch of independent experiments, using up to
+/// `available_parallelism` worker threads. Result order matches input.
+pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(configs.len().max(1));
+    if workers <= 1 || configs.len() <= 1 {
+        return configs.iter().map(run_experiment).collect();
+    }
+    let next = Mutex::new(0usize);
+    let results: Vec<Mutex<Option<ExperimentResult>>> =
+        configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = {
+                    let mut n = next.lock();
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                if i >= configs.len() {
+                    break;
+                }
+                let r = run_experiment(&configs[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoutingPolicy;
+    use dfly_placement::PlacementPolicy;
+
+    fn base() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.msg_scale = 0.05;
+        cfg
+    }
+
+    #[test]
+    fn grid_runs_all_labels_in_order() {
+        let labels = ConfigLabel::all_ten();
+        let grid = run_config_grid(&base(), &labels);
+        assert_eq!(grid.len(), 10);
+        for (g, l) in grid.iter().zip(&labels) {
+            assert_eq!(&g.label, l);
+            assert_eq!(g.result.config.placement, l.placement);
+            assert_eq!(g.result.config.routing, l.routing);
+            assert!(g.result.job_end > dfly_engine::Ns::ZERO);
+        }
+    }
+
+    #[test]
+    fn scale_sweep_increases_work() {
+        let results = run_scale_sweep(&base(), &[0.05, 1.0]);
+        assert_eq!(results.len(), 2);
+        assert!(
+            results[1].max_comm_time() > results[0].max_comm_time(),
+            "larger messages must take longer"
+        );
+    }
+
+    #[test]
+    fn run_many_matches_sequential() {
+        let mut a = base();
+        a.placement = PlacementPolicy::RandomNode;
+        let mut b = base();
+        b.routing = RoutingPolicy::Adaptive;
+        let batch = run_many(&[a.clone(), b.clone()]);
+        let seq = [run_experiment(&a), run_experiment(&b)];
+        assert_eq!(batch[0].rank_comm_times, seq[0].rank_comm_times);
+        assert_eq!(batch[1].rank_comm_times, seq[1].rank_comm_times);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_many(&[]).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Model validation benchmarks.
+//!
+//! The paper's Section II notes that CODES was validated against the real
+//! Theta with **ping-pong** and **bisection pairing** benchmarks (<8%
+//! error). We cannot compare against Theta, but we can do the analogous
+//! internal validation: compare the simulator against closed-form
+//! expectations of the same benchmarks on an idle network, pinning the
+//! model's timing arithmetic (serialization, pipelining, per-hop latency)
+//! and its aggregate bandwidth behaviour.
+
+use crate::mpi::MpiDriver;
+use dfly_engine::{Bytes, Ns, Xoshiro256};
+use dfly_network::{Network, NetworkParams, Routing};
+use dfly_topology::{ChannelClass, NodeId, Topology, TopologyConfig};
+use dfly_workloads::{JobTrace, Phase, RankProgram, SendOp};
+use std::sync::Arc;
+
+/// Result of one ping-pong measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct PingPongResult {
+    /// Measured round-trip time.
+    pub measured_rtt: Ns,
+    /// Closed-form expectation for the same route.
+    pub expected_rtt: Ns,
+    /// |measured - expected| / expected.
+    pub relative_error: f64,
+}
+
+/// Closed-form one-way time of a `bytes` message over a fixed channel
+/// sequence on an idle network: the first packet pays every hop's
+/// serialization + propagation (+ router latency where it enters a
+/// router); the remaining packets pipeline behind the slowest hop.
+pub fn expected_one_way(
+    topo: &Topology,
+    params: &NetworkParams,
+    route_classes: &[ChannelClass],
+    bytes: Bytes,
+) -> Ns {
+    let packets = params.packets_for(bytes);
+    let full = params.packet_size as u64;
+    let last = if bytes == 0 {
+        1
+    } else {
+        bytes - (packets - 1) * full.min(bytes)
+    };
+    let _ = last;
+    // All packets except possibly the last are full-size; the pipeline
+    // bottleneck is the slowest serialization of a full packet.
+    let mut first_packet = Ns::ZERO;
+    let mut bottleneck = Ns::ZERO;
+    for (i, &class) in route_classes.iter().enumerate() {
+        let ser = topo.class_bandwidth(class).serialization_time(full.min(bytes.max(1)));
+        let next_is_router = i + 1 < route_classes.len();
+        let extra = topo.class_latency(class)
+            + if next_is_router {
+                topo.config().router_latency
+            } else {
+                Ns::ZERO
+            };
+        first_packet += ser + extra;
+        bottleneck = bottleneck.max(ser);
+    }
+    first_packet + bottleneck * (packets.saturating_sub(1))
+}
+
+/// Run a ping-pong between two nodes on the same router row (so the
+/// minimal route is deterministic: terminal-up, one row link,
+/// terminal-down) and compare with the closed form.
+pub fn run_pingpong(cfg: &TopologyConfig, params: NetworkParams, bytes: Bytes) -> PingPongResult {
+    let topo = Arc::new(Topology::build(cfg.clone()));
+    // Nodes on routers (g0, row0, col0) and (g0, row0, col1): same row.
+    let a = NodeId(0);
+    let b = topo
+        .router_nodes(topo.router_at(dfly_topology::GroupId(0), 0, 1))
+        .next()
+        .expect("router has nodes");
+
+    let trace = JobTrace {
+        programs: vec![
+            RankProgram {
+                phases: vec![
+                    Phase { sends: vec![SendOp { peer: 1, bytes }] },
+                    Phase { sends: vec![] },
+                ],
+            },
+            RankProgram {
+                phases: vec![
+                    Phase { sends: vec![] },
+                    Phase { sends: vec![SendOp { peer: 0, bytes }] },
+                ],
+            },
+        ],
+    };
+    let placement = [a, b];
+    let mut net = Network::new(topo.clone(), params, Routing::Minimal, 7);
+    let result = MpiDriver::new(&mut net, &trace, &placement, None).run();
+    let measured = result.job_end;
+
+    let one_way = expected_one_way(
+        &topo,
+        &params,
+        &[
+            ChannelClass::TerminalUp,
+            ChannelClass::LocalRow,
+            ChannelClass::TerminalDown,
+        ],
+        bytes,
+    );
+    let expected = one_way * 2;
+    let relative_error = (measured.as_nanos() as f64 - expected.as_nanos() as f64).abs()
+        / expected.as_nanos() as f64;
+    PingPongResult {
+        measured_rtt: measured,
+        expected_rtt: expected,
+        relative_error,
+    }
+}
+
+/// Result of a bisection-pairing measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BisectionResult {
+    /// Time for all pairs to finish.
+    pub makespan: Ns,
+    /// Lower bound on the makespan from per-group-pair global capacity.
+    pub capacity_bound: Ns,
+    /// Achieved fraction of the capacity bound (<= 1 is impossible;
+    /// values near 1 mean the network runs at wire speed).
+    pub efficiency: f64,
+    /// Aggregate delivered bandwidth in GiB/s.
+    pub achieved_gib_per_sec: f64,
+}
+
+/// Bisection pairing: node `i` of group `g` exchanges with node `i` of
+/// group `g + groups/2` (mod groups), every pair simultaneously. On an
+/// idle network with minimal routing the makespan cannot beat the
+/// per-group-pair global-link capacity; report how close we get.
+pub fn run_bisection(
+    cfg: &TopologyConfig,
+    params: NetworkParams,
+    bytes_per_node: Bytes,
+    routing: Routing,
+) -> BisectionResult {
+    let topo = Arc::new(Topology::build(cfg.clone()));
+    let total = cfg.total_nodes();
+    let per_group = cfg.routers_per_group() * cfg.nodes_per_router;
+    let half = cfg.groups / 2;
+    assert!(half >= 1, "need at least 2 groups");
+
+    let mut net = Network::new(topo.clone(), params, routing, 13);
+    let mut rng = Xoshiro256::seed_from(3);
+    let mut senders = 0u64;
+    for n in 0..total {
+        let g = n / per_group;
+        let peer_group = (g + half) % cfg.groups;
+        let peer = peer_group * per_group + n % per_group;
+        if peer < total && peer != n {
+            // Jitter injection within 1us to avoid a synchronized stampede
+            // artifact on the event queue.
+            let at = Ns(rng.next_below(1_000));
+            net.send(at, NodeId(n), NodeId(peer), bytes_per_node, n as u64);
+            senders += 1;
+        }
+    }
+    net.run_to_idle();
+    let makespan = net.now();
+
+    // Each ordered group pair (g, g+half) carries per_group senders'
+    // volume over links_per_group_pair global links (minimal routing).
+    let volume_per_pair = per_group as u64 * bytes_per_node;
+    let pair_bw = cfg.links_per_group_pair() as u64 * cfg.global_bw.bytes_per_sec();
+    let capacity_bound = Ns(((volume_per_pair as u128 * 1_000_000_000u128)
+        / pair_bw as u128) as u64);
+    let efficiency = capacity_bound.as_nanos() as f64 / makespan.as_nanos() as f64;
+    let achieved = (senders * bytes_per_node) as f64 / makespan.as_secs_f64() / (1u64 << 30) as f64;
+    BisectionResult {
+        makespan,
+        capacity_bound,
+        efficiency,
+        achieved_gib_per_sec: achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pingpong_matches_closed_form_small() {
+        // One packet each way: the expectation is exact.
+        let r = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), 4096);
+        assert!(
+            r.relative_error < 0.01,
+            "1-packet ping-pong error {:.3}% (measured {}, expected {})",
+            100.0 * r.relative_error,
+            r.measured_rtt,
+            r.expected_rtt
+        );
+    }
+
+    #[test]
+    fn pingpong_matches_closed_form_large() {
+        // Many packets: pipelining must match within CODES's 8% bar.
+        for bytes in [64 * 1024, 190 * 1024, 1024 * 1024] {
+            let r = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), bytes);
+            assert!(
+                r.relative_error < 0.08,
+                "{bytes}B ping-pong error {:.2}% (measured {}, expected {})",
+                100.0 * r.relative_error,
+                r.measured_rtt,
+                r.expected_rtt
+            );
+        }
+    }
+
+    #[test]
+    fn pingpong_scales_with_message_size() {
+        let small = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), 8 * 1024);
+        let large = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), 512 * 1024);
+        let ratio =
+            large.measured_rtt.as_nanos() as f64 / small.measured_rtt.as_nanos() as f64;
+        // 64x the bytes, pipelined: between 16x and 64x.
+        assert!(ratio > 16.0 && ratio < 64.0, "ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn bisection_minimal_respects_capacity_bound() {
+        let r = run_bisection(
+            &TopologyConfig::small_test(),
+            NetworkParams::default(),
+            256 * 1024,
+            Routing::Minimal,
+        );
+        assert!(
+            r.efficiency <= 1.001,
+            "impossible: beat the capacity bound ({:.3})",
+            r.efficiency
+        );
+        assert!(
+            r.efficiency > 0.3,
+            "bisection efficiency too low: {:.3} (makespan {} vs bound {})",
+            r.efficiency,
+            r.makespan,
+            r.capacity_bound
+        );
+        assert!(r.achieved_gib_per_sec > 0.0);
+    }
+
+    #[test]
+    fn bisection_adaptive_not_worse_than_half_minimal() {
+        let min = run_bisection(
+            &TopologyConfig::small_test(),
+            NetworkParams::default(),
+            128 * 1024,
+            Routing::Minimal,
+        );
+        let adp = run_bisection(
+            &TopologyConfig::small_test(),
+            NetworkParams::default(),
+            128 * 1024,
+            Routing::Adaptive,
+        );
+        assert!(
+            adp.makespan.as_nanos() < min.makespan.as_nanos() * 2,
+            "adaptive bisection collapsed: {} vs {}",
+            adp.makespan,
+            min.makespan
+        );
+    }
+}

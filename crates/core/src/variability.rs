@@ -1,0 +1,138 @@
+//! Run-to-run variability.
+//!
+//! The paper's motivation cites production measurements of run-to-run
+//! variability "frequently 15% or greater and up to 100%" (its ref [5],
+//! Chunduri et al. SC'17). This module measures the same statistic in the
+//! simulator: repeat one configuration under different seeds — different
+//! random placements, routing choices, and background phases — and report
+//! the spread of the resulting communication times.
+
+use crate::config::ExperimentConfig;
+use crate::sweep::run_many;
+use dfly_stats::{mean, stddev, BoxStats};
+use serde::{Deserialize, Serialize};
+
+/// Variability of one configuration across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityReport {
+    /// Median communication time of each run (ms).
+    pub run_medians_ms: Vec<f64>,
+    /// Maximum communication time of each run (ms).
+    pub run_maxima_ms: Vec<f64>,
+    /// Spread of the run medians.
+    pub median_stats: BoxStats,
+    /// Run-to-run variability: `(max - min) / min` of the run medians, in
+    /// percent — the statistic the paper's ref [5] reports.
+    pub variability_percent: f64,
+    /// Coefficient of variation of the run medians, in percent.
+    pub cv_percent: f64,
+}
+
+/// Run `config` under `runs` different seeds and measure run-to-run
+/// variability of the median communication time.
+pub fn measure_variability(config: &ExperimentConfig, runs: u32) -> VariabilityReport {
+    assert!(runs >= 2, "need at least 2 runs to measure variability");
+    let configs: Vec<ExperimentConfig> = (0..runs)
+        .map(|i| {
+            let mut c = config.clone();
+            // Decorrelate every subsystem's stream per run.
+            c.seed = config.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            c
+        })
+        .collect();
+    let results = run_many(&configs);
+    let run_medians_ms: Vec<f64> = results
+        .iter()
+        .map(|r| r.comm_time_stats().median)
+        .collect();
+    let run_maxima_ms: Vec<f64> = results
+        .iter()
+        .map(|r| r.max_comm_time().as_ms_f64())
+        .collect();
+    let median_stats = BoxStats::from_samples(&run_medians_ms).expect("runs >= 2");
+    let lo = median_stats.min;
+    let hi = median_stats.max;
+    let variability_percent = if lo > 0.0 { 100.0 * (hi - lo) / lo } else { 0.0 };
+    let m = mean(&run_medians_ms);
+    let cv_percent = if m > 0.0 {
+        100.0 * stddev(&run_medians_ms) / m
+    } else {
+        0.0
+    };
+    VariabilityReport {
+        run_medians_ms,
+        run_maxima_ms,
+        median_stats,
+        variability_percent,
+        cv_percent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AppSelection, BackgroundConfig, RoutingPolicy};
+    use dfly_engine::Ns;
+    use dfly_placement::PlacementPolicy;
+    use dfly_workloads::BackgroundSpec;
+
+    fn base(placement: PlacementPolicy) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = AppSelection::Amg { ranks: 16 };
+        cfg.placement = placement;
+        cfg.routing = RoutingPolicy::Adaptive;
+        cfg
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let r = measure_variability(&base(PlacementPolicy::RandomNode), 4);
+        assert_eq!(r.run_medians_ms.len(), 4);
+        assert_eq!(r.run_maxima_ms.len(), 4);
+        assert!(r.variability_percent >= 0.0);
+        assert!(r.cv_percent >= 0.0);
+        assert!(r.median_stats.max >= r.median_stats.min);
+        for (med, max) in r.run_medians_ms.iter().zip(&r.run_maxima_ms) {
+            assert!(max >= med);
+        }
+    }
+
+    #[test]
+    fn contiguous_placement_has_no_placement_randomness() {
+        // Contiguous placement is seed-independent; without background the
+        // only seed-dependent parts are workload jitter and routing RNG,
+        // so variability should be small but typically nonzero.
+        let r = measure_variability(&base(PlacementPolicy::Contiguous), 3);
+        assert!(
+            r.variability_percent < 30.0,
+            "contiguous variability {:.1}%",
+            r.variability_percent
+        );
+    }
+
+    #[test]
+    fn background_interference_raises_variability_for_random_placement() {
+        // The paper's central variability claim: network sharing creates
+        // run-to-run variability, and random placement exposes a job to
+        // it more than contiguous placement.
+        let with_bg = |placement| {
+            let mut c = base(placement);
+            c.background = Some(BackgroundConfig {
+                spec: BackgroundSpec::uniform(32 * 1024, Ns::from_us(2), 0),
+            });
+            measure_variability(&c, 4)
+        };
+        let cont = with_bg(PlacementPolicy::Contiguous);
+        let rand = with_bg(PlacementPolicy::RandomNode);
+        assert!(
+            rand.median_stats.mean > cont.median_stats.mean,
+            "random placement should be slower under interference"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 runs")]
+    fn single_run_rejected() {
+        let _ = measure_variability(&base(PlacementPolicy::Contiguous), 1);
+    }
+}

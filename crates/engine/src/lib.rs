@@ -1,0 +1,30 @@
+//! # dfly-engine
+//!
+//! Deterministic discrete-event simulation engine underpinning the dragonfly
+//! network model. This crate replaces the role that ROSS/CODES plays in the
+//! original paper: it provides
+//!
+//! * an integer-nanosecond simulated clock ([`Ns`]) with exact
+//!   bandwidth/serialization arithmetic ([`Bandwidth`]),
+//! * a total-ordered event queue ([`EventQueue`]) whose tie-breaking is a
+//!   monotone sequence number, so simulations are bit-for-bit reproducible,
+//! * a small, self-contained xoshiro256** random number generator
+//!   ([`rng::Xoshiro256`]) so random placement/routing decisions are stable
+//!   across dependency upgrades.
+//!
+//! The engine is deliberately sequential. The paper used parallel
+//! discrete-event simulation (ROSS) purely for speed on large clusters; the
+//! *results* of a simulation are engine-independent, and the trade-off study
+//! compares configurations, which benefits far more from determinism than
+//! from parallel execution inside one run. Parallelism in this reproduction
+//! happens *across* simulation runs (see `dfly-core::sweep`).
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::Xoshiro256;
+pub use time::{Bandwidth, Bytes, Ns};

@@ -1,0 +1,264 @@
+//! The discrete-event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
+//! sequence number makes the ordering of same-timestamp events the order in
+//! which they were scheduled, which is what makes whole simulations
+//! deterministic and therefore comparable across configurations.
+
+use crate::time::Ns;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event drawn from the queue: the firing time plus the user payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// Simulated time at which the event fires.
+    pub time: Ns,
+    /// Scheduling sequence number (unique, monotone).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+struct HeapEntry<E> {
+    time: Ns,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use dfly_engine::{EventQueue, Ns};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Ns(20), "second");
+/// q.schedule(Ns(10), "first");
+/// q.schedule(Ns(20), "third"); // same time: FIFO by schedule order
+/// assert_eq!(q.pop().unwrap().event, "first");
+/// assert_eq!(q.pop().unwrap().event, "second");
+/// assert_eq!(q.pop().unwrap().event, "third");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    now: Ns,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Ns::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: Ns::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    ///
+    /// Panics if `time` is before the current simulation time: causality
+    /// violations are always a modelling bug and would otherwise silently
+    /// corrupt results.
+    pub fn schedule(&mut self, time: Ns, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={time:?} < now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Ns, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the earliest event and advance the clock to it.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some(ScheduledEvent {
+            time: entry.time,
+            seq: entry.seq,
+            event: entry.event,
+        })
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulation time (time of the most recently popped event).
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a cheap progress metric).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(30), 3);
+        q.schedule(Ns(10), 1);
+        q.schedule(Ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_broken_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(7), ());
+        q.schedule(Ns(42), ());
+        assert_eq!(q.now(), Ns::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Ns(7));
+        q.pop();
+        assert_eq!(q.now(), Ns(42));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(100), "a");
+        q.pop();
+        q.schedule_after(Ns(5), "b");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, Ns(105));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), ());
+        q.pop();
+        q.schedule(Ns(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Ns(1), ());
+        q.schedule(Ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(9), 1);
+        q.schedule(Ns(4), 2);
+        assert_eq!(q.peek_time(), Some(Ns(4)));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, Ns(4));
+    }
+
+    #[test]
+    fn scheduled_total_counts_everything() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(Ns(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 10);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_stable() {
+        // Simulates a cascading event pattern: popped events schedule
+        // successors (bounded by a budget — an unbounded binary cascade
+        // would be 2^50 events). Order must stay strictly causal.
+        let mut q = EventQueue::new();
+        q.schedule(Ns(0), 0u64);
+        let mut last = Ns::ZERO;
+        let mut count = 0u64;
+        let mut budget = 2_000u64;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= last);
+            last = e.time;
+            count += 1;
+            if budget > 0 {
+                budget -= 1;
+                q.schedule_after(Ns(3), e.event + 1);
+                q.schedule_after(Ns(1), e.event + 1);
+            }
+        }
+        assert_eq!(count, 2 * 2_000 + 1);
+    }
+}

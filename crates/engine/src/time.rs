@@ -1,0 +1,319 @@
+//! Simulated time and bandwidth arithmetic.
+//!
+//! All simulated time is kept in integer nanoseconds. Integer time makes
+//! event ordering exact (no float ties) and is plenty of range: `u64`
+//! nanoseconds covers ~584 years of simulated time.
+//!
+//! Bandwidths are stored as bytes/second and converted to durations with
+//! round-up integer division, so a transfer never finishes "for free".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Message/packet sizes in bytes.
+pub type Bytes = u64;
+
+/// A point in simulated time (or a duration), in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Time zero.
+    pub const ZERO: Ns = Ns(0);
+    /// The maximum representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Construct from whole microseconds.
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This time expressed in (fractional) milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: Ns) -> Option<Ns> {
+        self.0.checked_add(rhs.0).map(Ns)
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Ns) -> Ns {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Ns) -> Ns {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A link bandwidth in bytes per second.
+///
+/// The paper's Theta configuration uses 16 GiB/s terminal links,
+/// 5.25 GiB/s local links, and 4.69 GiB/s global links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bytes_per_sec: u64,
+}
+
+impl Bandwidth {
+    /// Construct from bytes per second. Panics on zero (a zero-bandwidth
+    /// link would never drain and deadlock the simulation).
+    pub fn from_bytes_per_sec(bytes_per_sec: u64) -> Bandwidth {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Bandwidth { bytes_per_sec }
+    }
+
+    /// Construct from binary gibibytes per second, with fractional
+    /// resolution of 1/100 GiB/s (enough for the paper's 5.25 / 4.69).
+    pub fn from_gib_per_sec_hundredths(hundredths: u64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(hundredths * (1 << 30) / 100)
+    }
+
+    /// Construct from whole GiB/s.
+    pub fn from_gib_per_sec(gib: u64) -> Bandwidth {
+        Bandwidth::from_gib_per_sec_hundredths(gib * 100)
+    }
+
+    /// Raw bytes/second.
+    pub fn bytes_per_sec(self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Time to serialize `bytes` onto this link, rounded up to whole
+    /// nanoseconds (a transfer always takes at least 1 ns).
+    pub fn serialization_time(self, bytes: Bytes) -> Ns {
+        if bytes == 0 {
+            return Ns::ZERO;
+        }
+        // ns = ceil(bytes * 1e9 / bytes_per_sec); u128 avoids overflow for
+        // any realistic message size.
+        let num = bytes as u128 * 1_000_000_000u128;
+        let den = self.bytes_per_sec as u128;
+        let ns = num.div_ceil(den);
+        Ns((ns as u64).max(1))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} GiB/s",
+            self.bytes_per_sec as f64 / (1u64 << 30) as f64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_constructors() {
+        assert_eq!(Ns::from_us(3).as_nanos(), 3_000);
+        assert_eq!(Ns::from_ms(2).as_nanos(), 2_000_000);
+        assert_eq!(Ns::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn ns_arithmetic() {
+        let a = Ns(100);
+        let b = Ns(40);
+        assert_eq!(a + b, Ns(140));
+        assert_eq!(a - b, Ns(60));
+        assert_eq!(a * 3, Ns(300));
+        assert_eq!(a / 4, Ns(25));
+        assert_eq!(b.saturating_sub(a), Ns::ZERO);
+        assert_eq!(a.saturating_sub(b), Ns(60));
+    }
+
+    #[test]
+    fn ns_min_max() {
+        assert_eq!(Ns(5).max(Ns(9)), Ns(9));
+        assert_eq!(Ns(5).min(Ns(9)), Ns(5));
+    }
+
+    #[test]
+    fn ns_sum() {
+        let total: Ns = [Ns(1), Ns(2), Ns(3)].into_iter().sum();
+        assert_eq!(total, Ns(6));
+    }
+
+    #[test]
+    fn ns_display_units() {
+        assert_eq!(format!("{}", Ns(5)), "5ns");
+        assert_eq!(format!("{}", Ns(1_500)), "1.500us");
+        assert_eq!(format!("{}", Ns(2_500_000)), "2.500ms");
+        assert_eq!(format!("{}", Ns(3_000_000_000)), "3.000s");
+    }
+
+    #[test]
+    fn ns_as_float_conversions() {
+        assert!((Ns(1_000_000).as_ms_f64() - 1.0).abs() < 1e-12);
+        assert!((Ns(1_000).as_us_f64() - 1.0).abs() < 1e-12);
+        assert!((Ns(1_000_000_000).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_serialization_rounds_up() {
+        // 1 GiB/s, 1 byte: ceil(1e9 / 2^30) = 1 ns.
+        let bw = Bandwidth::from_gib_per_sec(1);
+        assert_eq!(bw.serialization_time(1), Ns(1));
+        // 2^30 bytes at 1 GiB/s is exactly one second.
+        assert_eq!(bw.serialization_time(1 << 30), Ns::from_secs(1));
+    }
+
+    #[test]
+    fn bandwidth_zero_bytes_is_free() {
+        let bw = Bandwidth::from_gib_per_sec(16);
+        assert_eq!(bw.serialization_time(0), Ns::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_theta_values() {
+        // Terminal 16 GiB/s: a 4 KiB packet takes ceil(4096e9/(16*2^30)) = 239 ns.
+        let term = Bandwidth::from_gib_per_sec(16);
+        assert_eq!(term.serialization_time(4096), Ns(239));
+        // Local 5.25 GiB/s.
+        let local = Bandwidth::from_gib_per_sec_hundredths(525);
+        assert_eq!(local.bytes_per_sec(), 525 * (1 << 30) / 100);
+        let t = local.serialization_time(4096);
+        assert!(t > Ns(700) && t < Ns(740), "got {t}");
+        // Global 4.69 GiB/s.
+        let global = Bandwidth::from_gib_per_sec_hundredths(469);
+        let t = global.serialization_time(4096);
+        assert!(t > Ns(790) && t < Ns(830), "got {t}");
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_bytes() {
+        let bw = Bandwidth::from_gib_per_sec_hundredths(469);
+        let mut prev = Ns::ZERO;
+        for bytes in [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            let t = bw.serialization_time(bytes);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn bandwidth_zero_panics() {
+        let _ = Bandwidth::from_bytes_per_sec(0);
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(format!("{}", Bandwidth::from_gib_per_sec(16)), "16.00 GiB/s");
+        assert_eq!(
+            format!("{}", Bandwidth::from_gib_per_sec_hundredths(525)),
+            "5.25 GiB/s"
+        );
+    }
+}

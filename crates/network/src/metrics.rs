@@ -1,0 +1,356 @@
+//! Link-level metric snapshots and the filters the paper's figures apply.
+//!
+//! Figures 4–6 plot CDFs over *all* local/global channels of the machine;
+//! Figures 8–10 restrict to "the routers that serve the nodes assigned to
+//! the target application". [`MetricsFilter`] expresses both.
+
+use dfly_engine::{Bytes, Ns};
+use dfly_topology::{ChannelClass, ChannelId, RouterId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Per-channel metric snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSnapshot {
+    /// The channel.
+    pub id: ChannelId,
+    /// Its class.
+    pub class: ChannelClass,
+    /// The router this channel belongs to (terminal channels are owned by
+    /// the node's home router).
+    pub src_router: Option<RouterId>,
+    /// Total bytes transmitted.
+    pub traffic_bytes: Bytes,
+    /// Total time the channel had a refused-full buffer.
+    pub saturated_time: Ns,
+    /// Total time the channel spent serializing packets (utilization
+    /// numerator; divide by the observation window for a utilization
+    /// fraction — the "network health" view of Bhatele et al.).
+    pub busy_time: Ns,
+}
+
+/// Which channels a report should include.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsFilter {
+    /// Every channel in the machine (Figures 4–6).
+    All,
+    /// Only channels owned by the given routers (Figures 8–10: the routers
+    /// serving the target application's nodes).
+    Routers(HashSet<RouterId>),
+}
+
+impl MetricsFilter {
+    fn accepts(&self, snap: &ChannelSnapshot) -> bool {
+        match self {
+            MetricsFilter::All => true,
+            MetricsFilter::Routers(set) => snap
+                .src_router
+                .map(|r| set.contains(&r))
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// All channel snapshots of a network at one point in time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    snapshots: Vec<ChannelSnapshot>,
+}
+
+impl NetworkMetrics {
+    /// Wrap a snapshot list (produced by `Network::metrics`).
+    pub fn new(snapshots: Vec<ChannelSnapshot>) -> NetworkMetrics {
+        NetworkMetrics { snapshots }
+    }
+
+    /// All snapshots.
+    pub fn channels(&self) -> impl Iterator<Item = &ChannelSnapshot> {
+        self.snapshots.iter()
+    }
+
+    /// Traffic in bytes on each **local** channel passing `filter`
+    /// (the x-series of the paper's "local channel traffic" CDFs).
+    pub fn local_traffic(&self, filter: &MetricsFilter) -> Vec<f64> {
+        self.select(filter, |c| c.class.is_local(), |c| c.traffic_bytes as f64)
+    }
+
+    /// Traffic in bytes on each **global** channel passing `filter`.
+    pub fn global_traffic(&self, filter: &MetricsFilter) -> Vec<f64> {
+        self.select(
+            filter,
+            |c| c.class == ChannelClass::Global,
+            |c| c.traffic_bytes as f64,
+        )
+    }
+
+    /// Saturated time (milliseconds) of each local channel passing `filter`.
+    pub fn local_saturation_ms(&self, filter: &MetricsFilter) -> Vec<f64> {
+        self.select(filter, |c| c.class.is_local(), |c| c.saturated_time.as_ms_f64())
+    }
+
+    /// Saturated time (milliseconds) of each global channel passing `filter`.
+    pub fn global_saturation_ms(&self, filter: &MetricsFilter) -> Vec<f64> {
+        self.select(
+            filter,
+            |c| c.class == ChannelClass::Global,
+            |c| c.saturated_time.as_ms_f64(),
+        )
+    }
+
+    fn select(
+        &self,
+        filter: &MetricsFilter,
+        class_pred: impl Fn(&ChannelSnapshot) -> bool,
+        value: impl Fn(&ChannelSnapshot) -> f64,
+    ) -> Vec<f64> {
+        self.snapshots
+            .iter()
+            .filter(|c| class_pred(c) && filter.accepts(c))
+            .map(value)
+            .collect()
+    }
+
+    /// Utilization fraction of each channel of a class over the
+    /// observation window `[0, end]`.
+    pub fn utilization(&self, class: ChannelClass, end: Ns) -> Vec<f64> {
+        assert!(end > Ns::ZERO, "observation window must be positive");
+        self.snapshots
+            .iter()
+            .filter(|c| c.class == class)
+            .map(|c| c.busy_time.as_nanos() as f64 / end.as_nanos() as f64)
+            .collect()
+    }
+
+    /// Sum of traffic over all channels of a class.
+    pub fn total_traffic(&self, class: ChannelClass) -> Bytes {
+        self.snapshots
+            .iter()
+            .filter(|c| c.class == class)
+            .map(|c| c.traffic_bytes)
+            .sum()
+    }
+
+    /// Router-level rollup: total router-to-router traffic owned by each
+    /// router, for `total_routers` routers — the per-router heatmap view
+    /// of "network health" dashboards (Bhatele et al.).
+    pub fn router_traffic(&self, total_routers: u32) -> Vec<Bytes> {
+        let mut out = vec![0u64; total_routers as usize];
+        for c in &self.snapshots {
+            if !c.class.is_router_to_router() {
+                continue;
+            }
+            if let Some(r) = c.src_router {
+                out[r.index()] += c.traffic_bytes;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: u32, class: ChannelClass, router: u32, traffic: u64, sat_ns: u64) -> ChannelSnapshot {
+        ChannelSnapshot {
+            id: ChannelId(id),
+            class,
+            src_router: Some(RouterId(router)),
+            traffic_bytes: traffic,
+            saturated_time: Ns(sat_ns),
+            busy_time: Ns(traffic * 2),
+        }
+    }
+
+    fn sample() -> NetworkMetrics {
+        NetworkMetrics::new(vec![
+            snap(0, ChannelClass::LocalRow, 0, 100, 1_000_000),
+            snap(1, ChannelClass::LocalCol, 0, 200, 0),
+            snap(2, ChannelClass::LocalRow, 1, 300, 2_000_000),
+            snap(3, ChannelClass::Global, 0, 400, 500_000),
+            snap(4, ChannelClass::Global, 1, 500, 0),
+            snap(5, ChannelClass::TerminalUp, 0, 999, 0),
+        ])
+    }
+
+    #[test]
+    fn local_traffic_all() {
+        let m = sample();
+        let mut v = m.local_traffic(&MetricsFilter::All);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn global_traffic_all() {
+        let m = sample();
+        let mut v = m.global_traffic(&MetricsFilter::All);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![400.0, 500.0]);
+    }
+
+    #[test]
+    fn terminal_channels_excluded_from_local() {
+        let m = sample();
+        assert!(!m.local_traffic(&MetricsFilter::All).contains(&999.0));
+    }
+
+    #[test]
+    fn router_filter_restricts() {
+        let m = sample();
+        let filter = MetricsFilter::Routers([RouterId(0)].into_iter().collect());
+        let mut v = m.local_traffic(&filter);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![100.0, 200.0]);
+        assert_eq!(m.global_traffic(&filter), vec![400.0]);
+    }
+
+    #[test]
+    fn saturation_in_ms() {
+        let m = sample();
+        let mut v = m.local_saturation_ms(&MetricsFilter::All);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![0.0, 1.0, 2.0]);
+        let mut g = m.global_saturation_ms(&MetricsFilter::All);
+        g.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(g, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn total_traffic_per_class() {
+        let m = sample();
+        assert_eq!(m.total_traffic(ChannelClass::Global), 900);
+        assert_eq!(m.total_traffic(ChannelClass::LocalRow), 400);
+        assert_eq!(m.total_traffic(ChannelClass::TerminalUp), 999);
+    }
+
+    #[test]
+    fn router_traffic_rollup() {
+        let m = sample();
+        let t = m.router_traffic(3);
+        // Router 0: local 100+200 + global 400; terminal excluded.
+        assert_eq!(t, vec![700, 800, 0]);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let m = sample();
+        let u = m.utilization(ChannelClass::Global, Ns(2000));
+        // busy = traffic*2 in the fixture: 800/2000 and 1000/2000.
+        let mut u = u;
+        u.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(u, vec![0.4, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn utilization_zero_window_panics() {
+        sample().utilization(ChannelClass::Global, Ns::ZERO);
+    }
+
+    #[test]
+    fn filter_without_router_info() {
+        let mut s = snap(9, ChannelClass::LocalRow, 0, 50, 0);
+        s.src_router = None;
+        let m = NetworkMetrics::new(vec![s]);
+        let filter = MetricsFilter::Routers([RouterId(0)].into_iter().collect());
+        assert!(m.local_traffic(&filter).is_empty());
+        assert_eq!(m.local_traffic(&MetricsFilter::All), vec![50.0]);
+    }
+}
+
+/// Time-binned traffic by channel class: who moved bytes when. Enabled
+/// with [`crate::Network::enable_traffic_timeline`]; each transmission
+/// start adds the packet bytes to its class's bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficTimeline {
+    bin_width: Ns,
+    /// One series per class, indexed by [`class_index`].
+    bins: [Vec<u64>; 5],
+}
+
+/// Dense index of a channel class inside [`TrafficTimeline`].
+pub fn class_index(class: ChannelClass) -> usize {
+    match class {
+        ChannelClass::TerminalUp => 0,
+        ChannelClass::TerminalDown => 1,
+        ChannelClass::LocalRow => 2,
+        ChannelClass::LocalCol => 3,
+        ChannelClass::Global => 4,
+    }
+}
+
+impl TrafficTimeline {
+    /// Empty timeline with the given bin width.
+    pub fn new(bin_width: Ns) -> TrafficTimeline {
+        assert!(bin_width > Ns::ZERO, "bin width must be positive");
+        TrafficTimeline {
+            bin_width,
+            bins: Default::default(),
+        }
+    }
+
+    /// Record `bytes` moved on `class` at time `at`.
+    #[inline]
+    pub fn record(&mut self, class: ChannelClass, at: Ns, bytes: Bytes) {
+        let idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        let series = &mut self.bins[class_index(class)];
+        if series.len() <= idx {
+            series.resize(idx + 1, 0);
+        }
+        series[idx] += bytes;
+    }
+
+    /// The bin width.
+    pub fn bin_width(&self) -> Ns {
+        self.bin_width
+    }
+
+    /// The series for a class (may be shorter than others; missing bins
+    /// are zero).
+    pub fn series(&self, class: ChannelClass) -> &[u64] {
+        &self.bins[class_index(class)]
+    }
+
+    /// Combined local (row + col) series.
+    pub fn local_series(&self) -> Vec<u64> {
+        let row = self.series(ChannelClass::LocalRow);
+        let col = self.series(ChannelClass::LocalCol);
+        let n = row.len().max(col.len());
+        (0..n)
+            .map(|i| row.get(i).copied().unwrap_or(0) + col.get(i).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut t = TrafficTimeline::new(Ns(100));
+        t.record(ChannelClass::Global, Ns(0), 10);
+        t.record(ChannelClass::Global, Ns(99), 5);
+        t.record(ChannelClass::Global, Ns(100), 7);
+        t.record(ChannelClass::LocalRow, Ns(250), 3);
+        assert_eq!(t.series(ChannelClass::Global), &[15, 7]);
+        assert_eq!(t.series(ChannelClass::LocalRow), &[0, 0, 3]);
+        assert_eq!(t.series(ChannelClass::LocalCol), &[] as &[u64]);
+    }
+
+    #[test]
+    fn local_series_merges_rows_and_cols() {
+        let mut t = TrafficTimeline::new(Ns(10));
+        t.record(ChannelClass::LocalRow, Ns(5), 2);
+        t.record(ChannelClass::LocalCol, Ns(5), 3);
+        t.record(ChannelClass::LocalCol, Ns(25), 4);
+        assert_eq!(t.local_series(), vec![5, 0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_rejected() {
+        let _ = TrafficTimeline::new(Ns::ZERO);
+    }
+}

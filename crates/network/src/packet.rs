@@ -1,0 +1,235 @@
+//! Packet and message bookkeeping.
+
+use dfly_engine::{Bytes, Ns};
+use dfly_topology::{ChannelId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Longest possible route in channels: terminal-up + at most 10
+/// router-to-router hops (non-minimal worst case) + terminal-down.
+pub const MAX_ROUTE_LEN: usize = dfly_topology::paths::MAX_ROUTER_HOPS + 2;
+
+/// Index of a message in the network's message table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+/// Index of a packet in the network's (recycled) packet arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u32);
+
+/// A fixed-capacity route: avoids a heap allocation per packet, which at
+/// millions of packets per run is the simulator's dominant cost otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    channels: [ChannelId; MAX_ROUTE_LEN],
+    len: u8,
+}
+
+impl Route {
+    /// Build from a channel list. Panics if longer than [`MAX_ROUTE_LEN`].
+    pub fn from_slice(channels: &[ChannelId]) -> Route {
+        assert!(
+            channels.len() <= MAX_ROUTE_LEN,
+            "route of {} exceeds MAX_ROUTE_LEN",
+            channels.len()
+        );
+        let mut arr = [ChannelId(u32::MAX); MAX_ROUTE_LEN];
+        arr[..channels.len()].copy_from_slice(channels);
+        Route {
+            channels: arr,
+            len: channels.len() as u8,
+        }
+    }
+
+    /// Number of channels on the route.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for a (degenerate) empty route.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Channel at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> ChannelId {
+        debug_assert!(i < self.len());
+        self.channels[i]
+    }
+
+    /// The channels as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[ChannelId] {
+        &self.channels[..self.len()]
+    }
+
+    /// Router-to-router hops: total channels minus the two terminal links.
+    #[inline]
+    pub fn router_hops(&self) -> u32 {
+        (self.len() as u32).saturating_sub(2)
+    }
+}
+
+/// In-flight packet state. Kept small (fits in two cache lines) because the
+/// arena holds hundreds of thousands of these.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Owning message.
+    pub msg: MessageId,
+    /// Payload bytes carried by this packet.
+    pub size: u32,
+    /// Position in `route` where the packet currently sits (or is heading).
+    pub hop: u8,
+    /// False until the source router has fixed the route. Until then
+    /// `route` is the placeholder `[terminal-up, terminal-down]`; the real
+    /// route is computed when the packet first reaches the head of the
+    /// injection buffer, using the congestion state of that moment —
+    /// per-packet adaptive routing as on real Aries hardware.
+    pub routed: bool,
+    /// The full route, terminal links included.
+    pub route: Route,
+}
+
+impl Packet {
+    /// Channel the packet currently occupies.
+    #[inline]
+    pub fn current_channel(&self) -> ChannelId {
+        self.route.get(self.hop as usize)
+    }
+
+    /// Channel after the current one, or `None` at the last hop.
+    #[inline]
+    pub fn next_channel(&self) -> Option<ChannelId> {
+        let next = self.hop as usize + 1;
+        if next < self.route.len() {
+            Some(self.route.get(next))
+        } else {
+            None
+        }
+    }
+
+    /// Virtual-channel index used at hop `h` (equals `h`, the ascending-VC
+    /// deadlock-avoidance discipline).
+    #[inline]
+    pub fn vc_at(hop: u8) -> usize {
+        hop as usize
+    }
+}
+
+/// Bookkeeping for one in-flight message.
+#[derive(Debug, Clone)]
+pub struct MessageState {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total message payload.
+    pub bytes: Bytes,
+    /// Caller-supplied tag, passed through to the delivery record.
+    pub tag: u64,
+    /// Packets not yet delivered.
+    pub remaining_packets: u64,
+    /// Total packets.
+    pub total_packets: u64,
+    /// Sum of router hops over delivered packets (for the avg-hops metric).
+    pub hops_accum: u64,
+    /// Injection timestamp.
+    pub injected_at: Ns,
+}
+
+impl MessageState {
+    /// Average router-to-router hops per delivered packet so far.
+    pub fn avg_hops(&self) -> f64 {
+        let delivered = self.total_packets - self.remaining_packets;
+        if delivered == 0 {
+            0.0
+        } else {
+            self.hops_accum as f64 / delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_roundtrip() {
+        let chs = [ChannelId(5), ChannelId(9), ChannelId(2)];
+        let r = Route::from_slice(&chs);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.as_slice(), &chs);
+        assert_eq!(r.get(1), ChannelId(9));
+        assert_eq!(r.router_hops(), 1);
+    }
+
+    #[test]
+    fn route_minimum_terminal_only() {
+        let r = Route::from_slice(&[ChannelId(0), ChannelId(1)]);
+        assert_eq!(r.router_hops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ROUTE_LEN")]
+    fn route_too_long_panics() {
+        let chs = vec![ChannelId(0); MAX_ROUTE_LEN + 1];
+        let _ = Route::from_slice(&chs);
+    }
+
+    #[test]
+    fn packet_navigation() {
+        let r = Route::from_slice(&[ChannelId(1), ChannelId(2), ChannelId(3)]);
+        let mut p = Packet {
+            msg: MessageId(0),
+            size: 4096,
+            hop: 0,
+            routed: true,
+            route: r,
+        };
+        assert_eq!(p.current_channel(), ChannelId(1));
+        assert_eq!(p.next_channel(), Some(ChannelId(2)));
+        p.hop = 2;
+        assert_eq!(p.current_channel(), ChannelId(3));
+        assert_eq!(p.next_channel(), None);
+    }
+
+    #[test]
+    fn vc_is_hop_index() {
+        assert_eq!(Packet::vc_at(0), 0);
+        assert_eq!(Packet::vc_at(7), 7);
+    }
+
+    #[test]
+    fn message_avg_hops() {
+        let mut m = MessageState {
+            src: NodeId(0),
+            dst: NodeId(1),
+            bytes: 8192,
+            tag: 0,
+            remaining_packets: 2,
+            total_packets: 2,
+            hops_accum: 0,
+            injected_at: Ns::ZERO,
+        };
+        assert_eq!(m.avg_hops(), 0.0);
+        m.remaining_packets = 1;
+        m.hops_accum = 3;
+        assert_eq!(m.avg_hops(), 3.0);
+        m.remaining_packets = 0;
+        m.hops_accum = 8;
+        assert_eq!(m.avg_hops(), 4.0);
+    }
+
+    #[test]
+    fn packet_struct_stays_small() {
+        // Guard against accidental growth of the hottest struct.
+        assert!(
+            std::mem::size_of::<Packet>() <= 72,
+            "Packet grew to {} bytes",
+            std::mem::size_of::<Packet>()
+        );
+    }
+}

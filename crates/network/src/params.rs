@@ -1,0 +1,117 @@
+//! Network model parameters (Section II of the paper).
+
+use dfly_engine::Bytes;
+use dfly_topology::ChannelClass;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the packet-level model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Maximum packet payload; messages are segmented into packets of this
+    /// size (last packet may be smaller).
+    pub packet_size: u32,
+    /// Buffer capacity of each compute-node (terminal) virtual channel.
+    pub terminal_vc_bytes: Bytes,
+    /// Buffer capacity of each local virtual channel.
+    pub local_vc_bytes: Bytes,
+    /// Buffer capacity of each global virtual channel.
+    pub global_vc_bytes: Bytes,
+    /// UGAL minimal-path bias, in score units (first-hop queued bytes x
+    /// path hops): a non-minimal candidate's score pays this on top, so a
+    /// detour is only taken when the minimal first hop is genuinely backed
+    /// up (default 32 KiB ~ a full local VC x 4 hops). Larger values make
+    /// adaptive routing behave more minimally.
+    pub adaptive_bias_bytes: u64,
+}
+
+impl Default for NetworkParams {
+    /// The paper's Theta parameters: 8 KiB node VC, 8 KiB local VC,
+    /// 16 KiB global VC; 4 KiB packets (Aries-like maximum request size).
+    fn default() -> NetworkParams {
+        NetworkParams {
+            packet_size: 4096,
+            terminal_vc_bytes: 8 * 1024,
+            local_vc_bytes: 8 * 1024,
+            global_vc_bytes: 16 * 1024,
+            adaptive_bias_bytes: 32768,
+        }
+    }
+}
+
+impl NetworkParams {
+    /// VC buffer capacity for a channel class.
+    pub fn vc_capacity(&self, class: ChannelClass) -> Bytes {
+        match class {
+            ChannelClass::TerminalUp | ChannelClass::TerminalDown => self.terminal_vc_bytes,
+            ChannelClass::LocalRow | ChannelClass::LocalCol => self.local_vc_bytes,
+            ChannelClass::Global => self.global_vc_bytes,
+        }
+    }
+
+    /// Number of packets a message of `bytes` is segmented into
+    /// (a zero-byte message still sends one packet, carrying the header).
+    pub fn packets_for(&self, bytes: Bytes) -> u64 {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.packet_size as u64)
+        }
+    }
+
+    /// Validate: every buffer must hold at least one full packet, or the
+    /// network could never forward a full-size packet.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.packet_size == 0 {
+            return Err("packet_size must be positive".into());
+        }
+        for (name, cap) in [
+            ("terminal", self.terminal_vc_bytes),
+            ("local", self.local_vc_bytes),
+            ("global", self.global_vc_bytes),
+        ] {
+            if cap < self.packet_size as u64 {
+                return Err(format!(
+                    "{name} VC capacity {cap} cannot hold one packet of {}",
+                    self.packet_size
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = NetworkParams::default();
+        assert_eq!(p.packet_size, 4096);
+        assert_eq!(p.vc_capacity(ChannelClass::TerminalUp), 8 * 1024);
+        assert_eq!(p.vc_capacity(ChannelClass::LocalRow), 8 * 1024);
+        assert_eq!(p.vc_capacity(ChannelClass::LocalCol), 8 * 1024);
+        assert_eq!(p.vc_capacity(ChannelClass::Global), 16 * 1024);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn packet_segmentation() {
+        let p = NetworkParams::default();
+        assert_eq!(p.packets_for(0), 1);
+        assert_eq!(p.packets_for(1), 1);
+        assert_eq!(p.packets_for(4096), 1);
+        assert_eq!(p.packets_for(4097), 2);
+        assert_eq!(p.packets_for(190 * 1024), 48); // CR's ~190 KB message
+    }
+
+    #[test]
+    fn validate_rejects_small_buffers() {
+        let mut p = NetworkParams::default();
+        p.local_vc_bytes = 1024;
+        assert!(p.validate().is_err());
+        let mut p = NetworkParams::default();
+        p.packet_size = 0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! Routing policies (paper Section III-C).
+//!
+//! Both policies compute a packet's full route at injection time, as the
+//! CODES dragonfly model does:
+//!
+//! * **Minimal** — the shortest path; within a group at most one
+//!   intermediate router, across groups one global hop through a randomly
+//!   chosen gateway of the group pair.
+//! * **Adaptive** — UGAL-style: up to four candidates (two minimal, two
+//!   non-minimal through a random intermediate router), scored by the queue
+//!   occupancy of the candidate's first router-to-router channel multiplied
+//!   by its hop count; non-minimal candidates additionally pay a
+//!   minimal-path bias. Lowest score wins.
+
+use crate::params::NetworkParams;
+use dfly_engine::{Bytes, Xoshiro256};
+use dfly_topology::paths;
+use dfly_topology::{ChannelId, NodeId, RouterId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which routing mechanism packets use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Routing {
+    /// Always take a minimal path.
+    Minimal,
+    /// UGAL-style adaptive selection among minimal and non-minimal paths.
+    Adaptive,
+    /// Always route through a uniformly random intermediate router
+    /// (Valiant load balancing) — the classic traffic-balancing extreme,
+    /// used as an ablation baseline; the paper's configurations only use
+    /// minimal and adaptive.
+    Valiant,
+}
+
+impl Routing {
+    /// Short label used in config nomenclature (`min` / `adp`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Routing::Minimal => "min",
+            Routing::Adaptive => "adp",
+            Routing::Valiant => "val",
+        }
+    }
+}
+
+/// Computes routes. Owns its RNG stream so routing decisions don't perturb
+/// other randomized subsystems.
+pub struct RouteComputer {
+    routing: Routing,
+    rng: Xoshiro256,
+    scratch: Vec<ChannelId>,
+}
+
+impl RouteComputer {
+    /// New route computer with its own RNG stream.
+    pub fn new(routing: Routing, rng: Xoshiro256) -> RouteComputer {
+        RouteComputer {
+            routing,
+            rng,
+            scratch: Vec::with_capacity(paths::MAX_ROUTER_HOPS),
+        }
+    }
+
+    /// The policy in use.
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// Compute the router-to-router channel sequence for a packet from
+    /// `src` to `dst` (terminal channels are added by the caller).
+    ///
+    /// `occupancy(channel)` must return the total queued bytes currently
+    /// held at a channel; adaptive routing uses it as its congestion
+    /// signal. Results are appended to `out`.
+    pub fn compute(
+        &mut self,
+        topo: &Topology,
+        params: &NetworkParams,
+        src: NodeId,
+        dst: NodeId,
+        occupancy: impl Fn(ChannelId) -> Bytes,
+        out: &mut Vec<ChannelId>,
+    ) {
+        let src_r = topo.node_router(src);
+        let dst_r = topo.node_router(dst);
+        match self.routing {
+            Routing::Minimal => {
+                paths::push_minimal(topo, src_r, dst_r, &mut self.rng, out);
+            }
+            Routing::Adaptive => {
+                self.compute_adaptive(topo, params, src_r, dst_r, occupancy, out);
+            }
+            Routing::Valiant => {
+                // Retry until the detour fits the VC budget (a random
+                // intermediate can make the concatenation exceed the
+                // 10-hop bound only in degenerate gateway layouts).
+                loop {
+                    self.scratch.clear();
+                    let inter = paths::random_intermediate(topo, &mut self.rng);
+                    paths::push_minimal(topo, src_r, inter, &mut self.rng, &mut self.scratch);
+                    paths::push_minimal(topo, inter, dst_r, &mut self.rng, &mut self.scratch);
+                    if self.scratch.len() <= paths::MAX_ROUTER_HOPS {
+                        out.extend_from_slice(&self.scratch);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn compute_adaptive(
+        &mut self,
+        topo: &Topology,
+        params: &NetworkParams,
+        src_r: RouterId,
+        dst_r: RouterId,
+        occupancy: impl Fn(ChannelId) -> Bytes,
+        out: &mut Vec<ChannelId>,
+    ) {
+        // UGAL-L scoring, as on Aries hardware: the only congestion signal
+        // is the queue at the candidate's first router-to-router channel
+        // (the source router's output port). Credit back-pressure
+        // propagates downstream congestion into that queue over time, so
+        // the signal is real but local — adaptive routing can misjudge,
+        // which is exactly the behaviour the paper's trade-off hinges on.
+        //
+        //   score = first_hop_queue_bytes * path_hops  (+ bias if
+        //           non-minimal)
+        //
+        // Lower wins; ties go to the earliest candidate, and minimal
+        // candidates are generated first, so an idle network stays on
+        // minimal paths.
+        let mut best_score = u64::MAX;
+        let mut best: Vec<ChannelId> = Vec::new();
+        let mut consider = |candidate: &[ChannelId], bias: u64| {
+            let hops = candidate.len() as u64;
+            let first: u64 = candidate.first().map(|&c| occupancy(c)).unwrap_or(0);
+            let score = first.saturating_mul(hops).saturating_add(bias);
+            if score < best_score {
+                best_score = score;
+                best.clear();
+                best.extend_from_slice(candidate);
+            }
+        };
+
+        // Two minimal candidates (different random gateway / intermediate
+        // choices).
+        for _ in 0..2 {
+            self.scratch.clear();
+            paths::push_minimal(topo, src_r, dst_r, &mut self.rng, &mut self.scratch);
+            consider(&self.scratch, 0);
+        }
+        // Two non-minimal candidates through random intermediate routers.
+        for _ in 0..2 {
+            let inter = paths::random_intermediate(topo, &mut self.rng);
+            self.scratch.clear();
+            paths::push_minimal(topo, src_r, inter, &mut self.rng, &mut self.scratch);
+            paths::push_minimal(topo, inter, dst_r, &mut self.rng, &mut self.scratch);
+            if self.scratch.len() <= paths::MAX_ROUTER_HOPS {
+                consider(&self.scratch, params.adaptive_bias_bytes);
+            }
+        }
+        out.extend_from_slice(&best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::build(TopologyConfig::small_test())
+    }
+
+    fn mk(routing: Routing) -> RouteComputer {
+        RouteComputer::new(routing, Xoshiro256::seed_from(42))
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Routing::Minimal.label(), "min");
+        assert_eq!(Routing::Adaptive.label(), "adp");
+    }
+
+    #[test]
+    fn minimal_routes_are_valid_and_short() {
+        let t = topo();
+        let params = NetworkParams::default();
+        let mut rc = mk(Routing::Minimal);
+        let n = t.config().total_nodes();
+        for s in (0..n).step_by(7) {
+            for d in (0..n).step_by(11) {
+                let mut route = Vec::new();
+                rc.compute(&t, &params, NodeId(s), NodeId(d), |_| 0, &mut route);
+                let p = dfly_topology::Path {
+                    channels: route.clone(),
+                    kind: dfly_topology::RouteKind::Minimal,
+                };
+                assert!(paths::validate_path(
+                    &t,
+                    t.node_router(NodeId(s)),
+                    t.node_router(NodeId(d)),
+                    &p
+                ));
+                assert!(route.len() <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_idle_network_prefers_minimal() {
+        // With zero occupancy everywhere the hop-cost term dominates, so
+        // adaptive must stay near-minimal: at most one global hop for
+        // cross-group pairs (rarely two, when a random intermediate
+        // happens to lie on a genuinely shorter double-global path) and
+        // never longer than the dragonfly minimal bound.
+        let t = topo();
+        let params = NetworkParams::default();
+        let mut rc = mk(Routing::Adaptive);
+        let mut rng = Xoshiro256::seed_from(7);
+        let mut hops_total = 0usize;
+        let n = 200;
+        for _ in 0..n {
+            let s = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
+            let d = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
+            let mut adaptive = Vec::new();
+            rc.compute(&t, &params, s, d, |_| 0, &mut adaptive);
+            assert!(adaptive.len() <= 5, "idle adaptive took {} hops", adaptive.len());
+            hops_total += adaptive.len();
+        }
+        // Average must be well inside the minimal regime (< 3 hops on the
+        // small machine, where minimal averages ~2.5).
+        assert!(
+            (hops_total as f64 / n as f64) < 3.5,
+            "idle adaptive average hops too high: {}",
+            hops_total as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn adaptive_detours_around_congested_first_hops() {
+        // UGAL-L senses the source router's output queues. Congest every
+        // minimal first hop (the channels adaptive uses when idle); the
+        // chosen routes must then mostly start on other channels.
+        let t = topo();
+        let params = NetworkParams::default();
+        // Intra-group pair sharing neither row nor column: the minimal
+        // first hop is one of exactly two local channels, leaving the
+        // source router's five other output channels as detour starts.
+        let src = NodeId(0); // router (g0, row 0, col 0)
+        let dst_router = t.router_at(dfly_topology::GroupId(0), 1, 3);
+        let dst = t.router_nodes(dst_router).next().unwrap();
+
+        // Observe the idle-network first hops (minimal candidates).
+        let mut rc = mk(Routing::Adaptive);
+        let mut minimal_first = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let mut route = Vec::new();
+            rc.compute(&t, &params, src, dst, |_| 0, &mut route);
+            minimal_first.insert(route[0]);
+        }
+        assert!(minimal_first.len() <= 2);
+
+        let mut rc = mk(Routing::Adaptive);
+        let mut avoided = 0;
+        let trials = 60;
+        for _ in 0..trials {
+            let mut route = Vec::new();
+            rc.compute(
+                &t,
+                &params,
+                src,
+                dst,
+                |c| {
+                    if minimal_first.contains(&c) {
+                        8 << 20
+                    } else {
+                        0
+                    }
+                },
+                &mut route,
+            );
+            if !minimal_first.contains(&route[0]) {
+                avoided += 1;
+            }
+        }
+        // Detours require a non-minimal candidate whose first hop is
+        // uncongested; with 2 random intermediates per packet that is the
+        // common case but not guaranteed, hence a majority check.
+        assert!(
+            avoided > trials / 2,
+            "adaptive avoided congested first hops only {avoided}/{trials}"
+        );
+    }
+
+    #[test]
+    fn adaptive_routes_stay_within_bounds() {
+        let t = topo();
+        let params = NetworkParams::default();
+        let mut rc = mk(Routing::Adaptive);
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..300 {
+            let s = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
+            let d = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
+            let mut route = Vec::new();
+            rc.compute(&t, &params, s, d, |c| (c.0 as u64 * 37) % 5000, &mut route);
+            assert!(route.len() <= paths::MAX_ROUTER_HOPS);
+            let p = dfly_topology::Path {
+                channels: route,
+                kind: dfly_topology::RouteKind::NonMinimal,
+            };
+            assert!(paths::validate_path(
+                &t,
+                t.node_router(s),
+                t.node_router(d),
+                &p
+            ));
+        }
+    }
+
+    #[test]
+    fn valiant_routes_valid_and_longer_on_average() {
+        let t = topo();
+        let params = NetworkParams::default();
+        let mut val = mk(Routing::Valiant);
+        let mut min = mk(Routing::Minimal);
+        let mut rng = Xoshiro256::seed_from(15);
+        let (mut v_hops, mut m_hops) = (0usize, 0usize);
+        for _ in 0..200 {
+            let s = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
+            let d = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
+            let mut rv = Vec::new();
+            val.compute(&t, &params, s, d, |_| 0, &mut rv);
+            let p = dfly_topology::Path {
+                channels: rv.clone(),
+                kind: dfly_topology::RouteKind::NonMinimal,
+            };
+            assert!(paths::validate_path(&t, t.node_router(s), t.node_router(d), &p));
+            v_hops += rv.len();
+            let mut rm = Vec::new();
+            min.compute(&t, &params, s, d, |_| 0, &mut rm);
+            m_hops += rm.len();
+        }
+        assert!(v_hops > m_hops, "valiant {v_hops} !> minimal {m_hops}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = topo();
+        let params = NetworkParams::default();
+        let mut a = mk(Routing::Adaptive);
+        let mut b = mk(Routing::Adaptive);
+        for i in 0..50u32 {
+            let s = NodeId(i % t.config().total_nodes());
+            let d = NodeId((i * 13) % t.config().total_nodes());
+            let mut ra = Vec::new();
+            let mut rb = Vec::new();
+            a.compute(&t, &params, s, d, |_| 0, &mut ra);
+            b.compute(&t, &params, s, d, |_| 0, &mut rb);
+            assert_eq!(ra, rb);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # dfly-placement
+//!
+//! The five job placement policies of the paper's Section III-B:
+//!
+//! * **Contiguous** — consecutive free nodes; minimum router count, maximal
+//!   locality, highest local-link contention risk.
+//! * **Random-cabinet** — a random selection of cabinets, contiguous within.
+//! * **Random-chassis** — a random selection of chassis, contiguous within.
+//! * **Random-router** — a random selection of routers, contiguous within
+//!   (communication between nearby nodes stays on the router).
+//! * **Random-node** — a fully random selection of nodes; spreads message
+//!   load across the whole network at the cost of extra hops.
+//!
+//! [`NodePool`] tracks free nodes so a target application and a synthetic
+//! background job can be co-allocated for the interference experiments.
+
+#![warn(missing_docs)]
+
+pub mod mapping;
+pub mod policy;
+pub mod pool;
+
+pub use mapping::TaskMapping;
+pub use policy::{AllocationError, PlacementPolicy};
+pub use pool::NodePool;

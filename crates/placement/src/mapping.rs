@@ -1,0 +1,165 @@
+//! Task mapping: how a job's MPI ranks are arranged *within* its node
+//! allocation.
+//!
+//! The paper's placement policies decide *which* nodes a job gets; the
+//! paper's future work ("we plan to investigate task mapping") asks how
+//! ranks should be ordered onto those nodes. For neighbor-heavy patterns
+//! the mapping decides whether rank neighbors share a router (local
+//! traffic) or sit across the machine (global traffic), independent of
+//! the allocation shape.
+
+use dfly_engine::Xoshiro256;
+use dfly_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Rank -> node arrangement within an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskMapping {
+    /// Rank `i` runs on the `i`-th allocated node (the allocation order of
+    /// the placement policy — the default everywhere in the paper).
+    Linear,
+    /// Ranks are dealt round-robin across the allocation's routers:
+    /// consecutive ranks land on *different* routers. The anti-locality
+    /// mapping — spreads neighbor traffic off-router.
+    RoundRobinRouters,
+    /// Ranks are shuffled uniformly over the allocated nodes.
+    Random,
+}
+
+impl TaskMapping {
+    /// All mappings, for sweeps.
+    pub const ALL: [TaskMapping; 3] = [
+        TaskMapping::Linear,
+        TaskMapping::RoundRobinRouters,
+        TaskMapping::Random,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskMapping::Linear => "linear",
+            TaskMapping::RoundRobinRouters => "rr-router",
+            TaskMapping::Random => "random",
+        }
+    }
+
+    /// Arrange an allocation: returns the node for each rank.
+    ///
+    /// `nodes_per_router` is needed by [`TaskMapping::RoundRobinRouters`]
+    /// to identify router boundaries (nodes `k*npr .. (k+1)*npr` share a
+    /// router).
+    pub fn arrange(
+        self,
+        allocation: &[NodeId],
+        nodes_per_router: u32,
+        rng: &mut Xoshiro256,
+    ) -> Vec<NodeId> {
+        match self {
+            TaskMapping::Linear => allocation.to_vec(),
+            TaskMapping::Random => {
+                let mut out = allocation.to_vec();
+                rng.shuffle(&mut out);
+                out
+            }
+            TaskMapping::RoundRobinRouters => {
+                // Bucket nodes by home router (preserving order), then
+                // deal one node per router in rotation.
+                let mut buckets: Vec<(u32, Vec<NodeId>)> = Vec::new();
+                for &n in allocation {
+                    let router = n.0 / nodes_per_router;
+                    match buckets.iter_mut().find(|(r, _)| *r == router) {
+                        Some((_, v)) => v.push(n),
+                        None => buckets.push((router, vec![n])),
+                    }
+                }
+                let mut out = Vec::with_capacity(allocation.len());
+                let mut level = 0usize;
+                while out.len() < allocation.len() {
+                    for (_, bucket) in &buckets {
+                        if let Some(&n) = bucket.get(level) {
+                            out.push(n);
+                        }
+                    }
+                    level += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TaskMapping::Linear.label(), "linear");
+        assert_eq!(TaskMapping::RoundRobinRouters.label(), "rr-router");
+        assert_eq!(TaskMapping::Random.label(), "random");
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        let a = alloc(12);
+        let mut rng = Xoshiro256::seed_from(1);
+        assert_eq!(TaskMapping::Linear.arrange(&a, 4, &mut rng), a);
+    }
+
+    #[test]
+    fn random_is_seeded_permutation() {
+        let a = alloc(32);
+        let mut r1 = Xoshiro256::seed_from(7);
+        let mut r2 = Xoshiro256::seed_from(7);
+        let m1 = TaskMapping::Random.arrange(&a, 4, &mut r1);
+        let m2 = TaskMapping::Random.arrange(&a, 4, &mut r2);
+        assert_eq!(m1, m2);
+        assert_ne!(m1, a);
+        let mut sorted = m1.clone();
+        sorted.sort();
+        assert_eq!(sorted, a);
+    }
+
+    #[test]
+    fn round_robin_separates_consecutive_ranks() {
+        // 12 nodes on 3 routers (4 each): consecutive ranks must land on
+        // different routers.
+        let a = alloc(12);
+        let mut rng = Xoshiro256::seed_from(1);
+        let m = TaskMapping::RoundRobinRouters.arrange(&a, 4, &mut rng);
+        assert_eq!(m.len(), 12);
+        for w in m.windows(2) {
+            assert_ne!(w[0].0 / 4, w[1].0 / 4, "ranks {w:?} share a router");
+        }
+        // Still a permutation.
+        let mut sorted = m.clone();
+        sorted.sort();
+        assert_eq!(sorted, a);
+        // First deal takes node 0 of each router in order.
+        assert_eq!(&m[..3], &[NodeId(0), NodeId(4), NodeId(8)]);
+    }
+
+    #[test]
+    fn round_robin_handles_uneven_buckets() {
+        // 4 nodes on router 0, 1 node on router 1.
+        let a = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let mut rng = Xoshiro256::seed_from(1);
+        let m = TaskMapping::RoundRobinRouters.arrange(&a, 4, &mut rng);
+        assert_eq!(m.len(), 5);
+        let mut sorted = m.clone();
+        sorted.sort();
+        assert_eq!(sorted, a);
+    }
+
+    #[test]
+    fn empty_allocation_ok() {
+        let mut rng = Xoshiro256::seed_from(1);
+        for m in TaskMapping::ALL {
+            assert!(m.arrange(&[], 4, &mut rng).is_empty());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The five placement policies (paper Table I rows).
+
+use crate::pool::NodePool;
+use dfly_engine::Xoshiro256;
+use dfly_topology::{CabinetId, ChassisId, NodeId, RouterId, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// The job asked for more nodes than are free.
+    NotEnoughNodes {
+        /// Nodes requested.
+        requested: u32,
+        /// Nodes free.
+        available: u32,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::NotEnoughNodes {
+                requested,
+                available,
+            } => write!(f, "requested {requested} nodes, only {available} free"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// Job placement policy (paper Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Consecutive free nodes.
+    Contiguous,
+    /// Random cabinets, contiguous inside each cabinet.
+    RandomCabinet,
+    /// Random chassis, contiguous inside each chassis.
+    RandomChassis,
+    /// Random routers, contiguous inside each router.
+    RandomRouter,
+    /// Fully random nodes.
+    RandomNode,
+}
+
+impl PlacementPolicy {
+    /// All five policies, in the paper's Table I order.
+    pub const ALL: [PlacementPolicy; 5] = [
+        PlacementPolicy::Contiguous,
+        PlacementPolicy::RandomCabinet,
+        PlacementPolicy::RandomChassis,
+        PlacementPolicy::RandomRouter,
+        PlacementPolicy::RandomNode,
+    ];
+
+    /// The paper's nomenclature label (`cont`, `cab`, `chas`, `rotr`, `rand`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::Contiguous => "cont",
+            PlacementPolicy::RandomCabinet => "cab",
+            PlacementPolicy::RandomChassis => "chas",
+            PlacementPolicy::RandomRouter => "rotr",
+            PlacementPolicy::RandomNode => "rand",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::Contiguous => "Contiguous",
+            PlacementPolicy::RandomCabinet => "Random-cabinet",
+            PlacementPolicy::RandomChassis => "Random-chassis",
+            PlacementPolicy::RandomRouter => "Random-router",
+            PlacementPolicy::RandomNode => "Random-node",
+        }
+    }
+
+    /// Allocate `size` nodes from `pool` (which is updated). The
+    /// allocation order is the rank -> node mapping: rank `i` runs on the
+    /// `i`-th returned node, so container-based policies keep consecutive
+    /// ranks physically close, exactly as the paper's policies do.
+    pub fn allocate(
+        self,
+        topo: &Topology,
+        pool: &mut NodePool,
+        size: u32,
+        rng: &mut Xoshiro256,
+    ) -> Result<Vec<NodeId>, AllocationError> {
+        if size > pool.free_count() {
+            return Err(AllocationError::NotEnoughNodes {
+                requested: size,
+                available: pool.free_count(),
+            });
+        }
+        let nodes = match self {
+            PlacementPolicy::Contiguous => pool
+                .free_nodes()
+                .into_iter()
+                .take(size as usize)
+                .collect::<Vec<_>>(),
+            PlacementPolicy::RandomCabinet => {
+                let total = topo.total_cabinets();
+                let mut order: Vec<CabinetId> = (0..total).map(CabinetId).collect();
+                rng.shuffle(&mut order);
+                take_from_containers(
+                    size,
+                    order.into_iter().map(|c| topo.cabinet_nodes(c)),
+                    pool,
+                )
+            }
+            PlacementPolicy::RandomChassis => {
+                let total = topo.config().total_chassis();
+                let mut order: Vec<ChassisId> = (0..total).map(ChassisId).collect();
+                rng.shuffle(&mut order);
+                take_from_containers(
+                    size,
+                    order.into_iter().map(|c| topo.chassis_nodes(c)),
+                    pool,
+                )
+            }
+            PlacementPolicy::RandomRouter => {
+                let total = topo.config().total_routers();
+                let mut order: Vec<RouterId> = (0..total).map(RouterId).collect();
+                rng.shuffle(&mut order);
+                take_from_containers(
+                    size,
+                    order
+                        .into_iter()
+                        .map(|r| topo.router_nodes(r).collect::<Vec<_>>()),
+                    pool,
+                )
+            }
+            PlacementPolicy::RandomNode => {
+                let mut free = pool.free_nodes();
+                rng.shuffle(&mut free);
+                free.truncate(size as usize);
+                free
+            }
+        };
+        debug_assert_eq!(nodes.len(), size as usize);
+        pool.take(&nodes);
+        Ok(nodes)
+    }
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fill the allocation container by container (cabinet / chassis / router),
+/// taking each container's free nodes in index order.
+fn take_from_containers(
+    size: u32,
+    containers: impl Iterator<Item = Vec<NodeId>>,
+    pool: &NodePool,
+) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(size as usize);
+    for container in containers {
+        for node in container {
+            if pool.is_free(node) {
+                out.push(node);
+                if out.len() == size as usize {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_topology::TopologyConfig;
+    use std::collections::HashSet;
+
+    fn topo() -> Topology {
+        Topology::build(TopologyConfig::theta())
+    }
+
+    fn alloc(policy: PlacementPolicy, size: u32, seed: u64) -> (Topology, Vec<NodeId>) {
+        let t = topo();
+        let mut pool = NodePool::new(&t);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let nodes = policy.allocate(&t, &mut pool, size, &mut rng).unwrap();
+        (t, nodes)
+    }
+
+    #[test]
+    fn labels_match_paper_nomenclature() {
+        let labels: Vec<&str> = PlacementPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["cont", "cab", "chas", "rotr", "rand"]);
+    }
+
+    #[test]
+    fn all_policies_allocate_exact_distinct_nodes() {
+        for policy in PlacementPolicy::ALL {
+            let (_, nodes) = alloc(policy, 1000, 42);
+            assert_eq!(nodes.len(), 1000, "{policy}");
+            let set: HashSet<_> = nodes.iter().collect();
+            assert_eq!(set.len(), 1000, "{policy} returned duplicates");
+        }
+    }
+
+    #[test]
+    fn contiguous_takes_lowest_indices() {
+        let (_, nodes) = alloc(PlacementPolicy::Contiguous, 100, 1);
+        let expected: Vec<NodeId> = (0..100).map(NodeId).collect();
+        assert_eq!(nodes, expected);
+    }
+
+    #[test]
+    fn contiguous_uses_minimum_router_count() {
+        let (t, nodes) = alloc(PlacementPolicy::Contiguous, 1000, 1);
+        let routers: HashSet<_> = nodes.iter().map(|&n| t.node_router(n)).collect();
+        assert_eq!(routers.len(), 250); // 1000 nodes / 4 per router
+    }
+
+    #[test]
+    fn random_node_spreads_over_many_routers_and_groups() {
+        let (t, nodes) = alloc(PlacementPolicy::RandomNode, 1000, 7);
+        let routers: HashSet<_> = nodes.iter().map(|&n| t.node_router(n)).collect();
+        let groups: HashSet<_> = nodes.iter().map(|&n| t.node_group(n)).collect();
+        assert!(routers.len() > 600, "only {} routers", routers.len());
+        assert_eq!(groups.len(), 9);
+    }
+
+    #[test]
+    fn contiguous_concentrates_in_few_groups() {
+        let (t, nodes) = alloc(PlacementPolicy::Contiguous, 1000, 7);
+        let groups: HashSet<_> = nodes.iter().map(|&n| t.node_group(n)).collect();
+        // 1000 nodes at 384/group => ceil(1000/384) = 3 groups.
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn random_router_fills_whole_routers() {
+        let (t, nodes) = alloc(PlacementPolicy::RandomRouter, 1000, 3);
+        let mut per_router = std::collections::HashMap::new();
+        for &n in &nodes {
+            *per_router.entry(t.node_router(n)).or_insert(0u32) += 1;
+        }
+        // All routers fully used except possibly the last partially-filled one.
+        let partial = per_router.values().filter(|&&c| c < 4).count();
+        assert!(partial <= 1, "{partial} partially used routers");
+        assert_eq!(per_router.len(), 250);
+    }
+
+    #[test]
+    fn random_chassis_fills_whole_chassis() {
+        let (t, nodes) = alloc(PlacementPolicy::RandomChassis, 1000, 3);
+        let mut per_chassis = std::collections::HashMap::new();
+        for &n in &nodes {
+            *per_chassis.entry(t.node_chassis(n)).or_insert(0u32) += 1;
+        }
+        let partial = per_chassis.values().filter(|&&c| c < 64).count();
+        assert!(partial <= 1);
+        // ceil(1000/64) = 16 chassis.
+        assert_eq!(per_chassis.len(), 16);
+    }
+
+    #[test]
+    fn random_cabinet_fills_whole_cabinets() {
+        let (t, nodes) = alloc(PlacementPolicy::RandomCabinet, 1000, 3);
+        let mut per_cab = std::collections::HashMap::new();
+        for &n in &nodes {
+            *per_cab.entry(t.node_cabinet(n)).or_insert(0u32) += 1;
+        }
+        let partial = per_cab.values().filter(|&&c| c < 192).count();
+        assert!(partial <= 1);
+        // ceil(1000/192) = 6 cabinets.
+        assert_eq!(per_cab.len(), 6);
+    }
+
+    #[test]
+    fn consecutive_ranks_close_under_container_policies() {
+        // Under random-router, ranks i and i+1 mostly share a router.
+        let (t, nodes) = alloc(PlacementPolicy::RandomRouter, 400, 9);
+        let same_router = nodes
+            .windows(2)
+            .filter(|w| t.node_router(w[0]) == t.node_router(w[1]))
+            .count();
+        assert!(same_router * 4 >= nodes.len() * 2, "only {same_router}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let (_, a) = alloc(PlacementPolicy::RandomNode, 500, 11);
+        let (_, b) = alloc(PlacementPolicy::RandomNode, 500, 11);
+        let (_, c) = alloc(PlacementPolicy::RandomNode, 500, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn allocation_respects_existing_jobs() {
+        let t = topo();
+        let mut pool = NodePool::new(&t);
+        let mut rng = Xoshiro256::seed_from(5);
+        let job1 = PlacementPolicy::Contiguous
+            .allocate(&t, &mut pool, 1000, &mut rng)
+            .unwrap();
+        let job2 = PlacementPolicy::RandomNode
+            .allocate(&t, &mut pool, 2000, &mut rng)
+            .unwrap();
+        let s1: HashSet<_> = job1.iter().collect();
+        assert!(job2.iter().all(|n| !s1.contains(n)));
+        assert_eq!(pool.free_count(), 3456 - 3000);
+    }
+
+    #[test]
+    fn over_allocation_fails_cleanly() {
+        let t = topo();
+        let mut pool = NodePool::new(&t);
+        let mut rng = Xoshiro256::seed_from(5);
+        let err = PlacementPolicy::RandomNode
+            .allocate(&t, &mut pool, 4000, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AllocationError::NotEnoughNodes {
+                requested: 4000,
+                available: 3456
+            }
+        );
+        assert_eq!(pool.free_count(), 3456); // pool untouched on failure
+    }
+
+    #[test]
+    fn whole_machine_allocation_succeeds() {
+        for policy in PlacementPolicy::ALL {
+            let t = topo();
+            let mut pool = NodePool::new(&t);
+            let mut rng = Xoshiro256::seed_from(13);
+            let nodes = policy.allocate(&t, &mut pool, 3456, &mut rng).unwrap();
+            assert_eq!(nodes.len(), 3456);
+            assert_eq!(pool.free_count(), 0);
+        }
+    }
+
+    #[test]
+    fn locality_ordering_cont_beats_rand() {
+        // Average rank-pair group-distance: contiguous < random-node.
+        let group_spread = |policy: PlacementPolicy| -> f64 {
+            let (t, nodes) = alloc(policy, 1000, 21);
+            let mut cross = 0u32;
+            for w in nodes.windows(2) {
+                if t.node_group(w[0]) != t.node_group(w[1]) {
+                    cross += 1;
+                }
+            }
+            cross as f64 / (nodes.len() - 1) as f64
+        };
+        let cont = group_spread(PlacementPolicy::Contiguous);
+        let cab = group_spread(PlacementPolicy::RandomCabinet);
+        let rand = group_spread(PlacementPolicy::RandomNode);
+        assert!(cont <= cab);
+        assert!(cab < rand);
+    }
+}

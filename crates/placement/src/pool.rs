@@ -1,0 +1,124 @@
+//! Free-node tracking for multi-job allocation.
+
+use dfly_topology::{NodeId, Topology};
+
+/// Tracks which compute nodes are free. Jobs allocate nodes through a
+/// [`crate::PlacementPolicy`]; the interference experiments then give the
+/// complement to the synthetic background job.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    free: Vec<bool>,
+    free_count: u32,
+}
+
+impl NodePool {
+    /// A pool with every node of the machine free.
+    pub fn new(topo: &Topology) -> NodePool {
+        let n = topo.config().total_nodes() as usize;
+        NodePool {
+            free: vec![true; n],
+            free_count: n as u32,
+        }
+    }
+
+    /// Number of free nodes.
+    pub fn free_count(&self) -> u32 {
+        self.free_count
+    }
+
+    /// Total nodes (free + allocated).
+    pub fn total(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Is this node free?
+    pub fn is_free(&self, node: NodeId) -> bool {
+        self.free[node.index()]
+    }
+
+    /// All free nodes in index order.
+    pub fn free_nodes(&self) -> Vec<NodeId> {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Mark `nodes` as allocated. Panics if any is already taken (a
+    /// placement policy handing out a taken node is always a bug).
+    pub fn take(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            assert!(self.free[n.index()], "node {n} already allocated");
+            self.free[n.index()] = false;
+            self.free_count -= 1;
+        }
+    }
+
+    /// Return `nodes` to the pool.
+    pub fn release(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            assert!(!self.free[n.index()], "node {n} was not allocated");
+            self.free[n.index()] = true;
+            self.free_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_topology::TopologyConfig;
+
+    fn pool() -> NodePool {
+        NodePool::new(&Topology::build(TopologyConfig::small_test()))
+    }
+
+    #[test]
+    fn starts_all_free() {
+        let p = pool();
+        assert_eq!(p.free_count(), 64);
+        assert_eq!(p.total(), 64);
+        assert_eq!(p.free_nodes().len(), 64);
+        assert!(p.is_free(NodeId(0)));
+    }
+
+    #[test]
+    fn take_and_release_roundtrip() {
+        let mut p = pool();
+        let nodes = [NodeId(3), NodeId(7), NodeId(40)];
+        p.take(&nodes);
+        assert_eq!(p.free_count(), 61);
+        assert!(!p.is_free(NodeId(7)));
+        assert!(!p.free_nodes().contains(&NodeId(3)));
+        p.release(&nodes);
+        assert_eq!(p.free_count(), 64);
+        assert!(p.is_free(NodeId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_take_panics() {
+        let mut p = pool();
+        p.take(&[NodeId(1)]);
+        p.take(&[NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not allocated")]
+    fn release_free_node_panics() {
+        let mut p = pool();
+        p.release(&[NodeId(1)]);
+    }
+
+    #[test]
+    fn free_nodes_sorted() {
+        let mut p = pool();
+        p.take(&[NodeId(0), NodeId(5)]);
+        let free = p.free_nodes();
+        let mut sorted = free.clone();
+        sorted.sort();
+        assert_eq!(free, sorted);
+    }
+}

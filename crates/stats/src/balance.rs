@@ -1,0 +1,154 @@
+//! Load-imbalance measures: the Gini coefficient and a fixed-width
+//! histogram. The trade-off study is fundamentally about how evenly
+//! traffic spreads over channels; a single scalar imbalance measure makes
+//! placements comparable at a glance.
+
+/// Gini coefficient of a set of non-negative loads: 0 = perfectly
+/// balanced, -> 1 = all load on one element. Returns 0 for fewer than two
+/// samples or an all-zero population.
+pub fn gini(values: &[f64]) -> f64 {
+    assert!(
+        values.iter().all(|&v| v >= 0.0 && !v.is_nan()),
+        "gini requires non-negative, non-NaN values"
+    );
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let total: f64 = values.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, with 1-based i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range values
+/// clamped into the end bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// New histogram with `bins` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo, "degenerate histogram range");
+        assert!(bins >= 1, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Add one sample (clamped into range).
+    pub fn add(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        let bins = self.counts.len();
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Add many samples.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_balanced_is_zero() {
+        assert_eq!(gini(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_concentrated_approaches_one() {
+        let mut v = vec![0.0; 100];
+        v[0] = 1000.0;
+        let g = gini(&v);
+        assert!(g > 0.95, "gini {g}");
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // For {0, 1}: G = 0.5.
+        let g = gini(&[0.0, 1.0]);
+        assert!((g - 0.5).abs() < 1e-12, "gini {g}");
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[7.0]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 10.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 1000.0).collect();
+        assert!((gini(&a) - gini(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gini_rejects_negative() {
+        let _ = gini(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.0, 2.5, 9.9, 3.0]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts(), &[2, 2, 0, 0, 1]);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(42.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn histogram_bad_range() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 4–6 and 8–10 of the paper plot "percentage of local/global
+//! channels" (y) against traffic amount or saturated time (x): an empirical
+//! CDF over the channel population. [`Cdf`] holds the sorted sample set and
+//! produces exactly those series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a set of samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from unsorted samples. NaN values are rejected with a panic
+    /// (they would poison the ordering silently).
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(
+            sorted.iter().all(|v| !v.is_nan()),
+            "NaN sample in CDF input"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in [0, 1].
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Percentage of samples `<= x`, in [0, 100] (the paper's y-axis).
+    pub fn percent_at_or_below(&self, x: f64) -> f64 {
+        100.0 * self.fraction_at_or_below(x)
+    }
+
+    /// The value below which `fraction` of the samples fall (inverse CDF).
+    /// `fraction` is clamped to [0, 1].
+    pub fn quantile(&self, fraction: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        crate::summary::percentile_sorted(&self.sorted, fraction.clamp(0.0, 1.0) * 100.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The full `(x, percent)` step series: one point per sample, suitable
+    /// for plotting the paper's channel-CDF figures.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 100.0 * (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// A downsampled series of at most `k` points, evenly spaced in rank;
+    /// always includes the final (max, 100%) point. Used to print readable
+    /// tables for populations of tens of thousands of channels.
+    pub fn sampled_points(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k >= 2, "need at least 2 points");
+        let n = self.sorted.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n <= k {
+            return self.steps();
+        }
+        let mut out = Vec::with_capacity(k);
+        for j in 0..k {
+            let i = j * (n - 1) / (k - 1);
+            out.push((self.sorted[i], 100.0 * (i + 1) as f64 / n as f64));
+        }
+        out
+    }
+
+    /// Area-style mean of the samples.
+    pub fn mean(&self) -> f64 {
+        crate::summary::mean(&self.sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fractions() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(c.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(c.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(c.percent_at_or_below(3.0), 75.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = Cdf::from_samples([3.0, 1.0, 2.0]);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::from_samples([]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_or_below(10.0), 0.0);
+        assert_eq!(c.min(), None);
+        assert!(c.steps().is_empty());
+    }
+
+    #[test]
+    fn quantile_inverse_relationship() {
+        let c = Cdf::from_samples((1..=100).map(|i| i as f64));
+        let q = c.quantile(0.5);
+        assert!((q - 50.5).abs() < 1.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn steps_end_at_100_percent() {
+        let c = Cdf::from_samples([5.0, 7.0, 9.0]);
+        let s = c.steps();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2], (9.0, 100.0));
+        assert!((s[0].1 - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_points_downsamples() {
+        let c = Cdf::from_samples((0..1000).map(|i| i as f64));
+        let pts = c.sampled_points(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[10].0, 999.0);
+        assert_eq!(pts[10].1, 100.0);
+        // x must be non-decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn sampled_points_small_population_returns_all() {
+        let c = Cdf::from_samples([1.0, 2.0]);
+        assert_eq!(c.sampled_points(10).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let c = Cdf::from_samples([2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(c.percent_at_or_below(2.0), 75.0);
+        assert_eq!(c.percent_at_or_below(1.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::from_samples([1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn mean_matches_summary() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0]);
+        assert_eq!(c.mean(), 2.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tiny CSV writer (no external dependency needed for our plain numeric
+//! tables; fields containing commas/quotes are quoted per RFC 4180).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A buffered CSV writer.
+pub struct CsvWriter<W: Write> {
+    out: W,
+    columns: usize,
+}
+
+impl CsvWriter<BufWriter<File>> {
+    /// Create a CSV file (truncating), writing the header row immediately.
+    /// Parent directories are created as needed.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = BufWriter::new(File::create(path)?);
+        Self::from_writer(file, header)
+    }
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wrap any writer, emitting the header row immediately.
+    pub fn from_writer(mut out: W, header: &[&str]) -> io::Result<Self> {
+        assert!(!header.is_empty(), "CSV needs at least one column");
+        write_record(&mut out, header.iter().map(|s| s.to_string()))?;
+        Ok(CsvWriter {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Write one row of stringified fields. Panics on arity mismatch.
+    pub fn row<S: ToString>(&mut self, fields: &[S]) -> io::Result<()> {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "CSV row arity {} != header {}",
+            fields.len(),
+            self.columns
+        );
+        write_record(&mut self.out, fields.iter().map(|f| f.to_string()))
+    }
+
+    /// Flush and return the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+fn write_record<W: Write>(out: &mut W, fields: impl Iterator<Item = String>) -> io::Result<()> {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.write_all(b",")?;
+        }
+        first = false;
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            let escaped = field.replace('"', "\"\"");
+            write!(out, "\"{escaped}\"")?;
+        } else {
+            out.write_all(field.as_bytes())?;
+        }
+    }
+    out.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(header: &[&str], rows: &[Vec<&str>]) -> String {
+        let mut w = CsvWriter::from_writer(Vec::new(), header).unwrap();
+        for r in rows {
+            w.row(r).unwrap();
+        }
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn plain_rows() {
+        let s = render(&["a", "b"], &[vec!["1", "2"], vec!["3", "4"]]);
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let s = render(&["x"], &[vec!["has,comma"], vec!["has\"quote"]]);
+        assert_eq!(s, "x\nhas,comma\n".replace("has,comma", "\"has,comma\"") + "\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    fn numeric_rows_via_to_string() {
+        let mut w = CsvWriter::from_writer(Vec::new(), &["v", "w"]).unwrap();
+        w.row(&[1.5f64, 2.0]).unwrap();
+        let s = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(s, "v,w\n1.5,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut w = CsvWriter::from_writer(Vec::new(), &["a", "b"]).unwrap();
+        let _ = w.row(&["only"]);
+    }
+
+    #[test]
+    fn create_writes_file() {
+        let dir = std::env::temp_dir().join("dfly_stats_csv_test");
+        let path = dir.join("sub").join("t.csv");
+        let mut w = CsvWriter::create(&path, &["h"]).unwrap();
+        w.row(&["1"]).unwrap();
+        w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "h\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal terminal plotting: sparklines and box-plot rows.
+//!
+//! These exist so each reproduction binary can show the *shape* of a figure
+//! directly in the terminal, next to the CSV it writes for real plotting.
+
+use crate::summary::BoxStats;
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a sparkline of the values (empty string for no values).
+/// Constant series render as a flat mid-height line.
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if span <= 0.0 {
+                3
+            } else {
+                (((v - lo) / span) * 7.0).round() as usize
+            };
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Render one horizontal box-plot row scaled into `width` characters over
+/// the global `[lo, hi]` axis, so several rows can be compared visually:
+///
+/// ```text
+///      |----[==M==]------|
+/// ```
+pub fn render_boxplot_row(stats: &BoxStats, lo: f64, hi: f64, width: usize) -> String {
+    assert!(width >= 10, "width too small for a boxplot");
+    assert!(hi > lo, "degenerate axis");
+    let scale = |v: f64| -> usize {
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((width - 1) as f64 * frac).round() as usize
+    };
+    let mut row = vec![' '; width];
+    let (imin, iq1, imed, iq3, imax) = (
+        scale(stats.min),
+        scale(stats.q1),
+        scale(stats.median),
+        scale(stats.q3),
+        scale(stats.max),
+    );
+    for cell in row.iter_mut().take(iq1).skip(imin) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(imax.max(iq3)).skip(iq3) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(iq3 + 1).skip(iq1) {
+        *cell = '=';
+    }
+    row[imin] = '|';
+    row[imax] = '|';
+    row[iq1] = '[';
+    row[iq3] = ']';
+    row[imed] = 'M';
+    row.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[3], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_is_flat() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars.iter().all(|&c| c == chars[0]));
+    }
+
+    #[test]
+    fn sparkline_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn boxplot_markers_present_and_ordered() {
+        let stats = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 10.0]).unwrap();
+        let row = render_boxplot_row(&stats, 0.0, 12.0, 60);
+        assert_eq!(row.chars().count(), 60);
+        let pos = |c: char| row.find(c).unwrap();
+        assert!(pos('[') <= pos('M'));
+        assert!(pos('M') <= pos(']'));
+        assert!(row.contains('|'));
+    }
+
+    #[test]
+    fn boxplot_clamps_out_of_axis_values() {
+        let stats = BoxStats::from_samples(&[5.0, 6.0, 7.0]).unwrap();
+        // Axis narrower than the data: must not panic.
+        let row = render_boxplot_row(&stats, 5.5, 6.5, 20);
+        assert_eq!(row.chars().count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate axis")]
+    fn boxplot_rejects_bad_axis() {
+        let stats = BoxStats::from_samples(&[1.0]).unwrap();
+        let _ = render_boxplot_row(&stats, 1.0, 1.0, 20);
+    }
+}

@@ -1,0 +1,214 @@
+//! Five-number summaries and scalar statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// The five-number summary behind each box in the paper's box plots,
+/// plus mean and sample count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Compute from unsorted samples. Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        Some(BoxStats {
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+            mean: mean(samples),
+            n: samples.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Full range (max - min) — the paper's "performance variation" proxy.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Range as a percentage of the median: the run-to-run variability
+    /// measure quoted in the paper's introduction ("frequently 15% or
+    /// greater and up to 100%").
+    pub fn variability_percent(&self) -> f64 {
+        if self.median == 0.0 {
+            0.0
+        } else {
+            100.0 * self.range() / self.median
+        }
+    }
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Population standard deviation (0.0 for fewer than 2 samples).
+pub fn stddev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    (samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+/// Linear-interpolation percentile of *unsorted* data, `p` in [0, 100].
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty slice");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Linear-interpolation percentile of already-sorted data.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// `value` expressed as a percentage of `baseline` (Figure 7's y-axis:
+/// "max communication time relative to rand-adp"). Panics on a zero
+/// baseline — a zero-time baseline run is always a harness bug.
+pub fn relative_percent(value: f64, baseline: f64) -> f64 {
+    assert!(baseline != 0.0, "relative_percent: zero baseline");
+    100.0 * value / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_data() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.iqr(), 2.0);
+        assert_eq!(s.range(), 4.0);
+    }
+
+    #[test]
+    fn box_stats_empty_is_none() {
+        assert!(BoxStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn box_stats_single_sample() {
+        let s = BoxStats::from_samples(&[7.5]).unwrap();
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.variability_percent(), 0.0);
+    }
+
+    #[test]
+    fn box_stats_unsorted_input() {
+        let a = BoxStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn variability_percent_matches_definition() {
+        let s = BoxStats::from_samples(&[10.0, 12.0, 14.0]).unwrap();
+        // range 4, median 12 -> 33.3%
+        assert!((s.variability_percent() - 100.0 * 4.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), 10.0);
+        assert_eq!(percentile(&data, 100.0), 40.0);
+        assert_eq!(percentile(&data, 50.0), 25.0);
+        // 25th percentile of 4 points: rank 0.75 -> 10 + 0.75*10 = 17.5
+        assert!((percentile(&data, 25.0) - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let data = [1.0, 2.0];
+        assert_eq!(percentile(&data, -5.0), 1.0);
+        assert_eq!(percentile(&data, 150.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn relative_percent_basics() {
+        assert_eq!(relative_percent(150.0, 100.0), 150.0);
+        assert_eq!(relative_percent(94.0, 100.0), 94.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero baseline")]
+    fn relative_percent_zero_baseline_panics() {
+        relative_percent(1.0, 0.0);
+    }
+
+    #[test]
+    fn percentile_monotone_property() {
+        // percentile must be monotone in p for arbitrary data.
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut prev = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let v = percentile(&data, p as f64);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

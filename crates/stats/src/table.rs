@@ -1,0 +1,145 @@
+//! Aligned ASCII tables for terminal reports.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use dfly_stats::AsciiTable;
+/// let mut t = AsciiTable::new(vec!["config", "median (ms)"]);
+/// t.row(vec!["cont-min".into(), "265.1".into()]);
+/// t.row(vec!["rand-adp".into(), "243.9".into()]);
+/// let s = t.render();
+/// assert!(s.contains("cont-min"));
+/// assert!(s.lines().count() >= 4); // header, rule, 2 rows
+/// ```
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> AsciiTable {
+        AsciiTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns, a header rule, and trailing newline.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".-+%eE".contains(c))
+                    && !cell.is_empty();
+                if numeric {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            line.truncate(line.trim_end().len());
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = AsciiTable::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        t.row(vec!["longer-name".into(), "10.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header columns aligned with the widest cell.
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn numeric_cells_right_aligned() {
+        let mut t = AsciiTable::new(vec!["v"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["100".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2], "  1");
+        assert_eq!(lines[3], "100");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = AsciiTable::new(vec!["a", "b"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = AsciiTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn len_counts_rows() {
+        let mut t = AsciiTable::new(vec!["x"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["2".into()]);
+        assert_eq!(t.len(), 2);
+    }
+}

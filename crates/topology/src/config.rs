@@ -1,0 +1,224 @@
+//! Topology configuration, with the paper's Theta parameters as default.
+
+use dfly_engine::{Bandwidth, Ns};
+use serde::{Deserialize, Serialize};
+
+/// Shape and link parameters of a dragonfly machine.
+///
+/// [`TopologyConfig::theta`] is the exact configuration in the paper's
+/// Section II: 9 groups x (6 x 16) routers x 4 nodes; 16 GiB/s terminal,
+/// 5.25 GiB/s local, 4.69 GiB/s global links.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of groups.
+    pub groups: u32,
+    /// Router rows per group (a row is a chassis on Theta).
+    pub rows: u32,
+    /// Router columns per group.
+    pub cols: u32,
+    /// Compute nodes attached to each router.
+    pub nodes_per_router: u32,
+    /// Global link endpoints per router. Total global links per group pair
+    /// is `rows * cols * global_links_per_router / (groups - 1)`.
+    pub global_links_per_router: u32,
+    /// Chassis (rows) per cabinet; Theta: 3.
+    pub chassis_per_cabinet: u32,
+    /// Terminal (node<->router) link bandwidth.
+    pub terminal_bw: Bandwidth,
+    /// Local (intra-group) link bandwidth.
+    pub local_bw: Bandwidth,
+    /// Global (inter-group) link bandwidth.
+    pub global_bw: Bandwidth,
+    /// Fixed per-hop router traversal latency.
+    pub router_latency: Ns,
+    /// Propagation latency of local links.
+    pub local_latency: Ns,
+    /// Propagation latency of global (optical) links.
+    pub global_latency: Ns,
+    /// Propagation latency of terminal links.
+    pub terminal_latency: Ns,
+}
+
+impl TopologyConfig {
+    /// The paper's Theta configuration (Section II).
+    pub fn theta() -> TopologyConfig {
+        TopologyConfig {
+            groups: 9,
+            rows: 6,
+            cols: 16,
+            nodes_per_router: 4,
+            global_links_per_router: 4,
+            chassis_per_cabinet: 3,
+            terminal_bw: Bandwidth::from_gib_per_sec(16),
+            local_bw: Bandwidth::from_gib_per_sec_hundredths(525),
+            global_bw: Bandwidth::from_gib_per_sec_hundredths(469),
+            // Aries-like latencies: ~100ns per router traversal, short
+            // electrical local links, longer optical global links.
+            router_latency: Ns(100),
+            local_latency: Ns(30),
+            global_latency: Ns(1500),
+            terminal_latency: Ns(30),
+        }
+    }
+
+    /// A miniature dragonfly (4 groups of 2x4 routers, 2 nodes/router =
+    /// 64 nodes) for fast tests and doctests. Same link speeds as Theta.
+    pub fn small_test() -> TopologyConfig {
+        TopologyConfig {
+            groups: 4,
+            rows: 2,
+            cols: 4,
+            nodes_per_router: 2,
+            global_links_per_router: 3,
+            chassis_per_cabinet: 2,
+            ..TopologyConfig::theta()
+        }
+    }
+
+    /// A mid-size machine (6 groups of 4x8 routers, 4 nodes/router =
+    /// 768 nodes) used by the `--quick` reproduction mode: big enough to
+    /// show the placement/routing contrasts, ~4.5x fewer nodes than Theta.
+    pub fn quick() -> TopologyConfig {
+        TopologyConfig {
+            groups: 6,
+            rows: 4,
+            cols: 8,
+            nodes_per_router: 4,
+            global_links_per_router: 5,
+            chassis_per_cabinet: 2,
+            ..TopologyConfig::theta()
+        }
+    }
+
+    /// Routers per group.
+    pub fn routers_per_group(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Total routers in the machine.
+    pub fn total_routers(&self) -> u32 {
+        self.groups * self.routers_per_group()
+    }
+
+    /// Total compute nodes in the machine.
+    pub fn total_nodes(&self) -> u32 {
+        self.total_routers() * self.nodes_per_router
+    }
+
+    /// Nodes per chassis (one router row).
+    pub fn nodes_per_chassis(&self) -> u32 {
+        self.cols * self.nodes_per_router
+    }
+
+    /// Nodes per cabinet.
+    pub fn nodes_per_cabinet(&self) -> u32 {
+        self.nodes_per_chassis() * self.chassis_per_cabinet
+    }
+
+    /// Total chassis in the machine.
+    pub fn total_chassis(&self) -> u32 {
+        self.groups * self.rows
+    }
+
+    /// Global links connecting each (unordered) group pair.
+    pub fn links_per_group_pair(&self) -> u32 {
+        let endpoints = self.routers_per_group() * self.global_links_per_router;
+        endpoints / (self.groups - 1)
+    }
+
+    /// Validate internal consistency. Returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.groups < 2 {
+            return Err("need at least 2 groups".into());
+        }
+        if self.rows == 0 || self.cols == 0 {
+            return Err("rows/cols must be positive".into());
+        }
+        if self.nodes_per_router == 0 {
+            return Err("nodes_per_router must be positive".into());
+        }
+        if self.chassis_per_cabinet == 0 || self.rows % self.chassis_per_cabinet != 0 {
+            return Err(format!(
+                "rows ({}) must be a multiple of chassis_per_cabinet ({})",
+                self.rows, self.chassis_per_cabinet
+            ));
+        }
+        let endpoints = self.routers_per_group() * self.global_links_per_router;
+        if endpoints % (self.groups - 1) != 0 {
+            return Err(format!(
+                "global endpoints per group ({endpoints}) must divide evenly \
+                 among {} peer groups",
+                self.groups - 1
+            ));
+        }
+        if self.links_per_group_pair() == 0 {
+            return Err("every group pair needs at least one global link".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_shape_matches_paper() {
+        let t = TopologyConfig::theta();
+        t.validate().unwrap();
+        assert_eq!(t.routers_per_group(), 96);
+        assert_eq!(t.total_routers(), 864);
+        assert_eq!(t.total_nodes(), 3456);
+        assert_eq!(t.nodes_per_chassis(), 64);
+        assert_eq!(t.nodes_per_cabinet(), 192);
+        assert_eq!(t.total_chassis(), 54);
+        // 96 routers * 4 links = 384 endpoints over 8 peers = 48 links/pair.
+        assert_eq!(t.links_per_group_pair(), 48);
+    }
+
+    #[test]
+    fn small_test_is_valid() {
+        let t = TopologyConfig::small_test();
+        t.validate().unwrap();
+        assert_eq!(t.total_nodes(), 64);
+        // 8 routers * 3 = 24 endpoints over 3 peers = 8 links/pair.
+        assert_eq!(t.links_per_group_pair(), 8);
+    }
+
+    #[test]
+    fn quick_is_valid() {
+        let t = TopologyConfig::quick();
+        t.validate().unwrap();
+        assert_eq!(t.total_nodes(), 768);
+        assert_eq!(t.links_per_group_pair(), 32);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut t = TopologyConfig::theta();
+        t.groups = 1;
+        assert!(t.validate().is_err());
+
+        let mut t = TopologyConfig::theta();
+        t.rows = 0;
+        assert!(t.validate().is_err());
+
+        let mut t = TopologyConfig::theta();
+        t.nodes_per_router = 0;
+        assert!(t.validate().is_err());
+
+        let mut t = TopologyConfig::theta();
+        t.chassis_per_cabinet = 4; // 6 rows not divisible by 4
+        assert!(t.validate().is_err());
+
+        let mut t = TopologyConfig::theta();
+        t.groups = 8; // 384 endpoints not divisible by 7 peers
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn config_is_serde() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<TopologyConfig>();
+    }
+}

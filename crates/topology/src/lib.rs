@@ -1,0 +1,34 @@
+//! # dfly-topology
+//!
+//! The Cray XC ("Cascade") dragonfly topology used by the ALCF Theta system,
+//! exactly as configured in the paper's Figure 1:
+//!
+//! * 9 groups, each with 96 Aries routers arranged in a 6 x 16 grid;
+//! * every row of 16 routers is connected all-to-all by *local row* links,
+//!   every column of 6 routers all-to-all by *local column* links;
+//! * each row of 16 routers forms a **chassis**; 3 chassis form a **cabinet**;
+//! * routers connect to other groups via **global** links;
+//! * 4 compute nodes attach to each router via **terminal** links.
+//!
+//! The exact Theta global cabling is not public, so global links are wired
+//! deterministically: every group pair gets an equal share of parallel
+//! links, whose router endpoints are assigned round-robin so each router
+//! carries exactly `global_links_per_router` links and gateways are spread
+//! uniformly over the router grid (see `DESIGN.md`, substitution table).
+//!
+//! All channels (directed links) are enumerated with dense integer ids and
+//! arithmetic index formulas so the simulator's hot path never hashes.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ids;
+pub mod paths;
+pub mod topology;
+
+pub use config::TopologyConfig;
+pub use ids::{
+    CabinetId, ChannelClass, ChannelEnd, ChannelId, ChassisId, GroupId, NodeId, RouterId,
+};
+pub use paths::{Path, RouteKind};
+pub use topology::{ChannelInfo, Topology};

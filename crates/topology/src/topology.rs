@@ -1,0 +1,614 @@
+//! Machine construction: entity numbering, channel enumeration, global
+//! wiring, and gateway tables.
+
+use crate::config::TopologyConfig;
+use crate::ids::{
+    CabinetId, ChannelClass, ChannelEnd, ChannelId, ChassisId, GroupId, NodeId, RouterId,
+};
+use dfly_engine::{Bandwidth, Ns};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelInfo {
+    /// The channel class (terminal / local row / local col / global).
+    pub class: ChannelClass,
+    /// Transmitting end.
+    pub src: ChannelEnd,
+    /// Receiving end.
+    pub dst: ChannelEnd,
+}
+
+/// One undirected global link between two groups, with its two directed
+/// channel ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalLink {
+    /// Endpoint router in the lower-numbered group.
+    pub a: RouterId,
+    /// Endpoint router in the higher-numbered group.
+    pub b: RouterId,
+    /// Directed channel a -> b.
+    pub ab: ChannelId,
+    /// Directed channel b -> a.
+    pub ba: ChannelId,
+}
+
+/// A fully constructed dragonfly machine.
+///
+/// Construction is deterministic: the same [`TopologyConfig`] always yields
+/// the same wiring, which the study requires for config comparisons.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cfg: TopologyConfig,
+    channels: Vec<ChannelInfo>,
+    global_links: Vec<GlobalLink>,
+    /// `[src_group][dst_group]` -> (gateway router in src group, directed
+    /// channel src->dst). Empty vec on the diagonal.
+    gateways: Vec<Vec<Vec<(RouterId, ChannelId)>>>,
+    // Channel-id arithmetic bases.
+    base_term_down: u32,
+    base_row: u32,
+    base_col: u32,
+    base_global: u32,
+}
+
+impl Topology {
+    /// Build a machine. Panics if the config fails [`TopologyConfig::validate`].
+    pub fn build(cfg: TopologyConfig) -> Topology {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid topology config: {e}");
+        }
+        let n_nodes = cfg.total_nodes();
+        let n_routers = cfg.total_routers();
+        let row_per_router = cfg.cols - 1;
+        let col_per_router = cfg.rows - 1;
+
+        let base_term_down = n_nodes;
+        let base_row = 2 * n_nodes;
+        let base_col = base_row + n_routers * row_per_router;
+        let base_global = base_col + n_routers * col_per_router;
+
+        let mut channels = Vec::with_capacity(
+            (base_global + cfg.groups * (cfg.groups - 1) * cfg.links_per_group_pair()) as usize,
+        );
+
+        // Terminal up: id = node.
+        for node in 0..n_nodes {
+            let router = node / cfg.nodes_per_router;
+            channels.push(ChannelInfo {
+                class: ChannelClass::TerminalUp,
+                src: ChannelEnd::Node(NodeId(node)),
+                dst: ChannelEnd::Router(RouterId(router)),
+            });
+        }
+        // Terminal down: id = base_term_down + node.
+        for node in 0..n_nodes {
+            let router = node / cfg.nodes_per_router;
+            channels.push(ChannelInfo {
+                class: ChannelClass::TerminalDown,
+                src: ChannelEnd::Router(RouterId(router)),
+                dst: ChannelEnd::Node(NodeId(node)),
+            });
+        }
+        // Local row: id = base_row + router*(cols-1) + rank(dst_col).
+        for r in 0..n_routers {
+            let (g, row, col) = decompose(&cfg, r);
+            for dst_col in 0..cfg.cols {
+                if dst_col == col {
+                    continue;
+                }
+                let dst = compose(&cfg, g, row, dst_col);
+                channels.push(ChannelInfo {
+                    class: ChannelClass::LocalRow,
+                    src: ChannelEnd::Router(RouterId(r)),
+                    dst: ChannelEnd::Router(RouterId(dst)),
+                });
+            }
+        }
+        // Local col: id = base_col + router*(rows-1) + rank(dst_row).
+        for r in 0..n_routers {
+            let (g, row, col) = decompose(&cfg, r);
+            for dst_row in 0..cfg.rows {
+                if dst_row == row {
+                    continue;
+                }
+                let dst = compose(&cfg, g, dst_row, col);
+                channels.push(ChannelInfo {
+                    class: ChannelClass::LocalCol,
+                    src: ChannelEnd::Router(RouterId(r)),
+                    dst: ChannelEnd::Router(RouterId(dst)),
+                });
+            }
+        }
+
+        // Global wiring: round-robin endpoint assignment. Every group keeps
+        // a rotating cursor over its routers; iterating group pairs in
+        // canonical order and links within a pair in order assigns each
+        // router exactly `global_links_per_router` endpoints.
+        //
+        // The cursor starts at a per-group offset and advances with a
+        // stride coprime-ish to the router count so consecutive links of
+        // the same pair land in different rows/columns.
+        let links_per_pair = cfg.links_per_group_pair();
+        let rpg = cfg.routers_per_group();
+        let stride = pick_stride(rpg);
+        let mut cursor: Vec<u32> = (0..cfg.groups).map(|g| (g * 7) % rpg).collect();
+        let mut global_links = Vec::new();
+        let mut gateways =
+            vec![vec![Vec::new(); cfg.groups as usize]; cfg.groups as usize];
+
+        let mut next_id = base_global;
+        for ga in 0..cfg.groups {
+            for gb in (ga + 1)..cfg.groups {
+                for _ in 0..links_per_pair {
+                    let la = cursor[ga as usize];
+                    cursor[ga as usize] = (la + stride) % rpg;
+                    let lb = cursor[gb as usize];
+                    cursor[gb as usize] = (lb + stride) % rpg;
+                    let ra = RouterId(ga * rpg + la);
+                    let rb = RouterId(gb * rpg + lb);
+                    let ab = ChannelId(next_id);
+                    let ba = ChannelId(next_id + 1);
+                    next_id += 2;
+                    channels.push(ChannelInfo {
+                        class: ChannelClass::Global,
+                        src: ChannelEnd::Router(ra),
+                        dst: ChannelEnd::Router(rb),
+                    });
+                    channels.push(ChannelInfo {
+                        class: ChannelClass::Global,
+                        src: ChannelEnd::Router(rb),
+                        dst: ChannelEnd::Router(ra),
+                    });
+                    global_links.push(GlobalLink { a: ra, b: rb, ab, ba });
+                    gateways[ga as usize][gb as usize].push((ra, ab));
+                    gateways[gb as usize][ga as usize].push((rb, ba));
+                }
+            }
+        }
+
+        Topology {
+            cfg,
+            channels,
+            global_links,
+            gateways,
+            base_term_down,
+            base_row,
+            base_col,
+            base_global,
+        }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.cfg
+    }
+
+    /// Total number of directed channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Static info for a channel.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> &ChannelInfo {
+        &self.channels[id.index()]
+    }
+
+    /// Iterate all channels with their ids.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &ChannelInfo)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChannelId(i as u32), c))
+    }
+
+    /// All undirected global links.
+    pub fn global_links(&self) -> &[GlobalLink] {
+        &self.global_links
+    }
+
+    // ----- entity relations ---------------------------------------------
+
+    /// The router a node attaches to.
+    #[inline]
+    pub fn node_router(&self, node: NodeId) -> RouterId {
+        RouterId(node.0 / self.cfg.nodes_per_router)
+    }
+
+    /// The nodes attached to a router.
+    pub fn router_nodes(&self, router: RouterId) -> impl Iterator<Item = NodeId> {
+        let n = self.cfg.nodes_per_router;
+        (router.0 * n..(router.0 + 1) * n).map(NodeId)
+    }
+
+    /// The group containing a router.
+    #[inline]
+    pub fn router_group(&self, router: RouterId) -> GroupId {
+        GroupId(router.0 / self.cfg.routers_per_group())
+    }
+
+    /// The group containing a node.
+    #[inline]
+    pub fn node_group(&self, node: NodeId) -> GroupId {
+        self.router_group(self.node_router(node))
+    }
+
+    /// (group, row, col) coordinates of a router.
+    #[inline]
+    pub fn router_coords(&self, router: RouterId) -> (GroupId, u32, u32) {
+        let (g, row, col) = decompose(&self.cfg, router.0);
+        (GroupId(g), row, col)
+    }
+
+    /// Router from (group, row, col).
+    #[inline]
+    pub fn router_at(&self, group: GroupId, row: u32, col: u32) -> RouterId {
+        RouterId(compose(&self.cfg, group.0, row, col))
+    }
+
+    /// The chassis (router row) containing a router.
+    #[inline]
+    pub fn router_chassis(&self, router: RouterId) -> ChassisId {
+        let (g, row, _) = decompose(&self.cfg, router.0);
+        ChassisId(g * self.cfg.rows + row)
+    }
+
+    /// The chassis containing a node.
+    #[inline]
+    pub fn node_chassis(&self, node: NodeId) -> ChassisId {
+        self.router_chassis(self.node_router(node))
+    }
+
+    /// The cabinet containing a node.
+    #[inline]
+    pub fn node_cabinet(&self, node: NodeId) -> CabinetId {
+        let ch = self.node_chassis(node);
+        CabinetId(ch.0 / self.cfg.chassis_per_cabinet)
+    }
+
+    /// All nodes in a chassis, in index order.
+    pub fn chassis_nodes(&self, chassis: ChassisId) -> Vec<NodeId> {
+        let g = chassis.0 / self.cfg.rows;
+        let row = chassis.0 % self.cfg.rows;
+        let mut out = Vec::with_capacity(self.cfg.nodes_per_chassis() as usize);
+        for col in 0..self.cfg.cols {
+            let r = RouterId(compose(&self.cfg, g, row, col));
+            out.extend(self.router_nodes(r));
+        }
+        out
+    }
+
+    /// All nodes in a cabinet, in index order.
+    pub fn cabinet_nodes(&self, cabinet: CabinetId) -> Vec<NodeId> {
+        let first_chassis = cabinet.0 * self.cfg.chassis_per_cabinet;
+        let mut out = Vec::with_capacity(self.cfg.nodes_per_cabinet() as usize);
+        for c in first_chassis..first_chassis + self.cfg.chassis_per_cabinet {
+            out.extend(self.chassis_nodes(ChassisId(c)));
+        }
+        out
+    }
+
+    /// Total cabinets in the machine.
+    pub fn total_cabinets(&self) -> u32 {
+        self.cfg.total_chassis() / self.cfg.chassis_per_cabinet
+    }
+
+    // ----- channel id arithmetic ------------------------------------------
+
+    /// Injection channel of a node.
+    #[inline]
+    pub fn terminal_up(&self, node: NodeId) -> ChannelId {
+        ChannelId(node.0)
+    }
+
+    /// Ejection channel to a node.
+    #[inline]
+    pub fn terminal_down(&self, node: NodeId) -> ChannelId {
+        ChannelId(self.base_term_down + node.0)
+    }
+
+    /// The row link between two routers in the same group and row.
+    /// Panics in debug builds if they aren't row peers.
+    #[inline]
+    pub fn row_channel(&self, src: RouterId, dst: RouterId) -> ChannelId {
+        let (_, _, src_col) = decompose(&self.cfg, src.0);
+        let (_, _, dst_col) = decompose(&self.cfg, dst.0);
+        debug_assert_ne!(src_col, dst_col);
+        let rank = if dst_col < src_col { dst_col } else { dst_col - 1 };
+        ChannelId(self.base_row + src.0 * (self.cfg.cols - 1) + rank)
+    }
+
+    /// The column link between two routers in the same group and column.
+    #[inline]
+    pub fn col_channel(&self, src: RouterId, dst: RouterId) -> ChannelId {
+        let (_, src_row, _) = decompose(&self.cfg, src.0);
+        let (_, dst_row, _) = decompose(&self.cfg, dst.0);
+        debug_assert_ne!(src_row, dst_row);
+        let rank = if dst_row < src_row { dst_row } else { dst_row - 1 };
+        ChannelId(self.base_col + src.0 * (self.cfg.rows - 1) + rank)
+    }
+
+    /// Gateways from `src_group` to `dst_group`: (router in src group,
+    /// directed global channel). Uniformly spread over the group's routers.
+    #[inline]
+    pub fn gateways(&self, src_group: GroupId, dst_group: GroupId) -> &[(RouterId, ChannelId)] {
+        &self.gateways[src_group.index()][dst_group.index()]
+    }
+
+    /// The first channel id of the global class (useful for metrics layout).
+    pub fn first_global_channel(&self) -> ChannelId {
+        ChannelId(self.base_global)
+    }
+
+    // ----- per-class link parameters --------------------------------------
+
+    /// Bandwidth of a channel class.
+    pub fn class_bandwidth(&self, class: ChannelClass) -> Bandwidth {
+        match class {
+            ChannelClass::TerminalUp | ChannelClass::TerminalDown => self.cfg.terminal_bw,
+            ChannelClass::LocalRow | ChannelClass::LocalCol => self.cfg.local_bw,
+            ChannelClass::Global => self.cfg.global_bw,
+        }
+    }
+
+    /// Propagation latency of a channel class (link flight time; the
+    /// router traversal latency is separate).
+    pub fn class_latency(&self, class: ChannelClass) -> Ns {
+        match class {
+            ChannelClass::TerminalUp | ChannelClass::TerminalDown => self.cfg.terminal_latency,
+            ChannelClass::LocalRow | ChannelClass::LocalCol => self.cfg.local_latency,
+            ChannelClass::Global => self.cfg.global_latency,
+        }
+    }
+}
+
+#[inline]
+fn decompose(cfg: &TopologyConfig, router: u32) -> (u32, u32, u32) {
+    let rpg = cfg.routers_per_group();
+    let g = router / rpg;
+    let local = router % rpg;
+    (g, local / cfg.cols, local % cfg.cols)
+}
+
+#[inline]
+fn compose(cfg: &TopologyConfig, group: u32, row: u32, col: u32) -> u32 {
+    group * cfg.routers_per_group() + row * cfg.cols + col
+}
+
+/// Pick a cursor stride that cycles through all routers of a group
+/// (coprime with `rpg`) while jumping between rows, so parallel links of
+/// one group pair spread over the grid.
+fn pick_stride(rpg: u32) -> u32 {
+    let mut s = rpg / 3 + 1;
+    while gcd(s, rpg) != 1 {
+        s += 1;
+    }
+    s
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta() -> Topology {
+        Topology::build(TopologyConfig::theta())
+    }
+
+    fn small() -> Topology {
+        Topology::build(TopologyConfig::small_test())
+    }
+
+    #[test]
+    fn channel_counts_match_formula() {
+        let t = theta();
+        let cfg = t.config();
+        let n = cfg.total_nodes();
+        let r = cfg.total_routers();
+        let expected = 2 * n                         // terminal up+down
+            + r * (cfg.cols - 1)                     // rows
+            + r * (cfg.rows - 1)                     // cols
+            + cfg.groups * (cfg.groups - 1) / 2 * cfg.links_per_group_pair() * 2; // global
+        assert_eq!(t.channel_count(), expected as usize);
+    }
+
+    #[test]
+    fn every_router_has_exact_global_degree() {
+        for t in [theta(), small()] {
+            let mut degree = vec![0u32; t.config().total_routers() as usize];
+            for link in t.global_links() {
+                degree[link.a.index()] += 1;
+                degree[link.b.index()] += 1;
+            }
+            for (i, &d) in degree.iter().enumerate() {
+                assert_eq!(
+                    d,
+                    t.config().global_links_per_router,
+                    "router {i} has degree {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gateways_cover_all_group_pairs() {
+        let t = theta();
+        let g = t.config().groups;
+        for a in 0..g {
+            for b in 0..g {
+                let gws = t.gateways(GroupId(a), GroupId(b));
+                if a == b {
+                    assert!(gws.is_empty());
+                } else {
+                    assert_eq!(gws.len() as u32, t.config().links_per_group_pair());
+                    for &(router, ch) in gws {
+                        assert_eq!(t.router_group(router), GroupId(a));
+                        let info = t.channel(ch);
+                        assert_eq!(info.class, ChannelClass::Global);
+                        assert_eq!(info.src.router(), Some(router));
+                        let dst = info.dst.router().unwrap();
+                        assert_eq!(t.router_group(dst), GroupId(b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_spread_is_uniform_over_routers() {
+        // No single router should be gateway for a disproportionate share
+        // of any one destination group.
+        let t = theta();
+        let gws = t.gateways(GroupId(0), GroupId(5));
+        let mut per_router = std::collections::HashMap::new();
+        for &(r, _) in gws {
+            *per_router.entry(r).or_insert(0u32) += 1;
+        }
+        // 48 links over 96 routers: no router should carry more than 2.
+        assert!(per_router.values().all(|&c| c <= 2));
+        assert!(per_router.len() >= 24, "gateways too concentrated");
+    }
+
+    #[test]
+    fn row_channel_arithmetic_agrees_with_table() {
+        for t in [small(), theta()] {
+            let cfg = t.config().clone();
+            for r in 0..cfg.total_routers() {
+                let src = RouterId(r);
+                let (g, row, col) = t.router_coords(src);
+                for dst_col in 0..cfg.cols {
+                    if dst_col == col {
+                        continue;
+                    }
+                    let dst = t.router_at(g, row, dst_col);
+                    let id = t.row_channel(src, dst);
+                    let info = t.channel(id);
+                    assert_eq!(info.class, ChannelClass::LocalRow);
+                    assert_eq!(info.src.router(), Some(src));
+                    assert_eq!(info.dst.router(), Some(dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_channel_arithmetic_agrees_with_table() {
+        let t = small();
+        let cfg = t.config().clone();
+        for r in 0..cfg.total_routers() {
+            let src = RouterId(r);
+            let (g, row, col) = t.router_coords(src);
+            for dst_row in 0..cfg.rows {
+                if dst_row == row {
+                    continue;
+                }
+                let dst = t.router_at(g, dst_row, col);
+                let id = t.col_channel(src, dst);
+                let info = t.channel(id);
+                assert_eq!(info.class, ChannelClass::LocalCol);
+                assert_eq!(info.src.router(), Some(src));
+                assert_eq!(info.dst.router(), Some(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_channels_connect_node_and_home_router() {
+        let t = small();
+        for n in 0..t.config().total_nodes() {
+            let node = NodeId(n);
+            let up = t.channel(t.terminal_up(node));
+            assert_eq!(up.class, ChannelClass::TerminalUp);
+            assert_eq!(up.src.node(), Some(node));
+            assert_eq!(up.dst.router(), Some(t.node_router(node)));
+            let down = t.channel(t.terminal_down(node));
+            assert_eq!(down.class, ChannelClass::TerminalDown);
+            assert_eq!(down.src.router(), Some(t.node_router(node)));
+            assert_eq!(down.dst.node(), Some(node));
+        }
+    }
+
+    #[test]
+    fn entity_relations_consistent() {
+        let t = theta();
+        let node = NodeId(1234);
+        let router = t.node_router(node);
+        assert!(t.router_nodes(router).any(|n| n == node));
+        let (g, row, col) = t.router_coords(router);
+        assert_eq!(t.router_at(g, row, col), router);
+        assert_eq!(t.node_group(node), g);
+        let chassis = t.node_chassis(node);
+        assert!(t.chassis_nodes(chassis).contains(&node));
+        let cab = t.node_cabinet(node);
+        assert!(t.cabinet_nodes(cab).contains(&node));
+    }
+
+    #[test]
+    fn chassis_and_cabinet_sizes() {
+        let t = theta();
+        assert_eq!(t.chassis_nodes(ChassisId(0)).len(), 64);
+        assert_eq!(t.cabinet_nodes(CabinetId(0)).len(), 192);
+        assert_eq!(t.total_cabinets(), 18);
+        // A cabinet's nodes are the union of its chassis' nodes
+        // (Theta: 3 chassis per cabinet, so cabinet 3 = chassis 9..12).
+        let cab: std::collections::HashSet<_> =
+            t.cabinet_nodes(CabinetId(3)).into_iter().collect();
+        for c in 9..12 {
+            for n in t.chassis_nodes(ChassisId(c)) {
+                assert!(cab.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = theta();
+        let b = theta();
+        assert_eq!(a.channel_count(), b.channel_count());
+        for (id, info) in a.channels() {
+            assert_eq!(info, b.channel(id));
+        }
+    }
+
+    #[test]
+    fn class_parameters() {
+        let t = theta();
+        assert_eq!(
+            t.class_bandwidth(ChannelClass::TerminalUp),
+            Bandwidth::from_gib_per_sec(16)
+        );
+        assert_eq!(
+            t.class_bandwidth(ChannelClass::LocalRow),
+            Bandwidth::from_gib_per_sec_hundredths(525)
+        );
+        assert_eq!(
+            t.class_bandwidth(ChannelClass::Global),
+            Bandwidth::from_gib_per_sec_hundredths(469)
+        );
+        assert!(t.class_latency(ChannelClass::Global) > t.class_latency(ChannelClass::LocalRow));
+    }
+
+    #[test]
+    fn stride_is_coprime() {
+        for rpg in [8u32, 32, 96, 100, 7] {
+            let s = pick_stride(rpg);
+            assert_eq!(gcd(s, rpg), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology config")]
+    fn build_rejects_invalid() {
+        let mut cfg = TopologyConfig::theta();
+        cfg.groups = 1;
+        let _ = Topology::build(cfg);
+    }
+}

@@ -1,0 +1,266 @@
+//! Synthetic background traffic for the external-interference study
+//! (paper Section IV-C).
+//!
+//! A synthetic job occupies every node not assigned to the target
+//! application and repeatedly issues messages:
+//!
+//! * **Uniform random** — each node sends a message to a random peer at a
+//!   short interval: balanced external traffic.
+//! * **Bursty** — at a long interval each node emits a burst of huge
+//!   messages spread over `fanout` random peers (the paper sends to *all*
+//!   peers; fanning out to a subset with the same total volume preserves
+//!   the burst's load while keeping packet counts simulable — see
+//!   `DESIGN.md`).
+//!
+//! Generation is *incremental*: the experiment runner asks for the
+//! messages of a time window, so multi-hundred-millisecond runs don't
+//! materialize millions of messages up front.
+
+use dfly_engine::{Bytes, Ns, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// Background traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackgroundKind {
+    /// Small messages to random destinations at a short interval.
+    UniformRandom,
+    /// Large bursts at a long interval.
+    Bursty,
+}
+
+impl BackgroundKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackgroundKind::UniformRandom => "uniform-random",
+            BackgroundKind::Bursty => "bursty",
+        }
+    }
+}
+
+/// Background traffic specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackgroundSpec {
+    /// The pattern.
+    pub kind: BackgroundKind,
+    /// Bytes each node sends *per destination* at each tick.
+    pub message_bytes: Bytes,
+    /// Interval between consecutive ticks.
+    pub interval: Ns,
+    /// Destinations per node per tick (1 for uniform random; the burst
+    /// width for bursty traffic).
+    pub fanout: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BackgroundSpec {
+    /// A uniform-random pattern: one `message_bytes` message per node per
+    /// `interval`.
+    pub fn uniform(message_bytes: Bytes, interval: Ns, seed: u64) -> BackgroundSpec {
+        BackgroundSpec {
+            kind: BackgroundKind::UniformRandom,
+            message_bytes,
+            interval,
+            fanout: 1,
+            seed,
+        }
+    }
+
+    /// A bursty pattern: `fanout` messages of `message_bytes` per node per
+    /// `interval`.
+    pub fn bursty(message_bytes: Bytes, interval: Ns, fanout: u32, seed: u64) -> BackgroundSpec {
+        BackgroundSpec {
+            kind: BackgroundKind::Bursty,
+            message_bytes,
+            interval,
+            fanout,
+            seed,
+        }
+    }
+
+    /// Peak traffic load: total bytes all `nodes` inject at one tick
+    /// (the paper's Table II metric).
+    pub fn peak_load_bytes(&self, nodes: u32) -> Bytes {
+        nodes as u64 * self.fanout as u64 * self.message_bytes
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval == Ns::ZERO {
+            return Err("background interval must be positive".into());
+        }
+        if self.fanout == 0 {
+            return Err("fanout must be positive".into());
+        }
+        if self.message_bytes == 0 {
+            return Err("message_bytes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One background message to inject (indices into the background job's
+/// node list; the runner maps them to machine nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgMessage {
+    /// Injection time.
+    pub at: Ns,
+    /// Sender, as an index into the background node list.
+    pub src_index: u32,
+    /// Destination, as an index into the background node list.
+    pub dst_index: u32,
+    /// Payload.
+    pub bytes: Bytes,
+}
+
+/// Incremental generator of background messages.
+#[derive(Debug, Clone)]
+pub struct BackgroundTraffic {
+    spec: BackgroundSpec,
+    nodes: u32,
+    next_tick: u64,
+    rng: Xoshiro256,
+}
+
+impl BackgroundTraffic {
+    /// A generator over a synthetic job of `nodes` nodes.
+    pub fn new(spec: BackgroundSpec, nodes: u32) -> BackgroundTraffic {
+        spec.validate().expect("invalid background spec");
+        assert!(nodes >= 2, "background job needs at least 2 nodes");
+        BackgroundTraffic {
+            spec,
+            nodes,
+            next_tick: 0,
+            rng: Xoshiro256::seed_from(spec.seed),
+        }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &BackgroundSpec {
+        &self.spec
+    }
+
+    /// Produce all messages with injection time in `[from, to)`. Must be
+    /// called with monotonically advancing windows.
+    pub fn batch(&mut self, from: Ns, to: Ns, out: &mut Vec<BgMessage>) {
+        assert!(to >= from);
+        loop {
+            let t = Ns(self.next_tick * self.spec.interval.as_nanos());
+            if t >= to {
+                return;
+            }
+            self.next_tick += 1;
+            if t < from {
+                // Window skipped past this tick (caller advanced); keep
+                // RNG consumption identical by still drawing destinations.
+            }
+            let emit = t >= from;
+            for src in 0..self.nodes {
+                for _ in 0..self.spec.fanout {
+                    // Random destination other than self.
+                    let mut dst = self.rng.next_below(self.nodes as u64 - 1) as u32;
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    if emit {
+                        out.push(BgMessage {
+                            at: t,
+                            src_index: src,
+                            dst_index: dst,
+                            bytes: self.spec.message_bytes,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform() -> BackgroundTraffic {
+        BackgroundTraffic::new(BackgroundSpec::uniform(1000, Ns::from_us(10), 1), 8)
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BackgroundKind::UniformRandom.label(), "uniform-random");
+        assert_eq!(BackgroundKind::Bursty.label(), "bursty");
+    }
+
+    #[test]
+    fn uniform_batch_counts() {
+        let mut bg = uniform();
+        let mut out = Vec::new();
+        bg.batch(Ns::ZERO, Ns::from_us(30), &mut out);
+        // Ticks at 0, 10us, 20us: 3 ticks x 8 nodes x fanout 1.
+        assert_eq!(out.len(), 24);
+        assert!(out.iter().all(|m| m.bytes == 1000));
+        assert!(out.iter().all(|m| m.src_index != m.dst_index));
+        assert!(out.iter().all(|m| m.dst_index < 8));
+    }
+
+    #[test]
+    fn batches_are_contiguous_without_duplicates() {
+        let mut bg = uniform();
+        let mut a = Vec::new();
+        bg.batch(Ns::ZERO, Ns::from_us(15), &mut a);
+        let mut b = Vec::new();
+        bg.batch(Ns::from_us(15), Ns::from_us(30), &mut b);
+        assert_eq!(a.len(), 16); // ticks 0, 10us
+        assert_eq!(b.len(), 8); // tick 20us
+        assert!(a.iter().all(|m| m.at < Ns::from_us(15)));
+        assert!(b.iter().all(|m| m.at >= Ns::from_us(15)));
+    }
+
+    #[test]
+    fn bursty_fanout() {
+        let spec = BackgroundSpec::bursty(1 << 20, Ns::from_ms(5), 4, 9);
+        let mut bg = BackgroundTraffic::new(spec, 10);
+        let mut out = Vec::new();
+        bg.batch(Ns::ZERO, Ns(1), &mut out);
+        // One tick at t=0: 10 nodes x 4 destinations.
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().all(|m| m.bytes == 1 << 20));
+    }
+
+    #[test]
+    fn peak_load_matches_table_ii_formula() {
+        // Uniform: nodes * message_bytes.
+        let s = BackgroundSpec::uniform(16_000, Ns::from_us(100), 0);
+        assert_eq!(s.peak_load_bytes(2456), 2456 * 16_000);
+        // Bursty: nodes * fanout * message_bytes.
+        let s = BackgroundSpec::bursty(1 << 20, Ns::from_ms(20), 32, 0);
+        assert_eq!(s.peak_load_bytes(100), 100 * 32 * (1 << 20));
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut bg = uniform();
+            let mut out = Vec::new();
+            bg.batch(Ns::ZERO, Ns::from_us(100), &mut out);
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BackgroundSpec::uniform(0, Ns(1), 0).validate().is_err());
+        assert!(BackgroundSpec::uniform(1, Ns::ZERO, 0).validate().is_err());
+        let mut s = BackgroundSpec::bursty(1, Ns(1), 1, 0);
+        s.fanout = 0;
+        assert!(s.validate().is_err());
+        assert!(BackgroundSpec::uniform(1, Ns(1), 0).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn single_node_job_rejected() {
+        let _ = BackgroundTraffic::new(BackgroundSpec::uniform(1, Ns(1), 0), 1);
+    }
+}

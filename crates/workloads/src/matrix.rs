@@ -1,0 +1,222 @@
+//! Communication-matrix and load-over-time extraction (paper Figure 2).
+
+use crate::trace::JobTrace;
+use dfly_engine::Bytes;
+
+/// A dense rank-by-rank communication matrix: entry `(src, dst)` is the
+/// total bytes `src` sends to `dst` over the whole trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrix {
+    n: usize,
+    bytes: Vec<Bytes>,
+}
+
+impl CommMatrix {
+    /// Build from a trace.
+    pub fn from_trace(trace: &JobTrace) -> CommMatrix {
+        let n = trace.ranks() as usize;
+        let mut bytes = vec![0u64; n * n];
+        for (src, prog) in trace.programs.iter().enumerate() {
+            for phase in &prog.phases {
+                for s in &phase.sends {
+                    bytes[src * n + s.peer as usize] += s.bytes;
+                }
+            }
+        }
+        CommMatrix { n, bytes }
+    }
+
+    /// Rank count.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn get(&self, src: usize, dst: usize) -> Bytes {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Total bytes in the matrix.
+    pub fn total(&self) -> Bytes {
+        self.bytes.iter().sum()
+    }
+
+    /// Fraction of the total volume exchanged between ranks within
+    /// `radius` of each other — a locality measure ("a substantial portion
+    /// of the communication occurs in small neighborhoods of MPI ranks").
+    pub fn neighborhood_fraction(&self, radius: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut near = 0u64;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s.abs_diff(d) <= radius {
+                    near += self.get(s, d);
+                }
+            }
+        }
+        near as f64 / total as f64
+    }
+
+    /// Number of non-zero (src, dst) pairs.
+    pub fn nonzero_pairs(&self) -> usize {
+        self.bytes.iter().filter(|&&b| b > 0).count()
+    }
+
+    /// Down-sampled `k x k` block view (each cell sums a block of the full
+    /// matrix) — what the reproduction binary prints for Figure 2(a–c).
+    pub fn block_view(&self, k: usize) -> Vec<Vec<Bytes>> {
+        assert!(k >= 1);
+        let k = k.min(self.n);
+        let mut out = vec![vec![0u64; k]; k];
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let b = self.get(s, d);
+                if b > 0 {
+                    out[s * k / self.n][d * k / self.n] += b;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The per-phase average message load per rank — the load-over-time series
+/// of Figure 2(d–f) with phases as the time axis (the paper strips compute
+/// time, so trace phases are the only clock the trace itself has).
+pub fn load_over_phases(trace: &JobTrace) -> Vec<f64> {
+    let phases = trace.phase_count();
+    let n = trace.ranks() as f64;
+    let mut loads = vec![0.0f64; phases];
+    for prog in &trace.programs {
+        for (i, phase) in prog.phases.iter().enumerate() {
+            loads[i] += phase.bytes() as f64;
+        }
+    }
+    for l in &mut loads {
+        *l /= n;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{generate, AppKind, WorkloadSpec};
+    use crate::trace::{Phase, RankProgram, SendOp};
+
+    fn spec(kind: AppKind, ranks: u32) -> WorkloadSpec {
+        WorkloadSpec {
+            kind,
+            ranks,
+            msg_scale: 1.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn matrix_from_simple_trace() {
+        let trace = JobTrace {
+            programs: vec![
+                RankProgram {
+                    phases: vec![Phase {
+                        sends: vec![SendOp { peer: 1, bytes: 10 }, SendOp { peer: 1, bytes: 5 }],
+                    }],
+                },
+                RankProgram { phases: vec![] },
+            ],
+        };
+        let m = CommMatrix::from_trace(&trace);
+        assert_eq!(m.ranks(), 2);
+        assert_eq!(m.get(0, 1), 15);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(m.total(), 15);
+        assert_eq!(m.nonzero_pairs(), 1);
+    }
+
+    #[test]
+    fn cr_matrix_is_symmetric_manytomany_with_neighborhoods() {
+        let m = CommMatrix::from_trace(&generate(&spec(AppKind::CrystalRouter, 256)));
+        // Hypercube partners: every rank exchanges with log2(256)=8
+        // partners + 4 neighbors => >= 8 nonzero per row.
+        for s in 0..256 {
+            let row_nonzero = (0..256).filter(|&d| m.get(s, d) > 0).count();
+            assert!(row_nonzero >= 8, "rank {s}: {row_nonzero}");
+        }
+        // Neighborhood share is substantial but not everything.
+        let frac = m.neighborhood_fraction(2);
+        assert!(frac > 0.1 && frac < 0.9, "neighborhood fraction {frac}");
+        // Hypercube exchange is symmetric in volume up to jitter.
+        let a = m.get(3, 3 ^ 4) as f64;
+        let b = m.get(3 ^ 4, 3) as f64;
+        assert!((a / b - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn fb_matrix_is_neighbor_banded() {
+        let m = CommMatrix::from_trace(&generate(&spec(AppKind::FillBoundary, 1000)));
+        // x-neighbors at distance 1 must dominate random scatter.
+        let near = m.get(500, 501);
+        assert!(near > 100 * 1024, "halo volume {near}");
+        // Matrix has structured bands at +-1, +-10, +-100 (grid strides).
+        assert!(m.get(500, 510) > 0);
+        assert!(m.get(500, 600) > 0);
+    }
+
+    #[test]
+    fn amg_matrix_regional_only() {
+        let m = CommMatrix::from_trace(&generate(&spec(AppKind::Amg, 1728)));
+        // Strictly 6-neighbor: a rank never talks to a non-neighbor.
+        let far = m.get(0, 1000);
+        assert_eq!(far, 0);
+        assert!(m.get(0, 1) > 0);
+        // Non-periodic: corner rank 0 and opposite corner never talk.
+        assert_eq!(m.get(0, 1727), 0);
+    }
+
+    #[test]
+    fn load_over_phases_matches_totals() {
+        let t = generate(&spec(AppKind::CrystalRouter, 64));
+        let loads = load_over_phases(&t);
+        assert_eq!(loads.len(), t.phase_count());
+        let sum: f64 = loads.iter().sum::<f64>() * t.ranks() as f64;
+        assert!((sum - t.total_bytes() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn amg_load_shows_three_surges() {
+        let t = generate(&spec(AppKind::Amg, 512));
+        let loads = load_over_phases(&t);
+        // 3 cycles x 11 level-phases: the per-cycle maximum (the surge)
+        // recurs three times.
+        assert_eq!(loads.len(), 33);
+        let cycle = 11;
+        for c in 0..3 {
+            let slice = &loads[c * cycle..(c + 1) * cycle];
+            let peak = slice.iter().cloned().fold(0.0, f64::max);
+            let trough = slice.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(peak / trough > 4.0, "cycle {c} flat: {trough}..{peak}");
+        }
+    }
+
+    #[test]
+    fn block_view_preserves_total() {
+        let t = generate(&spec(AppKind::FillBoundary, 216));
+        let m = CommMatrix::from_trace(&t);
+        let blocks = m.block_view(8);
+        let sum: u64 = blocks.iter().flatten().sum();
+        assert_eq!(sum, m.total());
+        assert_eq!(blocks.len(), 8);
+    }
+
+    #[test]
+    fn neighborhood_fraction_extremes() {
+        let t = generate(&spec(AppKind::Amg, 64));
+        let m = CommMatrix::from_trace(&t);
+        assert!(m.neighborhood_fraction(64) >= 0.999);
+        let empty = CommMatrix::from_trace(&JobTrace { programs: vec![] });
+        assert_eq!(empty.neighborhood_fraction(1), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Classic synthetic traffic patterns.
+//!
+//! The paper's related-work studies (Jain et al., Fuentes et al., Prisacari
+//! et al.) evaluate dragonfly placement/routing with synthetic patterns
+//! rather than application traces. This module provides the standard set
+//! as [`JobTrace`] generators so the same experiment harness covers both
+//! kinds of study, and so ablations can stress the network in controlled
+//! ways.
+
+use crate::trace::{JobTrace, Phase, RankProgram, SendOp};
+use dfly_engine::{Bytes, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// A synthetic traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Every rank sends to one uniformly random destination per phase.
+    UniformRandom,
+    /// Rank `i` sends to rank `(i + n/2) % n` — the classic worst case for
+    /// minimal routing on low-diameter networks.
+    Shift,
+    /// Matrix transpose: rank `(r, c)` sends to `(c, r)` on the square
+    /// process grid.
+    Transpose,
+    /// Bit-reversal permutation (power-of-two rank counts; other ranks
+    /// idle).
+    BitReversal,
+    /// 1-D ring: each rank sends to both neighbours.
+    Ring,
+    /// Full all-to-all: every rank sends to every other rank each phase
+    /// (bytes are divided by `n-1` so the per-rank load matches the other
+    /// patterns).
+    AllToAll,
+}
+
+impl Pattern {
+    /// All patterns, for sweeps.
+    pub const ALL: [Pattern; 6] = [
+        Pattern::UniformRandom,
+        Pattern::Shift,
+        Pattern::Transpose,
+        Pattern::BitReversal,
+        Pattern::Ring,
+        Pattern::AllToAll,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::UniformRandom => "uniform",
+            Pattern::Shift => "shift",
+            Pattern::Transpose => "transpose",
+            Pattern::BitReversal => "bit-reversal",
+            Pattern::Ring => "ring",
+            Pattern::AllToAll => "all-to-all",
+        }
+    }
+}
+
+/// Specification of a synthetic-pattern job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSpec {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Bytes each rank sends per phase (split across destinations where
+    /// the pattern has several).
+    pub bytes_per_phase: Bytes,
+    /// Number of phases (dependency-chained, like app iterations).
+    pub phases: u32,
+    /// Seed (used by [`Pattern::UniformRandom`]).
+    pub seed: u64,
+}
+
+/// Generate the trace for a pattern.
+pub fn generate_pattern(spec: &PatternSpec) -> JobTrace {
+    assert!(spec.ranks >= 2, "need at least 2 ranks");
+    assert!(spec.bytes_per_phase > 0, "bytes_per_phase must be positive");
+    assert!(spec.phases > 0, "need at least one phase");
+    let n = spec.ranks;
+    let mut rng = Xoshiro256::seed_from(spec.seed);
+    let mut programs = vec![RankProgram::default(); n as usize];
+    for _ in 0..spec.phases {
+        for r in 0..n {
+            let mut sends = Vec::new();
+            match spec.pattern {
+                Pattern::UniformRandom => {
+                    let mut dst = rng.next_below(n as u64 - 1) as u32;
+                    if dst >= r {
+                        dst += 1;
+                    }
+                    sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                }
+                Pattern::Shift => {
+                    let dst = (r + n / 2) % n;
+                    if dst != r {
+                        sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                    }
+                }
+                Pattern::Transpose => {
+                    let side = (n as f64).sqrt() as u32;
+                    if r < side * side {
+                        let (row, col) = (r / side, r % side);
+                        let dst = col * side + row;
+                        if dst != r {
+                            sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                        }
+                    }
+                }
+                Pattern::BitReversal => {
+                    let bits = 31 - n.next_power_of_two().leading_zeros();
+                    let pow2 = 1u32 << bits;
+                    if r < pow2 {
+                        let dst = r.reverse_bits() >> (32 - bits);
+                        if dst != r && dst < n {
+                            sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                        }
+                    }
+                }
+                Pattern::Ring => {
+                    let half = spec.bytes_per_phase / 2;
+                    sends.push(SendOp { peer: (r + 1) % n, bytes: half.max(1) });
+                    sends.push(SendOp { peer: (r + n - 1) % n, bytes: half.max(1) });
+                }
+                Pattern::AllToAll => {
+                    let each = (spec.bytes_per_phase / (n as u64 - 1)).max(1);
+                    for dst in 0..n {
+                        if dst != r {
+                            sends.push(SendOp { peer: dst, bytes: each });
+                        }
+                    }
+                }
+            }
+            programs[r as usize].phases.push(Phase { sends });
+        }
+    }
+    let trace = JobTrace { programs };
+    debug_assert!(trace.validate().is_ok());
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(pattern: Pattern, ranks: u32) -> PatternSpec {
+        PatternSpec {
+            pattern,
+            ranks,
+            bytes_per_phase: 64 * 1024,
+            phases: 3,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn all_patterns_generate_valid_traces() {
+        for p in Pattern::ALL {
+            for ranks in [2u32, 16, 64, 100] {
+                let t = generate_pattern(&spec(p, ranks));
+                t.validate().unwrap_or_else(|e| panic!("{p:?}/{ranks}: {e}"));
+                assert_eq!(t.ranks(), ranks);
+                assert_eq!(t.phase_count(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_is_a_permutation() {
+        let t = generate_pattern(&spec(Pattern::Shift, 64));
+        let mut dsts = std::collections::HashSet::new();
+        for prog in &t.programs {
+            let s = &prog.phases[0].sends[0];
+            assert!(dsts.insert(s.peer), "duplicate destination {}", s.peer);
+        }
+        assert_eq!(dsts.len(), 64);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let t = generate_pattern(&spec(Pattern::Transpose, 64));
+        for (r, prog) in t.programs.iter().enumerate() {
+            for s in &prog.phases[0].sends {
+                // The destination's destination is the source.
+                let back = &t.programs[s.peer as usize].phases[0].sends[0];
+                assert_eq!(back.peer as usize, r);
+            }
+        }
+        // Diagonal ranks (r == transpose(r)) send nothing.
+        assert!(t.programs[0].phases[0].sends.is_empty());
+    }
+
+    #[test]
+    fn bit_reversal_permutes_power_of_two() {
+        let t = generate_pattern(&spec(Pattern::BitReversal, 16));
+        // Rank 1 (0001) -> 8 (1000) for 4 bits.
+        assert_eq!(t.programs[1].phases[0].sends[0].peer, 8);
+        assert_eq!(t.programs[2].phases[0].sends[0].peer, 4);
+        // Palindromic ranks (0 -> 0, 6 = 0110 -> 0110) send nothing.
+        assert!(t.programs[0].phases[0].sends.is_empty());
+        assert!(t.programs[6].phases[0].sends.is_empty());
+    }
+
+    #[test]
+    fn ring_sends_to_both_neighbours() {
+        let t = generate_pattern(&spec(Pattern::Ring, 10));
+        let sends = &t.programs[4].phases[0].sends;
+        let peers: Vec<u32> = sends.iter().map(|s| s.peer).collect();
+        assert_eq!(peers, vec![5, 3]);
+    }
+
+    #[test]
+    fn all_to_all_covers_everyone_with_balanced_load() {
+        let t = generate_pattern(&spec(Pattern::AllToAll, 9));
+        let sends = &t.programs[0].phases[0].sends;
+        assert_eq!(sends.len(), 8);
+        let total: u64 = sends.iter().map(|s| s.bytes).sum();
+        assert_eq!(total, 64 * 1024 / 8 * 8);
+    }
+
+    #[test]
+    fn uniform_random_seeded() {
+        let a = generate_pattern(&spec(Pattern::UniformRandom, 50));
+        let b = generate_pattern(&spec(Pattern::UniformRandom, 50));
+        assert_eq!(a, b);
+        let mut other = spec(Pattern::UniformRandom, 50);
+        other.seed = 6;
+        assert_ne!(a, generate_pattern(&other));
+    }
+
+    #[test]
+    fn per_rank_loads_comparable_across_patterns() {
+        // The bytes_per_phase normalization keeps total volume within 2x
+        // across patterns (ring/all-to-all round down a little).
+        let mut loads = Vec::new();
+        for p in [Pattern::Shift, Pattern::Ring, Pattern::AllToAll] {
+            let t = generate_pattern(&spec(p, 64));
+            loads.push(t.avg_load_per_rank());
+        }
+        let max = loads.iter().cloned().fold(0.0f64, f64::max);
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "{loads:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn tiny_rejected() {
+        let _ = generate_pattern(&spec(Pattern::Shift, 1));
+    }
+}

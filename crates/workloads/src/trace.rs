@@ -1,0 +1,253 @@
+//! Trace representation: per-rank programs of dependency-ordered phases.
+//!
+//! The paper replays DUMPI traces with computation delays stripped
+//! (Section III-A: "the computation delay in the traces is ignored"). What
+//! remains is the *dependency structure*: a rank cannot start its next
+//! communication phase before the previous one completed. A
+//! [`RankProgram`] is exactly that: an ordered list of [`Phase`]s, each a
+//! set of non-blocking sends; phase `p+1` begins when every send the rank
+//! issued in phase `p` has been delivered **and** every message addressed
+//! to the rank in phase `p` has arrived (the matching receives).
+
+use dfly_engine::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One non-blocking send operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendOp {
+    /// Destination rank (job-local).
+    pub peer: u32,
+    /// Message payload.
+    pub bytes: Bytes,
+}
+
+/// One communication phase of a rank: a set of sends issued together.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Sends issued at the start of the phase.
+    pub sends: Vec<SendOp>,
+}
+
+impl Phase {
+    /// Total bytes this phase sends.
+    pub fn bytes(&self) -> Bytes {
+        self.sends.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// The communication program of a single MPI rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankProgram {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl RankProgram {
+    /// Total bytes sent by the rank over the whole program.
+    pub fn total_bytes(&self) -> Bytes {
+        self.phases.iter().map(|p| p.bytes()).sum()
+    }
+
+    /// Total number of send operations.
+    pub fn total_sends(&self) -> usize {
+        self.phases.iter().map(|p| p.sends.len()).sum()
+    }
+}
+
+/// The full trace of a job: one program per rank, all with the same number
+/// of phases (ranks without work in a phase simply have no sends there).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Program of each rank; index = rank.
+    pub programs: Vec<RankProgram>,
+}
+
+impl JobTrace {
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.programs.len() as u32
+    }
+
+    /// Number of phases (0 for an empty trace).
+    pub fn phase_count(&self) -> usize {
+        self.programs.iter().map(|p| p.phases.len()).max().unwrap_or(0)
+    }
+
+    /// Total bytes sent by all ranks.
+    pub fn total_bytes(&self) -> Bytes {
+        self.programs.iter().map(|p| p.total_bytes()).sum()
+    }
+
+    /// Total send operations across all ranks.
+    pub fn total_sends(&self) -> usize {
+        self.programs.iter().map(|p| p.total_sends()).sum()
+    }
+
+    /// Average message load per rank (the paper's communication-intensity
+    /// metric: bytes transferred per rank).
+    pub fn avg_load_per_rank(&self) -> f64 {
+        if self.programs.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.programs.len() as f64
+    }
+
+    /// Expected number of messages each rank receives in each phase:
+    /// `recv_counts[rank][phase]`. The MPI engine uses this to decide when
+    /// a rank's phase is complete.
+    pub fn recv_counts(&self) -> Vec<Vec<u32>> {
+        let phases = self.phase_count();
+        let mut counts = vec![vec![0u32; phases]; self.programs.len()];
+        for prog in &self.programs {
+            for (ph, phase) in prog.phases.iter().enumerate() {
+                for send in &phase.sends {
+                    counts[send.peer as usize][ph] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Scale every message size by `factor` (the sensitivity-study knob),
+    /// with a 1-byte floor so messages never vanish.
+    pub fn scaled(&self, factor: f64) -> JobTrace {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let programs = self
+            .programs
+            .iter()
+            .map(|prog| RankProgram {
+                phases: prog
+                    .phases
+                    .iter()
+                    .map(|phase| Phase {
+                        sends: phase
+                            .sends
+                            .iter()
+                            .map(|s| SendOp {
+                                peer: s.peer,
+                                bytes: ((s.bytes as f64 * factor) as Bytes).max(1),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        JobTrace { programs }
+    }
+
+    /// Validate: every peer index is a valid rank. Returns a description
+    /// of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.ranks();
+        for (r, prog) in self.programs.iter().enumerate() {
+            for (ph, phase) in prog.phases.iter().enumerate() {
+                for s in &phase.sends {
+                    if s.peer >= n {
+                        return Err(format!(
+                            "rank {r} phase {ph} sends to out-of-range peer {}",
+                            s.peer
+                        ));
+                    }
+                    if s.peer as usize == r {
+                        return Err(format!("rank {r} phase {ph} sends to itself"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> JobTrace {
+        // 3 ranks, 2 phases: ring exchange then reverse-ring.
+        JobTrace {
+            programs: vec![
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![SendOp { peer: 1, bytes: 100 }] },
+                        Phase { sends: vec![SendOp { peer: 2, bytes: 50 }] },
+                    ],
+                },
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![SendOp { peer: 2, bytes: 100 }] },
+                        Phase { sends: vec![SendOp { peer: 0, bytes: 50 }] },
+                    ],
+                },
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![SendOp { peer: 0, bytes: 100 }] },
+                        Phase { sends: vec![SendOp { peer: 1, bytes: 50 }] },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let t = tiny();
+        assert_eq!(t.ranks(), 3);
+        assert_eq!(t.phase_count(), 2);
+        assert_eq!(t.total_bytes(), 450);
+        assert_eq!(t.total_sends(), 6);
+        assert_eq!(t.avg_load_per_rank(), 150.0);
+        assert_eq!(t.programs[0].total_bytes(), 150);
+        assert_eq!(t.programs[0].total_sends(), 2);
+    }
+
+    #[test]
+    fn recv_counts_match_sends() {
+        let t = tiny();
+        let rc = t.recv_counts();
+        // Phase 0: ring => everyone receives exactly one.
+        assert_eq!(rc[0][0], 1);
+        assert_eq!(rc[1][0], 1);
+        assert_eq!(rc[2][0], 1);
+        // Phase 1: reverse ring.
+        assert_eq!(rc[0][1], 1);
+        assert_eq!(rc[1][1], 1);
+        assert_eq!(rc[2][1], 1);
+    }
+
+    #[test]
+    fn scaling_scales_bytes_only() {
+        let t = tiny();
+        let s = t.scaled(2.0);
+        assert_eq!(s.total_bytes(), 900);
+        assert_eq!(s.total_sends(), 6);
+        let down = t.scaled(0.001);
+        // 100 * 0.001 = 0.1 -> floored to 1 byte.
+        assert_eq!(down.programs[0].phases[0].sends[0].bytes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = tiny().scaled(0.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_peer() {
+        let mut t = tiny();
+        t.programs[0].phases[0].sends[0].peer = 99;
+        assert!(t.validate().is_err());
+        let mut t2 = tiny();
+        t2.programs[1].phases[0].sends[0].peer = 1;
+        assert!(t2.validate().unwrap_err().contains("itself"));
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = JobTrace { programs: vec![] };
+        assert_eq!(t.ranks(), 0);
+        assert_eq!(t.phase_count(), 0);
+        assert_eq!(t.avg_load_per_rank(), 0.0);
+        assert!(t.validate().is_ok());
+    }
+}

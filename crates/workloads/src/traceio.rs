@@ -1,0 +1,263 @@
+//! Trace serialization: a line-oriented text format for [`JobTrace`]s.
+//!
+//! The paper replays DUMPI traces; this reproduction generates synthetic
+//! ones. The bridge between the two worlds is a dump/load format, so
+//! users with real traces can convert them (one `send` line per
+//! operation) and replay them on this simulator, and so generated traces
+//! can be archived and diffed.
+//!
+//! Format (`#`-comments and blank lines ignored):
+//!
+//! ```text
+//! trace v1 ranks=4
+//! # rank phase -> peer bytes
+//! send 0 0 1 190000
+//! send 0 0 2 24576
+//! send 1 0 0 190000
+//! ```
+
+use crate::trace::{JobTrace, Phase, RankProgram, SendOp};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Serialize a trace to the text format.
+pub fn write_trace<W: Write>(trace: &JobTrace, out: &mut W) -> io::Result<()> {
+    writeln!(out, "trace v1 ranks={}", trace.ranks())?;
+    writeln!(out, "# rank phase peer bytes")?;
+    let mut line = String::new();
+    for (rank, prog) in trace.programs.iter().enumerate() {
+        for (phase, ph) in prog.phases.iter().enumerate() {
+            for s in &ph.sends {
+                line.clear();
+                let _ = write!(line, "send {rank} {phase} {} {}", s.peer, s.bytes);
+                writeln!(out, "{line}")?;
+            }
+            if ph.sends.is_empty() {
+                // Preserve empty phases (they carry dependency structure).
+                writeln!(out, "phase {rank} {phase}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize a trace to a string.
+pub fn trace_to_string(trace: &JobTrace) -> String {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a trace from the text format.
+pub fn read_trace<R: BufRead>(input: R) -> Result<JobTrace, ParseError> {
+    let err = |line: usize, message: String| ParseError { line, message };
+    let mut ranks: Option<u32> = None;
+    let mut programs: Vec<RankProgram> = Vec::new();
+
+    fn ensure_phase(programs: &mut [RankProgram], rank: usize, phase: usize) -> &mut Phase {
+        let prog = &mut programs[rank];
+        while prog.phases.len() <= phase {
+            prog.phases.push(Phase::default());
+        }
+        &mut prog.phases[phase]
+    }
+
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| err(lineno, format!("io error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        match fields.next() {
+            Some("trace") => {
+                if ranks.is_some() {
+                    return Err(err(lineno, "duplicate header".into()));
+                }
+                if fields.next() != Some("v1") {
+                    return Err(err(lineno, "unsupported version (want v1)".into()));
+                }
+                let ranks_field = fields
+                    .next()
+                    .and_then(|f| f.strip_prefix("ranks="))
+                    .ok_or_else(|| err(lineno, "missing ranks=N".into()))?;
+                let n: u32 = ranks_field
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad rank count {ranks_field:?}")))?;
+                if n < 2 {
+                    return Err(err(lineno, "need at least 2 ranks".into()));
+                }
+                programs = vec![RankProgram::default(); n as usize];
+                ranks = Some(n);
+            }
+            Some("send") => {
+                let n = ranks.ok_or_else(|| err(lineno, "send before header".into()))?;
+                let mut next_num = |name: &str| -> Result<u64, ParseError> {
+                    fields
+                        .next()
+                        .ok_or_else(|| err(lineno, format!("missing {name}")))?
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad {name}")))
+                };
+                let rank = next_num("rank")?;
+                let phase = next_num("phase")?;
+                let peer = next_num("peer")?;
+                let bytes = next_num("bytes")?;
+                if rank >= n as u64 || peer >= n as u64 {
+                    return Err(err(lineno, "rank/peer out of range".into()));
+                }
+                if rank == peer {
+                    return Err(err(lineno, "self-send".into()));
+                }
+                ensure_phase(&mut programs, rank as usize, phase as usize)
+                    .sends
+                    .push(SendOp {
+                        peer: peer as u32,
+                        bytes,
+                    });
+            }
+            Some("phase") => {
+                let n = ranks.ok_or_else(|| err(lineno, "phase before header".into()))?;
+                let rank: u64 = fields
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing rank".into()))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad rank".into()))?;
+                let phase: u64 = fields
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing phase".into()))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad phase".into()))?;
+                if rank >= n as u64 {
+                    return Err(err(lineno, "rank out of range".into()));
+                }
+                let _ = ensure_phase(&mut programs, rank as usize, phase as usize);
+            }
+            Some(other) => {
+                return Err(err(lineno, format!("unknown directive {other:?}")));
+            }
+            None => unreachable!("empty lines skipped"),
+        }
+    }
+    if ranks.is_none() {
+        return Err(err(0, "missing 'trace v1 ranks=N' header".into()));
+    }
+    let trace = JobTrace { programs };
+    trace
+        .validate()
+        .map_err(|m| err(0, format!("invalid trace: {m}")))?;
+    Ok(trace)
+}
+
+/// Parse a trace from a string.
+pub fn trace_from_str(s: &str) -> Result<JobTrace, ParseError> {
+    read_trace(io::BufReader::new(s.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{generate, AppKind, WorkloadSpec};
+
+    #[test]
+    fn roundtrip_generated_traces() {
+        for kind in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+            let trace = generate(&WorkloadSpec {
+                kind,
+                ranks: 27,
+                msg_scale: 0.5,
+                seed: 5,
+            });
+            let text = trace_to_string(&trace);
+            let back = trace_from_str(&text).unwrap();
+            assert_eq!(trace, back, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_trace() {
+        let text = "\
+trace v1 ranks=3
+# a comment
+
+send 0 0 1 1000
+send 1 0 2 500
+phase 2 0
+send 2 1 0 250
+";
+        let t = trace_from_str(text).unwrap();
+        assert_eq!(t.ranks(), 3);
+        assert_eq!(t.programs[0].phases[0].sends[0].bytes, 1000);
+        assert!(t.programs[2].phases[0].sends.is_empty());
+        assert_eq!(t.programs[2].phases[1].sends[0].peer, 0);
+    }
+
+    #[test]
+    fn preserves_empty_phases() {
+        let trace = JobTrace {
+            programs: vec![
+                RankProgram {
+                    phases: vec![
+                        Phase { sends: vec![SendOp { peer: 1, bytes: 7 }] },
+                        Phase::default(),
+                    ],
+                },
+                RankProgram {
+                    phases: vec![Phase::default(), Phase::default()],
+                },
+            ],
+        };
+        let back = trace_from_str(&trace_to_string(&trace)).unwrap();
+        assert_eq!(back.programs[0].phases.len(), 2);
+        assert_eq!(back.programs[1].phases.len(), 2);
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for (text, want) in [
+            ("", "missing"),
+            ("send 0 0 1 10\n", "before header"),
+            ("trace v2 ranks=3\n", "version"),
+            ("trace v1 ranks=1\n", "at least 2"),
+            ("trace v1 ranks=3\nsend 0 0 9 10\n", "out of range"),
+            ("trace v1 ranks=3\nsend 1 0 1 10\n", "self-send"),
+            ("trace v1 ranks=3\nsend 0 0 1\n", "missing bytes"),
+            ("trace v1 ranks=3\nfrob 1 2\n", "unknown directive"),
+            ("trace v1 ranks=3\ntrace v1 ranks=3\n", "duplicate"),
+            ("trace v1 ranks=x\n", "bad rank count"),
+        ] {
+            let e = trace_from_str(text).unwrap_err();
+            assert!(
+                e.message.contains(want),
+                "{text:?}: got {:?}, want {want:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn error_carries_line_numbers() {
+        let e = trace_from_str("trace v1 ranks=3\n# c\nsend 0 0 99 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().starts_with("line 3:"));
+    }
+}

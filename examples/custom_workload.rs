@@ -1,0 +1,78 @@
+//! Custom workload: drive the simulator with your own communication
+//! pattern instead of the built-in miniapps — here, a 2-D stencil with a
+//! butterfly reduction at the end — and compare placement policies.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use dragonfly_tradeoff::core::mpi::MpiDriver;
+use dragonfly_tradeoff::network::{Network, NetworkParams, Routing};
+use dragonfly_tradeoff::placement::NodePool;
+use dragonfly_tradeoff::prelude::*;
+use dragonfly_tradeoff::topology::Topology;
+use dragonfly_tradeoff::workloads::{JobTrace, Phase, SendOp};
+use std::sync::Arc;
+
+/// Build a 6x6 2-D periodic stencil (4 neighbors, 64 KiB halos) for 8
+/// iterations, followed by a log2(n) butterfly reduction of 8 KiB messages.
+fn stencil_with_reduction(side: u32) -> JobTrace {
+    let n = side * side;
+    let mut programs = vec![RankProgram::default(); n as usize];
+    let coord = |r: u32| (r % side, r / side);
+    let index = |x: u32, y: u32| (x % side) + (y % side) * side;
+    for _iter in 0..8 {
+        for r in 0..n {
+            let (x, y) = coord(r);
+            let sends = vec![
+                SendOp { peer: index(x + 1, y), bytes: 64 * 1024 },
+                SendOp { peer: index(x + side - 1, y), bytes: 64 * 1024 },
+                SendOp { peer: index(x, y + 1), bytes: 64 * 1024 },
+                SendOp { peer: index(x, y + side - 1), bytes: 64 * 1024 },
+            ];
+            programs[r as usize].phases.push(Phase { sends });
+        }
+    }
+    let stages = (32 - (n - 1).leading_zeros()) as u32;
+    for d in 0..stages {
+        for r in 0..n {
+            let partner = r ^ (1 << d);
+            let sends = if partner < n {
+                vec![SendOp { peer: partner, bytes: 8 * 1024 }]
+            } else {
+                vec![]
+            };
+            programs[r as usize].phases.push(Phase { sends });
+        }
+    }
+    JobTrace { programs }
+}
+
+fn main() {
+    let trace = stencil_with_reduction(6);
+    println!(
+        "custom workload: {} ranks, {} phases, {:.1} MB total\n",
+        trace.ranks(),
+        trace.phase_count(),
+        trace.total_bytes() as f64 / 1e6
+    );
+
+    let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+    for placement_policy in [PlacementPolicy::Contiguous, PlacementPolicy::RandomNode] {
+        for routing in [Routing::Minimal, Routing::Adaptive] {
+            let mut pool = NodePool::new(&topo);
+            let mut rng = Xoshiro256::seed_from(7);
+            let placement = placement_policy
+                .allocate(&topo, &mut pool, trace.ranks(), &mut rng)
+                .expect("machine large enough");
+            let mut net = Network::new(topo.clone(), NetworkParams::default(), routing, 11);
+            let result = MpiDriver::new(&mut net, &trace, &placement, None).run();
+            println!(
+                "{:>4}-{}: job end {:>9}, slowest rank {:>9}",
+                placement_policy.label(),
+                routing.label(),
+                result.job_end.to_string(),
+                result.max_comm_time().to_string(),
+            );
+        }
+    }
+    println!("\n(see examples/placement_study.rs for the full ten-config grid)");
+}

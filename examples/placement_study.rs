@@ -1,0 +1,48 @@
+//! Placement study: reproduce the paper's core trade-off on a small
+//! machine — localized communication (contiguous placement) versus
+//! balanced network traffic (random-node placement) — for all ten
+//! placement x routing configurations.
+//!
+//! Run with: `cargo run --release --example placement_study`
+
+use dragonfly_tradeoff::core::report::ConfigLabel;
+use dragonfly_tradeoff::network::MetricsFilter;
+use dragonfly_tradeoff::prelude::*;
+
+fn main() {
+    let mut base = ExperimentConfig::small_test();
+    base.app = AppSelection::FillBoundary { ranks: 27 };
+    base.msg_scale = 1.0;
+
+    println!("Fill Boundary (27 ranks) on a 64-node dragonfly\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>16} {:>18}",
+        "config", "median (ms)", "avg hops", "local sat (ms)", "local traffic p99"
+    );
+
+    let grid = run_config_grid(&base, &ConfigLabel::all_ten());
+    for cell in &grid {
+        let r = &cell.result;
+        let all = MetricsFilter::All;
+        let sat: f64 = r.metrics.local_saturation_ms(&all).iter().sum();
+        let traffic = r.local_traffic_mb_cdf(&all);
+        println!(
+            "{:<10} {:>12.3} {:>10.2} {:>16.3} {:>15.3} MB",
+            cell.label.to_string(),
+            r.comm_time_stats().median,
+            r.mean_hops(),
+            sat,
+            traffic.quantile(0.99),
+        );
+    }
+
+    // The trade-off in one sentence.
+    let cont = &grid[0].result; // cont-min
+    let rand = &grid[4].result; // rand-min
+    println!(
+        "\ncontiguous keeps hops low ({:.2} vs {:.2}) but concentrates traffic; \
+         random-node spreads traffic but pays hops.",
+        cont.mean_hops(),
+        rand.mean_hops()
+    );
+}

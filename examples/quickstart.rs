@@ -1,0 +1,49 @@
+//! Quickstart: simulate one application on a small dragonfly machine and
+//! print the paper's headline metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dragonfly_tradeoff::prelude::*;
+
+fn main() {
+    // A miniature machine (4 groups x 8 routers x 2 nodes = 64 nodes) so
+    // the example finishes in well under a second. Swap in
+    // `TopologyConfig::theta()` for the paper's 3,456-node system.
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.app = AppSelection::CrystalRouter { ranks: 32 };
+    cfg.placement = PlacementPolicy::RandomNode;
+    cfg.routing = RoutingPolicy::Adaptive;
+    cfg.msg_scale = 1.0;
+
+    let result = run_experiment(&cfg);
+
+    println!(
+        "Crystal Router, {} ranks, {}-{} on a {}-node dragonfly",
+        cfg.app.ranks(),
+        cfg.placement.label(),
+        cfg.routing.label(),
+        cfg.topology.total_nodes(),
+    );
+    let stats = result.comm_time_stats();
+    println!(
+        "communication time: min {:.3} ms, median {:.3} ms, max {:.3} ms",
+        stats.min, stats.median, stats.max
+    );
+    println!("mean packet hops: {:.2}", result.mean_hops());
+
+    // Link-level metrics, as in the paper's Figures 4-6.
+    let all = dragonfly_tradeoff::network::MetricsFilter::All;
+    let local = result.local_traffic_mb_cdf(&all);
+    println!(
+        "local channels: {} total, median traffic {:.3} MB, busiest {:.3} MB",
+        local.len(),
+        local.quantile(0.5),
+        local.max().unwrap_or(0.0)
+    );
+    let sat = result.local_saturation_ms_cdf(&all);
+    println!(
+        "local links saturated for up to {:.4} ms ({}% of links never saturated)",
+        sat.max().unwrap_or(0.0),
+        sat.percent_at_or_below(0.0).round()
+    );
+}

@@ -1,0 +1,58 @@
+//! Placement recommendation: measure a workload's communication intensity
+//! and apply the paper's findings to pick a placement + routing config,
+//! then verify the recommendation against a brute-force grid search.
+//!
+//! Run with: `cargo run --release --example recommend_placement`
+
+use dragonfly_tradeoff::core::recommend::{recommend, CommIntensity};
+use dragonfly_tradeoff::core::report::ConfigLabel;
+use dragonfly_tradeoff::prelude::*;
+use dragonfly_tradeoff::workloads::{generate, AppKind, WorkloadSpec};
+
+fn main() {
+    for kind in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+        let ranks = 27;
+        let trace = generate(&WorkloadSpec {
+            kind,
+            ranks,
+            msg_scale: 1.0,
+            seed: 1,
+        });
+        let intensity = CommIntensity::of(&trace);
+        let rec = recommend(intensity, false);
+        println!("\n== {} ({} ranks) ==", kind.label(), ranks);
+        println!(
+            "intensity: {:.2} MB/rank, {:.1} sends/rank/phase",
+            intensity.avg_load_per_rank / 1e6,
+            intensity.sends_per_rank_per_phase
+        );
+        println!("recommended: {}-{}", rec.placement.label(), rec.routing.label());
+        println!("why: {}", rec.rationale);
+
+        // Brute force the ten-config grid to grade the recommendation.
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = match kind {
+            AppKind::CrystalRouter => AppSelection::CrystalRouter { ranks },
+            AppKind::FillBoundary => AppSelection::FillBoundary { ranks },
+            AppKind::Amg => AppSelection::Amg { ranks },
+        };
+        let grid = run_config_grid(&cfg, &ConfigLabel::all_ten());
+        let mut ranked: Vec<(String, f64)> = grid
+            .iter()
+            .map(|g| (g.label.to_string(), g.result.comm_time_stats().median))
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let rec_label = format!("{}-{}", rec.placement.label(), rec.routing.label());
+        let position = ranked.iter().position(|(l, _)| *l == rec_label).unwrap();
+        println!(
+            "grid check: recommendation ranks {}/10 (best: {} at {:.3} ms)",
+            position + 1,
+            ranked[0].0,
+            ranked[0].1
+        );
+    }
+    println!(
+        "\n(the recommendation is heuristic — the paper's point is exactly \
+         that intensity predicts the winner)"
+    );
+}

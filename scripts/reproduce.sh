@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+#
+#   bash scripts/reproduce.sh           # quick everywhere, full for Figs 3-6
+#   FULL=1 bash scripts/reproduce.sh    # full scale everywhere (CPU-hours)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p dfly-bench
+
+B=./target/release
+mkdir -p results results/full
+
+mode_flag="--quick"
+out="results"
+if [[ "${FULL:-0}" == "1" ]]; then
+  mode_flag="--full"
+fi
+
+run() { # name, extra args...
+  local name=$1; shift
+  echo "== $name $* =="
+  "$B/$name" "$@" | tee "results/${name}.log"
+}
+
+run fig2   $mode_flag
+run table1
+run fig3   --full --out results/full
+run fig456 --full --out results/full
+run fig7   $mode_flag --out $out
+run table2 $mode_flag --out $out
+run fig8   $mode_flag --out $out
+run fig9   $mode_flag --out $out
+run fig10  $mode_flag --out $out
+run validate $mode_flag --out $out
+run ablations $mode_flag --out $out
+run patterns_study $mode_flag --out $out
+run bully  $mode_flag --out $out
+run timeline $mode_flag --out $out
+run mapping_study $mode_flag --out $out
+run scheduler_study $mode_flag --out $out
+run variability_study $mode_flag --out $out
+
+echo "All artifacts in results/ (full-scale figures in results/full/)."

@@ -1,0 +1,54 @@
+//! # dragonfly-tradeoff
+//!
+//! A from-scratch Rust reproduction of *"Trade-Off Study of Localizing
+//! Communication and Balancing Network Traffic on a Dragonfly System"*
+//! (Wang, Mubarak, Yang, Ross, Lan — IPDPS 2018).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`engine`] — deterministic discrete-event core (time, events, RNG)
+//! * [`topology`] — Theta-style Cray XC dragonfly topology
+//! * [`network`] — packet-level network model with VC buffers, credit
+//!   back-pressure, minimal and adaptive (UGAL-style) routing
+//! * [`placement`] — the paper's five job placement policies
+//! * [`workloads`] — synthetic CR / FB / AMG traces and background traffic
+//! * [`stats`] — boxplot summaries, CDFs, tables, CSV
+//! * [`core`] — experiment configs, the MPI-like rank engine, runners,
+//!   sweeps, and interference studies
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dragonfly_tradeoff::prelude::*;
+//!
+//! // A small dragonfly (2 groups of 2x4 routers) so the doctest is fast.
+//! let mut cfg = ExperimentConfig::small_test();
+//! cfg.app = AppSelection::CrystalRouter { ranks: 16 };
+//! cfg.placement = PlacementPolicy::RandomNode;
+//! cfg.routing = RoutingPolicy::Adaptive;
+//! let result = run_experiment(&cfg);
+//! assert!(result.rank_comm_times.len() == 16);
+//! assert!(result.max_comm_time() > Ns::ZERO);
+//! ```
+
+pub use dfly_core as core;
+pub use dfly_engine as engine;
+pub use dfly_network as network;
+pub use dfly_placement as placement;
+pub use dfly_stats as stats;
+pub use dfly_topology as topology;
+pub use dfly_workloads as workloads;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use dfly_core::config::{AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy};
+    pub use dfly_core::report::ConfigLabel;
+    pub use dfly_core::runner::{run_experiment, ExperimentResult};
+    pub use dfly_core::sweep::{run_config_grid, GridResult};
+    pub use dfly_engine::{Bandwidth, Ns, Xoshiro256};
+    pub use dfly_placement::PlacementPolicy;
+    pub use dfly_stats::{BoxStats, Cdf};
+    pub use dfly_topology::{NodeId, Topology, TopologyConfig};
+    pub use dfly_workloads::{AppKind, RankProgram};
+}

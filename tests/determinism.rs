@@ -1,0 +1,73 @@
+//! Whole-stack determinism: the study's config comparisons are only
+//! meaningful if a config + seed pins every result bit.
+
+use dragonfly_tradeoff::core::config::{
+    AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy,
+};
+use dragonfly_tradeoff::core::runner::run_experiment;
+use dragonfly_tradeoff::engine::Ns;
+use dragonfly_tradeoff::placement::PlacementPolicy;
+use dragonfly_tradeoff::workloads::BackgroundSpec;
+
+fn cfg() -> ExperimentConfig {
+    let mut c = ExperimentConfig::small_test();
+    c.app = AppSelection::FillBoundary { ranks: 27 };
+    c.placement = PlacementPolicy::RandomChassis;
+    c.routing = RoutingPolicy::Adaptive;
+    c.msg_scale = 0.3;
+    c
+}
+
+#[test]
+fn identical_runs_produce_identical_results() {
+    let a = run_experiment(&cfg());
+    let b = run_experiment(&cfg());
+    assert_eq!(a.rank_comm_times, b.rank_comm_times);
+    assert_eq!(a.rank_avg_hops, b.rank_avg_hops);
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(a.events, b.events);
+    let ta: Vec<_> = a.metrics.channels().map(|c| c.traffic_bytes).collect();
+    let tb: Vec<_> = b.metrics.channels().map(|c| c.traffic_bytes).collect();
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn interference_runs_are_deterministic_too() {
+    let mut c = cfg();
+    c.app = AppSelection::Amg { ranks: 8 };
+    c.background = Some(BackgroundConfig {
+        spec: BackgroundSpec::uniform(32 * 1024, Ns::from_us(2), 0),
+    });
+    let a = run_experiment(&c);
+    let b = run_experiment(&c);
+    assert_eq!(a.rank_comm_times, b.rank_comm_times);
+    assert_eq!(a.background_messages, b.background_messages);
+    assert!(a.background_messages > 0);
+}
+
+#[test]
+fn different_seed_different_random_placement_same_invariants() {
+    let a = run_experiment(&cfg());
+    let mut c2 = cfg();
+    c2.seed = 0xDEAD_BEEF;
+    let b = run_experiment(&c2);
+    assert_ne!(a.placement, b.placement);
+    // Invariants hold for both.
+    for r in [&a, &b] {
+        assert_eq!(r.rank_comm_times.len(), 27);
+        assert!(r.job_end > Ns::ZERO);
+    }
+}
+
+#[test]
+fn seed_streams_are_independent() {
+    // Changing only the routing policy must not change the placement
+    // (each subsystem derives its own RNG stream from the master seed).
+    let min = {
+        let mut c = cfg();
+        c.routing = RoutingPolicy::Minimal;
+        run_experiment(&c)
+    };
+    let adp = run_experiment(&cfg());
+    assert_eq!(min.placement, adp.placement);
+}

@@ -1,0 +1,98 @@
+//! End-to-end integration: the three applications across the full stack
+//! (topology -> placement -> workload -> network -> MPI engine -> metrics).
+
+use dragonfly_tradeoff::core::config::{AppSelection, ExperimentConfig, RoutingPolicy};
+use dragonfly_tradeoff::core::runner::run_experiment;
+use dragonfly_tradeoff::engine::Ns;
+use dragonfly_tradeoff::network::MetricsFilter;
+use dragonfly_tradeoff::placement::PlacementPolicy;
+
+fn base(app: AppSelection) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.app = app;
+    cfg.msg_scale = 0.2;
+    cfg
+}
+
+#[test]
+fn cr_runs_under_every_config() {
+    for placement in PlacementPolicy::ALL {
+        for routing in [RoutingPolicy::Minimal, RoutingPolicy::Adaptive] {
+            let mut cfg = base(AppSelection::CrystalRouter { ranks: 24 });
+            cfg.placement = placement;
+            cfg.routing = routing;
+            let r = run_experiment(&cfg);
+            assert_eq!(r.rank_comm_times.len(), 24);
+            assert!(
+                r.rank_comm_times.iter().all(|&t| t > Ns::ZERO),
+                "{placement:?}/{routing:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fb_and_amg_complete_with_positive_metrics() {
+    for app in [
+        AppSelection::FillBoundary { ranks: 27 },
+        AppSelection::Amg { ranks: 27 },
+    ] {
+        let r = run_experiment(&base(app));
+        assert!(r.job_end > Ns::ZERO);
+        assert!(r.events > 1000);
+        assert!(r.mean_hops() >= 0.0);
+        let all = MetricsFilter::All;
+        let traffic: f64 = r.metrics.local_traffic(&all).iter().sum();
+        assert!(traffic > 0.0, "{app:?} moved no local traffic");
+    }
+}
+
+#[test]
+fn comm_time_stats_consistent_with_raw_times() {
+    let r = run_experiment(&base(AppSelection::CrystalRouter { ranks: 16 }));
+    let stats = r.comm_time_stats();
+    let times = r.comm_times_ms();
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!((stats.max - max).abs() < 1e-9);
+    assert!((stats.min - min).abs() < 1e-9);
+    assert_eq!(stats.n, 16);
+    assert_eq!(r.max_comm_time().as_ms_f64(), max);
+}
+
+#[test]
+fn app_filter_restricts_channel_population() {
+    let mut cfg = base(AppSelection::Amg { ranks: 8 });
+    cfg.placement = PlacementPolicy::Contiguous;
+    let r = run_experiment(&cfg);
+    let all_local = r.metrics.local_traffic(&MetricsFilter::All).len();
+    let app_local = r.metrics.local_traffic(&r.app_filter()).len();
+    // 8 contiguous ranks sit on 4 routers of 32: the app view is a strict
+    // subset of the machine view.
+    assert!(app_local < all_local);
+    assert!(app_local > 0);
+}
+
+#[test]
+fn traffic_scales_with_message_size() {
+    let small = run_experiment(&base(AppSelection::FillBoundary { ranks: 8 }));
+    let mut big_cfg = base(AppSelection::FillBoundary { ranks: 8 });
+    big_cfg.msg_scale = 0.8;
+    let big = run_experiment(&big_cfg);
+    let all = MetricsFilter::All;
+    let t_small: f64 = small.metrics.local_traffic(&all).iter().sum::<f64>()
+        + small.metrics.global_traffic(&all).iter().sum::<f64>();
+    let t_big: f64 = big.metrics.local_traffic(&all).iter().sum::<f64>()
+        + big.metrics.global_traffic(&all).iter().sum::<f64>();
+    let ratio = t_big / t_small;
+    assert!(
+        ratio > 3.0 && ratio < 5.0,
+        "4x message scale should give ~4x traffic, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn job_end_equals_slowest_rank() {
+    let r = run_experiment(&base(AppSelection::CrystalRouter { ranks: 16 }));
+    assert_eq!(r.job_end, r.max_comm_time());
+}

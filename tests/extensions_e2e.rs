@@ -1,0 +1,167 @@
+//! Integration tests for the reproduction's extension features: synthetic
+//! patterns, Valiant routing, multi-job co-runs, the load sampler, and the
+//! imbalance statistics — all through the public facade.
+
+use dragonfly_tradeoff::core::config::RoutingPolicy;
+use dragonfly_tradeoff::core::mpi::MultiDriver;
+use dragonfly_tradeoff::core::multijob::{run_multijob, JobSpec, MultiJobConfig};
+use dragonfly_tradeoff::core::validate::{run_bisection, run_pingpong};
+use dragonfly_tradeoff::engine::{Ns, Xoshiro256};
+use dragonfly_tradeoff::network::{MetricsFilter, Network, NetworkParams, Routing};
+use dragonfly_tradeoff::placement::{NodePool, PlacementPolicy};
+use dragonfly_tradeoff::prelude::*;
+use dragonfly_tradeoff::stats::gini;
+use dragonfly_tradeoff::topology::Topology;
+use dragonfly_tradeoff::workloads::{generate_pattern, Pattern, PatternSpec};
+use std::sync::Arc;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(Topology::build(TopologyConfig::small_test()))
+}
+
+fn run_pattern(pattern: Pattern, placement: PlacementPolicy, routing: Routing) -> (Ns, f64) {
+    let t = topo();
+    let trace = generate_pattern(&PatternSpec {
+        pattern,
+        ranks: 32,
+        bytes_per_phase: 128 * 1024,
+        phases: 3,
+        seed: 5,
+    });
+    let mut pool = NodePool::new(&t);
+    let mut rng = Xoshiro256::seed_from(9);
+    let nodes = placement.allocate(&t, &mut pool, 32, &mut rng).unwrap();
+    let mut net = Network::new(t, NetworkParams::default(), routing, 3);
+    let result = dragonfly_tradeoff::core::mpi::MpiDriver::new(&mut net, &trace, &nodes, None).run();
+    let g = gini(&net.metrics().global_traffic(&MetricsFilter::All));
+    (result.job_end, g)
+}
+
+#[test]
+fn every_pattern_completes_under_every_routing() {
+    for pattern in Pattern::ALL {
+        for routing in [Routing::Minimal, Routing::Adaptive, Routing::Valiant] {
+            let (end, _) = run_pattern(pattern, PlacementPolicy::RandomNode, routing);
+            assert!(end > Ns::ZERO, "{pattern:?}/{routing:?}");
+        }
+    }
+}
+
+#[test]
+fn valiant_balances_shift_traffic_better_than_minimal() {
+    // Shift is the adversarial pattern for minimal routing: with
+    // contiguous placement all traffic targets one group pair. Valiant
+    // spreads it over intermediates — its raison d'etre.
+    let (_, g_min) = run_pattern(Pattern::Shift, PlacementPolicy::Contiguous, Routing::Minimal);
+    let (_, g_val) = run_pattern(Pattern::Shift, PlacementPolicy::Contiguous, Routing::Valiant);
+    assert!(
+        g_val < g_min,
+        "valiant global-traffic gini {g_val:.3} !< minimal {g_min:.3}"
+    );
+}
+
+#[test]
+fn multijob_through_facade() {
+    let cfg = MultiJobConfig {
+        topology: TopologyConfig::small_test(),
+        network: NetworkParams::default(),
+        routing: RoutingPolicy::Adaptive,
+        jobs: vec![
+            JobSpec {
+                app: AppSelection::CrystalRouter { ranks: 16 },
+                placement: PlacementPolicy::RandomNode,
+                msg_scale: 0.3,
+            },
+            JobSpec {
+                app: AppSelection::Amg { ranks: 16 },
+                placement: PlacementPolicy::RandomNode,
+                msg_scale: 0.3,
+            },
+        ],
+        seed: 1,
+    };
+    let r = run_multijob(&cfg);
+    assert_eq!(r.jobs.len(), 2);
+    assert!(r.makespan >= r.jobs[0].result.job_end);
+    assert!(r.makespan >= r.jobs[1].result.job_end);
+    // Per-job router sets are small subsets of the machine.
+    assert!(r.jobs[0].routers.len() <= 16);
+    let stats = r.jobs[0].comm_time_stats();
+    assert!(stats.max >= stats.min);
+}
+
+#[test]
+fn load_sampler_tracks_a_run() {
+    let t = topo();
+    let trace = generate_pattern(&PatternSpec {
+        pattern: Pattern::AllToAll,
+        ranks: 24,
+        bytes_per_phase: 256 * 1024,
+        phases: 2,
+        seed: 8,
+    });
+    let nodes: Vec<_> = (0..24).map(dragonfly_tradeoff::topology::NodeId).collect();
+    let mut net = Network::new(t, NetworkParams::default(), Routing::Minimal, 5);
+    let (results, series) = MultiDriver::new(&mut net, &[(&trace, &nodes)], None)
+        .with_sampler(Ns::from_us(2))
+        .run_with_series();
+    assert!(series.peak_queued() > 0);
+    // The gauge must end near zero: the network drained.
+    assert!(net.total_queued_bytes() == 0);
+    assert!(results[0].job_end > *series.times.first().unwrap());
+}
+
+#[test]
+fn pingpong_validation_within_codes_bar_on_theta_shape() {
+    let r = run_pingpong(&TopologyConfig::quick(), NetworkParams::default(), 190 * 1024);
+    assert!(
+        r.relative_error < 0.08,
+        "ping-pong error {:.2}%",
+        100.0 * r.relative_error
+    );
+}
+
+#[test]
+fn bisection_efficiency_reasonable_on_small_machine() {
+    let r = run_bisection(
+        &TopologyConfig::small_test(),
+        NetworkParams::default(),
+        512 * 1024,
+        Routing::Minimal,
+    );
+    assert!(r.efficiency > 0.4 && r.efficiency <= 1.001, "{:?}", r);
+}
+
+#[test]
+fn utilization_metric_spans_zero_to_busy() {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.app = AppSelection::FillBoundary { ranks: 27 };
+    cfg.placement = PlacementPolicy::Contiguous;
+    let r = run_experiment(&cfg);
+    let u = r.metrics.utilization(
+        dragonfly_tradeoff::topology::ChannelClass::LocalRow,
+        r.job_end,
+    );
+    assert!(!u.is_empty());
+    assert!(u.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+    // Contiguous FB leaves remote rows idle and hammers local ones.
+    assert!(u.iter().any(|&x| x == 0.0));
+    assert!(u.iter().any(|&x| x > 0.1));
+}
+
+#[test]
+fn gini_separates_contiguous_from_random_node() {
+    let run = |placement| {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = AppSelection::FillBoundary { ranks: 27 };
+        cfg.placement = placement;
+        let r = run_experiment(&cfg);
+        gini(&r.metrics.local_traffic(&MetricsFilter::All))
+    };
+    let cont = run(PlacementPolicy::Contiguous);
+    let rand = run(PlacementPolicy::RandomNode);
+    assert!(
+        cont > rand,
+        "contiguous local-traffic gini {cont:.3} !> random {rand:.3}"
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based tests over the core invariants:
+//!
+//! * the network always drains (deadlock freedom of the ascending-VC
+//!   discipline) and delivers every message exactly once;
+//! * placement policies return exactly-sized, duplicate-free allocations;
+//! * generated traces are structurally valid and scale linearly;
+//! * CDF/summary statistics agree with naive reference implementations.
+
+use dragonfly_tradeoff::engine::{Ns, Xoshiro256};
+use dragonfly_tradeoff::network::{Network, NetworkParams, Routing};
+use dragonfly_tradeoff::placement::{NodePool, PlacementPolicy};
+use dragonfly_tradeoff::stats::{BoxStats, Cdf};
+use dragonfly_tradeoff::topology::{NodeId, Topology, TopologyConfig};
+use dragonfly_tradeoff::workloads::{generate, AppKind, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_topo() -> Arc<Topology> {
+    Arc::new(Topology::build(TopologyConfig::small_test()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adversarial random traffic always drains and conserves messages —
+    /// the deadlock-freedom property of the VC discipline.
+    #[test]
+    fn network_always_drains(
+        seed in any::<u64>(),
+        n_msgs in 1usize..120,
+        routing in prop_oneof![Just(Routing::Minimal), Just(Routing::Adaptive)],
+    ) {
+        let topo = small_topo();
+        let nodes = topo.config().total_nodes() as u64;
+        let mut net = Network::new(topo, NetworkParams::default(), routing, seed);
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
+        for i in 0..n_msgs {
+            let src = NodeId(rng.next_below(nodes) as u32);
+            let dst = NodeId(rng.next_below(nodes) as u32);
+            let bytes = rng.range_inclusive(0, 100_000);
+            let at = Ns(rng.next_below(50_000));
+            net.send(at, src, dst, bytes, i as u64);
+        }
+        let mut delivered = std::collections::HashSet::new();
+        while let Some(d) = net.poll_delivery() {
+            prop_assert!(delivered.insert(d.tag), "duplicate delivery {}", d.tag);
+            prop_assert!(d.completed_at >= d.injected_at);
+            prop_assert!(d.avg_hops <= 10.0);
+        }
+        prop_assert_eq!(delivered.len(), n_msgs);
+        prop_assert!(net.is_idle());
+    }
+
+    /// Small random VC buffers still cannot deadlock the network.
+    #[test]
+    fn network_drains_with_tight_buffers(
+        seed in any::<u64>(),
+        packet_kb in 1u32..4,
+    ) {
+        let topo = small_topo();
+        let params = NetworkParams {
+            packet_size: packet_kb * 1024,
+            terminal_vc_bytes: (packet_kb as u64) * 1024,
+            local_vc_bytes: (packet_kb as u64) * 1024,
+            global_vc_bytes: (packet_kb as u64) * 1024,
+            ..NetworkParams::default()
+        };
+        let nodes = topo.config().total_nodes() as u64;
+        let mut net = Network::new(topo, params, Routing::Adaptive, seed);
+        let mut rng = Xoshiro256::seed_from(seed);
+        for i in 0..80u64 {
+            let src = NodeId(rng.next_below(nodes) as u32);
+            let dst = NodeId(rng.next_below(nodes) as u32);
+            net.send(Ns::ZERO, src, dst, 40_000, i);
+        }
+        let mut count = 0;
+        while net.poll_delivery().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, 80);
+    }
+
+    /// Every placement policy returns exactly `size` distinct free nodes.
+    #[test]
+    fn placements_exact_and_distinct(
+        seed in any::<u64>(),
+        size in 1u32..64,
+        policy_idx in 0usize..5,
+    ) {
+        let topo = small_topo();
+        let policy = PlacementPolicy::ALL[policy_idx];
+        let mut pool = NodePool::new(&topo);
+        let mut rng = Xoshiro256::seed_from(seed);
+        let nodes = policy.allocate(&topo, &mut pool, size, &mut rng).unwrap();
+        prop_assert_eq!(nodes.len(), size as usize);
+        let set: std::collections::HashSet<_> = nodes.iter().collect();
+        prop_assert_eq!(set.len(), size as usize);
+        prop_assert_eq!(pool.free_count(), 64 - size);
+    }
+
+    /// Trace generation is valid for arbitrary rank counts and scales,
+    /// and total bytes scale linearly with msg_scale.
+    #[test]
+    fn traces_valid_and_scale_linearly(
+        ranks in 2u32..80,
+        scale_pct in 10u32..300,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg][kind_idx];
+        let spec = WorkloadSpec { kind, ranks, msg_scale: 1.0, seed: 77 };
+        let base = generate(&spec);
+        prop_assert!(base.validate().is_ok());
+        let scaled = generate(&WorkloadSpec {
+            msg_scale: scale_pct as f64 / 100.0,
+            ..spec
+        });
+        let ratio = scaled.total_bytes() as f64 / base.total_bytes() as f64;
+        let expected = scale_pct as f64 / 100.0;
+        prop_assert!((ratio / expected - 1.0).abs() < 0.02,
+            "scaling ratio {ratio} vs expected {expected}");
+    }
+
+    /// BoxStats quartiles bracket each other and bound the data for any
+    /// input.
+    #[test]
+    fn boxstats_ordering(data in prop::collection::vec(0.0f64..1e9, 1..200)) {
+        let s = BoxStats::from_samples(&data).unwrap();
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+
+    /// A CDF is a proper distribution function: monotone, ends at 100%,
+    /// quantile inverts fraction lookups.
+    #[test]
+    fn cdf_is_monotone_distribution(data in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(data.clone());
+        let steps = cdf.steps();
+        prop_assert_eq!(steps.len(), data.len());
+        let mut prev = (f64::NEG_INFINITY, 0.0);
+        for &(x, p) in &steps {
+            prop_assert!(x >= prev.0);
+            prop_assert!(p >= prev.1);
+            prev = (x, p);
+        }
+        prop_assert!((steps.last().unwrap().1 - 100.0).abs() < 1e-9);
+        // quantile(fraction_at_or_below(x)) <= max and >= min for any x.
+        let q = cdf.quantile(0.5);
+        prop_assert!(q >= cdf.min().unwrap() && q <= cdf.max().unwrap());
+    }
+}

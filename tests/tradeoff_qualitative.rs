@@ -1,0 +1,138 @@
+//! The paper's qualitative findings, asserted end-to-end on the small
+//! machine. These are the claims EXPERIMENTS.md tracks at full scale; the
+//! integration suite pins the directions that must hold at any scale.
+
+use dragonfly_tradeoff::core::config::{AppSelection, ExperimentConfig, RoutingPolicy};
+use dragonfly_tradeoff::core::report::ConfigLabel;
+use dragonfly_tradeoff::core::runner::run_experiment;
+use dragonfly_tradeoff::core::sweep::run_config_grid;
+use dragonfly_tradeoff::network::MetricsFilter;
+use dragonfly_tradeoff::placement::PlacementPolicy;
+
+fn cfg(app: AppSelection, p: PlacementPolicy, r: RoutingPolicy) -> ExperimentConfig {
+    let mut c = ExperimentConfig::small_test();
+    c.app = app;
+    c.placement = p;
+    c.routing = r;
+    c
+}
+
+/// Key finding 1: localized communication (contiguous) reduces hops.
+#[test]
+fn contiguous_reduces_hops_for_every_app() {
+    for app in [
+        AppSelection::CrystalRouter { ranks: 24 },
+        AppSelection::FillBoundary { ranks: 27 },
+        AppSelection::Amg { ranks: 27 },
+    ] {
+        let cont = run_experiment(&cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal));
+        let rand = run_experiment(&cfg(app, PlacementPolicy::RandomNode, RoutingPolicy::Minimal));
+        assert!(
+            cont.mean_hops() < rand.mean_hops(),
+            "{app:?}: cont {:.2} !< rand {:.2}",
+            cont.mean_hops(),
+            rand.mean_hops()
+        );
+    }
+}
+
+/// Key finding 2: localized communication risks local-link saturation —
+/// contiguous placement concentrates traffic on fewer channels.
+#[test]
+fn contiguous_concentrates_local_traffic() {
+    let app = AppSelection::FillBoundary { ranks: 27 };
+    let cont = run_experiment(&cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal));
+    let rand = run_experiment(&cfg(app, PlacementPolicy::RandomNode, RoutingPolicy::Minimal));
+    let all = MetricsFilter::All;
+    // The busiest local channel under contiguous beats random's busiest.
+    let peak = |r: &dragonfly_tradeoff::core::runner::ExperimentResult| {
+        r.metrics
+            .local_traffic(&all)
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        peak(&cont) > peak(&rand),
+        "contiguous peak {:.1} !> random peak {:.1}",
+        peak(&cont),
+        peak(&rand)
+    );
+    // ... while random-node touches more channels.
+    let nonzero = |r: &dragonfly_tradeoff::core::runner::ExperimentResult| {
+        r.metrics
+            .local_traffic(&all)
+            .iter()
+            .filter(|&&t| t > 0.0)
+            .count()
+    };
+    assert!(nonzero(&rand) >= nonzero(&cont));
+}
+
+/// Key finding 3: the communication-intensive apps (CR, FB) prefer
+/// balanced traffic — random placement beats contiguous.
+#[test]
+fn intensive_apps_prefer_random_placement() {
+    for app in [
+        AppSelection::CrystalRouter { ranks: 24 },
+        AppSelection::FillBoundary { ranks: 27 },
+    ] {
+        let grid = run_config_grid(
+            &cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal),
+            &ConfigLabel::extremes(),
+        );
+        let median = |i: usize| grid[i].result.comm_time_stats().median;
+        // extremes: [cont-min, rand-min, cont-adp, rand-adp]
+        assert!(median(1) < median(0), "{app:?}: rand-min !< cont-min");
+        assert!(median(3) < median(2), "{app:?}: rand-adp !< cont-adp");
+    }
+}
+
+/// Key finding 4 (sensitivity, Fig 7 direction): heavier messages make
+/// contiguous placement worse relative to random for FB. A genuinely
+/// localized job (16 of 64 nodes — one group) shows the crossover even on
+/// the toy machine.
+#[test]
+fn fb_contiguous_penalty_grows_with_load() {
+    let app = AppSelection::FillBoundary { ranks: 16 };
+    let ratio_at = |scale: f64| {
+        let mut c1 = cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal);
+        c1.msg_scale = scale;
+        let mut c2 = cfg(app, PlacementPolicy::RandomNode, RoutingPolicy::Adaptive);
+        c2.msg_scale = scale;
+        run_experiment(&c1).max_comm_time().as_nanos() as f64
+            / run_experiment(&c2).max_comm_time().as_nanos() as f64
+    };
+    let light = ratio_at(0.02);
+    let heavy = ratio_at(1.5);
+    assert!(
+        heavy > light,
+        "cont/rand ratio should grow with load: light {light:.2}, heavy {heavy:.2}"
+    );
+}
+
+/// Adaptive routing pays hops to avoid saturation (the routing half of
+/// the trade-off). On the toy machine minimal intra-group routes are 1-2
+/// hops, so the UGAL first-hop signal (capped by the VC buffers) needs a
+/// proportionally lower detour bias — the production default is tuned for
+/// Theta-length paths.
+#[test]
+fn adaptive_trades_hops_for_less_saturation_under_contiguous_fb() {
+    let app = AppSelection::FillBoundary { ranks: 27 };
+    let mut min_cfg = cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal);
+    min_cfg.network.adaptive_bias_bytes = 2048;
+    let mut adp_cfg = cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Adaptive);
+    adp_cfg.network.adaptive_bias_bytes = 2048;
+    let min = run_experiment(&min_cfg);
+    let adp = run_experiment(&adp_cfg);
+    assert!(adp.mean_hops() >= min.mean_hops());
+    let all = MetricsFilter::All;
+    let sat = |r: &dragonfly_tradeoff::core::runner::ExperimentResult| {
+        r.metrics.local_saturation_ms(&all).iter().sum::<f64>()
+    };
+    assert!(
+        sat(&adp) < sat(&min),
+        "adaptive local saturation {:.3} !< minimal {:.3}",
+        sat(&adp),
+        sat(&min)
+    );
+}
