@@ -5,7 +5,7 @@
 //! `ablations` binary reports the *simulated outcomes* (comm time, hops,
 //! saturation) for the same grid.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_bench::{criterion_group, criterion_main, Criterion};
 use dfly_core::config::{AppSelection, ExperimentConfig, RoutingPolicy};
 use dfly_core::runner::run_experiment;
 use dfly_placement::PlacementPolicy;

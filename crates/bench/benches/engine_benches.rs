@@ -1,7 +1,7 @@
 //! Engine micro-benchmarks: event queue and RNG throughput — the
 //! simulator's innermost loops.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfly_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use dfly_engine::{EventQueue, Ns, Xoshiro256};
 use std::hint::black_box;
 

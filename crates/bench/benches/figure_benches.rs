@@ -8,7 +8,7 @@
 //! These benchmark the *simulator*; the figures themselves are produced
 //! by the `fig*` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_bench::{criterion_group, criterion_main, Criterion};
 use dfly_core::config::{AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy};
 use dfly_core::runner::run_experiment;
 use dfly_engine::Ns;

@@ -1,7 +1,7 @@
 //! Network model benchmarks: end-to-end packet throughput of the
 //! simulator under both routing policies and under congestion.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfly_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use dfly_engine::{Ns, Xoshiro256};
 use dfly_network::{Network, NetworkParams, Routing};
 use dfly_topology::{NodeId, Topology, TopologyConfig};

@@ -1,7 +1,7 @@
 //! Placement-policy benchmarks at Theta scale: allocation cost of each
 //! policy, and task-mapping arrangement cost.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfly_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use dfly_engine::Xoshiro256;
 use dfly_placement::{NodePool, PlacementPolicy, TaskMapping};
 use dfly_topology::{Topology, TopologyConfig};

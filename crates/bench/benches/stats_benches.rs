@@ -1,7 +1,7 @@
 //! Statistics-kernel benchmarks at the population sizes the reproduction
 //! actually processes (tens of thousands of channels).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_bench::{criterion_group, criterion_main, Criterion};
 use dfly_engine::Xoshiro256;
 use dfly_stats::{gini, BoxStats, Cdf};
 use std::hint::black_box;

@@ -1,7 +1,7 @@
 //! Topology benchmarks: machine construction and path computation (the
 //! per-packet routing cost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_bench::{criterion_group, criterion_main, Criterion};
 use dfly_engine::Xoshiro256;
 use dfly_topology::{paths, RouterId, Topology, TopologyConfig};
 use std::hint::black_box;

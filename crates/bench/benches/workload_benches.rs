@@ -1,7 +1,7 @@
 //! Workload generation benchmarks: trace synthesis at paper scale and
 //! communication-matrix extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_bench::{criterion_group, criterion_main, Criterion};
 use dfly_workloads::{generate, AppKind, CommMatrix, WorkloadSpec};
 use std::hint::black_box;
 

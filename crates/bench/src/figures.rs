@@ -10,6 +10,7 @@
 
 use crate::harness::{emit_cdf_family, label_of, RunArgs};
 use dfly_core::report::ConfigLabel;
+use dfly_engine::ToKv;
 use dfly_core::sweep::run_config_grid;
 use dfly_network::MetricsFilter;
 use dfly_stats::Cdf;
@@ -25,6 +26,7 @@ pub fn fig456(args: &RunArgs, apps: &[AppKind]) {
             AppKind::Amg => 6,
         };
         let base = args.base_config(app);
+        println!("\n-- fig{fig} base config --\n{}", base.kv_echo());
         let grid = run_config_grid(&base, &ConfigLabel::all_ten());
         let all = MetricsFilter::All;
 

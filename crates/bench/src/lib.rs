@@ -1,8 +1,9 @@
 //! # dfly-bench
 //!
 //! The reproduction harness: one binary per table/figure of the paper
-//! (see `DESIGN.md` section 6 for the full index) plus Criterion
-//! benchmarks over every subsystem.
+//! (see `DESIGN.md` section 6 for the full index) plus benchmarks over
+//! every subsystem, run by the in-tree [`microbench`] harness (no
+//! Criterion — the workspace builds with zero external dependencies).
 //!
 //! Every binary accepts:
 //!
@@ -14,8 +15,10 @@
 //! The shared plumbing lives here; the binaries are thin.
 
 pub mod harness;
+pub mod microbench;
 
 pub mod figures;
+pub use microbench::{BatchSize, Bencher, BenchmarkGroup, Criterion};
 pub use harness::{
     emit_cdf_family, label_of, parse_args, print_boxplot_table, print_run_summary, Mode, RunArgs,
 };

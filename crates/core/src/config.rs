@@ -1,16 +1,16 @@
 //! Experiment configuration.
 
+use dfly_engine::kv::{kv, nest, ToKv};
 use dfly_network::NetworkParams;
 use dfly_placement::{PlacementPolicy, TaskMapping};
 use dfly_topology::TopologyConfig;
 use dfly_workloads::{AppKind, BackgroundSpec, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// Routing mechanism — re-exported network type under the study's name.
 pub type RoutingPolicy = dfly_network::Routing;
 
 /// The application under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AppSelection {
     /// Crystal Router miniapp.
     CrystalRouter {
@@ -71,7 +71,7 @@ impl AppSelection {
 /// Background (external interference) traffic configuration. The synthetic
 /// job always occupies **all** nodes not assigned to the target app, as in
 /// the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BackgroundConfig {
     /// Traffic pattern and load.
     pub spec: BackgroundSpec,
@@ -79,7 +79,7 @@ pub struct BackgroundConfig {
 
 /// A complete experiment: one application run (optionally with background
 /// traffic) on one machine configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Machine shape and link parameters.
     pub topology: TopologyConfig,
@@ -181,6 +181,32 @@ impl ExperimentConfig {
     }
 }
 
+impl ToKv for ExperimentConfig {
+    fn to_kv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        kv(&mut out, "app", self.app.kind().label());
+        kv(&mut out, "ranks", self.app.ranks());
+        kv(&mut out, "placement", self.placement.label());
+        kv(&mut out, "mapping", self.mapping.label());
+        kv(&mut out, "routing", self.routing.label());
+        kv(&mut out, "msg_scale", self.msg_scale);
+        kv(&mut out, "seed", format_args!("{:#x}", self.seed));
+        match &self.background {
+            None => kv(&mut out, "background", "none"),
+            Some(bg) => {
+                kv(&mut out, "background", bg.spec.kind.label());
+                kv(&mut out, "background.message_bytes", bg.spec.message_bytes);
+                kv(&mut out, "background.interval", bg.spec.interval);
+                kv(&mut out, "background.fanout", bg.spec.fanout);
+                kv(&mut out, "background.seed", format_args!("{:#x}", bg.spec.seed));
+            }
+        }
+        nest(&mut out, "topology", &self.topology);
+        nest(&mut out, "network", &self.network);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +255,33 @@ mod tests {
         let mut cfg = ExperimentConfig::small_test();
         cfg.msg_scale = 0.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_echo_is_deterministic_and_distinguishes_configs() {
+        let a = ExperimentConfig::small_test();
+        assert_eq!(a.kv_echo(), ExperimentConfig::small_test().kv_echo());
+        let mut b = a.clone();
+        b.placement = PlacementPolicy::RandomNode;
+        assert_ne!(a.kv_echo(), b.kv_echo());
+        // Nested topology/network keys are prefixed and present.
+        let keys: Vec<String> = a.to_kv().into_iter().map(|(k, _)| k).collect();
+        assert!(keys.contains(&"topology.groups".to_string()));
+        assert!(keys.contains(&"network.packet_size".to_string()));
+        assert!(keys.contains(&"placement".to_string()));
+    }
+
+    #[test]
+    fn config_echo_includes_background_when_set() {
+        use dfly_engine::Ns;
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = AppSelection::CrystalRouter { ranks: 32 };
+        cfg.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::uniform(1024, Ns::from_us(10), 1),
+        });
+        let echo = cfg.kv_echo();
+        assert!(echo.contains("background = uniform-random"));
+        assert!(echo.contains("background.message_bytes = 1024"));
     }
 
     #[test]

@@ -16,12 +16,11 @@ use dfly_placement::{NodePool, PlacementPolicy};
 use dfly_stats::BoxStats;
 use dfly_topology::{NodeId, RouterId, Topology, TopologyConfig};
 use dfly_workloads::generate;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::Arc;
 
 /// One job of a co-run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobSpec {
     /// The application.
     pub app: AppSelection,
@@ -45,7 +44,7 @@ impl JobSpec {
 /// A whole co-run configuration. Jobs are allocated in order from one
 /// shared node pool, so earlier jobs get first pick — exactly how a batch
 /// scheduler fills a machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiJobConfig {
     /// Machine shape.
     pub topology: TopologyConfig,

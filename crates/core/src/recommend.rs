@@ -10,10 +10,9 @@
 use crate::config::RoutingPolicy;
 use dfly_placement::PlacementPolicy;
 use dfly_workloads::JobTrace;
-use serde::{Deserialize, Serialize};
 
 /// How much communication a trace does, in the paper's two dimensions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommIntensity {
     /// Average bytes sent per rank over the whole trace (the paper's
     /// "message load" axis).
@@ -36,7 +35,7 @@ impl CommIntensity {
 }
 
 /// A placement + routing recommendation with its reasoning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// Recommended placement policy.
     pub placement: PlacementPolicy,

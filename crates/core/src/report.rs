@@ -2,12 +2,11 @@
 
 use crate::config::RoutingPolicy;
 use dfly_placement::PlacementPolicy;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A placement x routing combination, labelled as in the paper's Table I
 /// (`cont-min`, `cab-adp`, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConfigLabel {
     /// Placement policy.
     pub placement: PlacementPolicy,

@@ -16,11 +16,10 @@ use dfly_network::{Network, NetworkEvent, NetworkParams};
 use dfly_placement::NodePool;
 use dfly_topology::{NodeId, Topology, TopologyConfig};
 use dfly_workloads::{generate, JobTrace};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A job submission.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Submission {
     /// What to run and how to place it.
     pub job: JobSpec,
@@ -29,7 +28,7 @@ pub struct Submission {
 }
 
 /// Scheduler experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
     /// Machine shape.
     pub topology: TopologyConfig,

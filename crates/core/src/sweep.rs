@@ -8,7 +8,7 @@
 use crate::config::ExperimentConfig;
 use crate::report::ConfigLabel;
 use crate::runner::{run_experiment, ExperimentResult};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One grid cell's outcome.
 #[derive(Debug, Clone)]
@@ -69,7 +69,7 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = {
-                    let mut n = next.lock();
+                    let mut n = next.lock().expect("claim lock never poisoned");
                     let i = *n;
                     *n += 1;
                     i
@@ -78,13 +78,17 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
                     break;
                 }
                 let r = run_experiment(&configs[i]);
-                *results[i].lock() = Some(r);
+                *results[i].lock().expect("slot lock never poisoned") = Some(r);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

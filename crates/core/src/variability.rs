@@ -10,10 +10,9 @@
 use crate::config::ExperimentConfig;
 use crate::sweep::run_many;
 use dfly_stats::{mean, stddev, BoxStats};
-use serde::{Deserialize, Serialize};
 
 /// Variability of one configuration across seeds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VariabilityReport {
     /// Median communication time of each run (ms).
     pub run_medians_ms: Vec<f64>,

@@ -1,0 +1,106 @@
+//! Key/value config echo — the in-tree replacement for the serde derives
+//! the workspace used to carry.
+//!
+//! The study never serialized configs to JSON (no serializer backend was
+//! ever wired up); the derives existed so a run could *echo* its exact
+//! configuration next to its results. [`ToKv`] keeps that capability with
+//! ~30 lines of code and zero dependencies: every config type flattens
+//! itself to ordered `(key, value)` pairs, nested configs are prefixed
+//! with `parent.`, and [`ToKv::kv_echo`] renders the canonical
+//! `key = value` block that reproduction binaries print and tests compare.
+
+/// Flatten a configuration to ordered key/value string pairs.
+///
+/// Implementations must be deterministic: the same value always produces
+/// the same pairs in the same order, so two runs' echoes are byte-equal
+/// exactly when their configs are equal.
+pub trait ToKv {
+    /// The ordered `(key, value)` pairs describing `self`.
+    fn to_kv(&self) -> Vec<(String, String)>;
+
+    /// Render the pairs as a `key = value` block, one pair per line,
+    /// with a trailing newline.
+    fn kv_echo(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.to_kv() {
+            out.push_str(&k);
+            out.push_str(" = ");
+            out.push_str(&v);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prefix every key of a nested config with `prefix.` and append the
+/// pairs to `out`. Lets a parent config compose its children:
+///
+/// ```
+/// use dfly_engine::kv::{nest, ToKv};
+/// struct Inner;
+/// impl ToKv for Inner {
+///     fn to_kv(&self) -> Vec<(String, String)> {
+///         vec![("x".into(), "1".into())]
+///     }
+/// }
+/// let mut out = Vec::new();
+/// nest(&mut out, "inner", &Inner);
+/// assert_eq!(out, vec![("inner.x".to_string(), "1".to_string())]);
+/// ```
+pub fn nest(out: &mut Vec<(String, String)>, prefix: &str, child: &dyn ToKv) {
+    for (k, v) in child.to_kv() {
+        out.push((format!("{prefix}.{k}"), v));
+    }
+}
+
+/// Push one `Display`-able field. Small sugar so implementations read as
+/// a field list.
+pub fn kv(out: &mut Vec<(String, String)>, key: &str, value: impl std::fmt::Display) {
+    out.push((key.to_string(), value.to_string()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Leaf {
+        a: u32,
+        b: &'static str,
+    }
+
+    impl ToKv for Leaf {
+        fn to_kv(&self) -> Vec<(String, String)> {
+            let mut out = Vec::new();
+            kv(&mut out, "a", self.a);
+            kv(&mut out, "b", self.b);
+            out
+        }
+    }
+
+    #[test]
+    fn echo_renders_one_pair_per_line() {
+        let l = Leaf { a: 7, b: "x" };
+        assert_eq!(l.kv_echo(), "a = 7\nb = x\n");
+    }
+
+    #[test]
+    fn nest_prefixes_keys() {
+        let l = Leaf { a: 1, b: "y" };
+        let mut out = Vec::new();
+        nest(&mut out, "leaf", &l);
+        assert_eq!(
+            out,
+            vec![
+                ("leaf.a".to_string(), "1".to_string()),
+                ("leaf.b".to_string(), "y".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_values_echo_identically() {
+        let a = Leaf { a: 3, b: "z" };
+        let b = Leaf { a: 3, b: "z" };
+        assert_eq!(a.kv_echo(), b.kv_echo());
+    }
+}

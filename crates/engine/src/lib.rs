@@ -10,7 +10,10 @@
 //!   monotone sequence number, so simulations are bit-for-bit reproducible,
 //! * a small, self-contained xoshiro256** random number generator
 //!   ([`rng::Xoshiro256`]) so random placement/routing decisions are stable
-//!   across dependency upgrades.
+//!   across dependency upgrades,
+//! * an in-tree property-testing harness ([`proptest`]) and key/value
+//!   config echo ([`kv`]) so tests and reporting need no external crates
+//!   either — the workspace builds fully offline.
 //!
 //! The engine is deliberately sequential. The paper used parallel
 //! discrete-event simulation (ROSS) purely for speed on large clusters; the
@@ -21,10 +24,13 @@
 
 #![warn(missing_docs)]
 
+pub mod kv;
+pub mod proptest;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use kv::ToKv;
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::Xoshiro256;
 pub use time::{Bandwidth, Bytes, Ns};

@@ -1,0 +1,355 @@
+//! A small in-tree property-testing harness — the zero-dependency
+//! replacement for the external `proptest` crate, in the same spirit as
+//! [`crate::rng`] replacing `rand`.
+//!
+//! The workspace's property tests need exactly four things:
+//!
+//! 1. **seeded case generation** — every case's input is derived from a
+//!    single `u64` case seed drawn from a master [`Xoshiro256`] stream,
+//!    so runs are reproducible forever (no dependency on an external
+//!    crate's strategy internals);
+//! 2. **configurable case count** — per-test via [`Config::with_cases`],
+//!    globally via the `DFLY_PROPTEST_CASES` env var;
+//! 3. **failing-seed reporting** — a failure panics with the case seed,
+//!    and [`reproduce`] re-runs exactly that input from the seed alone;
+//! 4. **minimal shrinking** for integer and vector inputs — greedy
+//!    descent over caller-supplied candidate lists (see [`shrink`]),
+//!    bounded by [`Config::max_shrink_steps`].
+//!
+//! A property is a plain closure `Fn(&T) -> Result<(), String>`; panics
+//! inside the property (e.g. from `assert!` or an `unwrap`) are caught
+//! and treated as failures, so existing assertion style keeps working.
+//!
+//! ```
+//! use dfly_engine::proptest::{check, Config};
+//!
+//! check(
+//!     "addition_commutes",
+//!     &Config::with_cases(64),
+//!     |rng| (rng.next_below(1000), rng.next_below(1000)),
+//!     |&(a, b)| {
+//!         if a + b == b + a {
+//!             Ok(())
+//!         } else {
+//!             Err(format!("{a} + {b} not commutative"))
+//!         }
+//!     },
+//! );
+//! ```
+
+use crate::rng::Xoshiro256;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Harness configuration: how many cases, from which master seed, and how
+/// hard to shrink.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Master seed; each case's seed is drawn from this stream.
+    pub seed: u64,
+    /// Upper bound on accepted shrink steps (each step re-tests up to the
+    /// whole candidate list, so this bounds work, not candidates).
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    /// 32 cases (or `DFLY_PROPTEST_CASES` if set), a fixed master seed
+    /// (or `DFLY_PROPTEST_SEED` if set), 1024 shrink steps.
+    fn default() -> Config {
+        let cases = std::env::var("DFLY_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        let seed = std::env::var("DFLY_PROPTEST_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(0xDF17_CA5E_5EED_0001);
+        Config {
+            cases,
+            seed,
+            max_shrink_steps: 1024,
+        }
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+impl Config {
+    /// Default config with an explicit case count. Explicit counts win;
+    /// the `DFLY_PROPTEST_CASES` env var only changes the default.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Everything needed to understand and reproduce a failing property.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which case (0-based) failed first.
+    pub case_index: u32,
+    /// The seed that regenerates the failing input via [`reproduce`].
+    pub case_seed: u64,
+    /// The failure message (property error or caught panic).
+    pub message: String,
+    /// `Debug` rendering of the (shrunk) failing input.
+    pub input: String,
+    /// How many shrink steps were accepted before reaching `input`.
+    pub shrink_steps: u32,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "case #{} (case_seed = {:#018x}) failed: {}\n  minimal input \
+             (after {} shrink steps): {}\n  reproduce with \
+             DFLY_PROPTEST_SEED or proptest::reproduce({:#018x}, ...)",
+            self.case_index, self.case_seed, self.message, self.shrink_steps, self.input, self.case_seed
+        )
+    }
+}
+
+/// Run the property on a value, converting panics into `Err`.
+fn test_one<T, P>(prop: &P, value: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+    T: Debug,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Non-panicking core runner. Returns the number of passing cases, or the
+/// first (shrunk) failure. [`check_with_shrink`] is the panicking wrapper
+/// tests normally use; this entry point exists so the harness can test
+/// itself.
+pub fn run_with_shrink<T, G, S, P>(
+    cfg: &Config,
+    generate: G,
+    shrink_candidates: S,
+    prop: P,
+) -> Result<u32, Failure>
+where
+    T: Debug,
+    G: Fn(&mut Xoshiro256) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut master = Xoshiro256::seed_from(cfg.seed);
+    for case_index in 0..cfg.cases {
+        let case_seed = master.next_u64();
+        let input = generate(&mut Xoshiro256::seed_from(case_seed));
+        if let Err(message) = test_one(&prop, &input) {
+            // Greedy shrink: repeatedly move to the first still-failing
+            // candidate until none fails or the step budget runs out.
+            let mut current = input;
+            let mut current_msg = message;
+            let mut steps = 0u32;
+            'outer: while steps < cfg.max_shrink_steps {
+                for candidate in shrink_candidates(&current) {
+                    if let Err(msg) = test_one(&prop, &candidate) {
+                        current = candidate;
+                        current_msg = msg;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            return Err(Failure {
+                case_index,
+                case_seed,
+                message: current_msg,
+                input: format!("{current:?}"),
+                shrink_steps: steps,
+            });
+        }
+    }
+    Ok(cfg.cases)
+}
+
+/// Run a property over `cfg.cases` generated inputs, panicking with a
+/// seed-carrying report on the first failure. No shrinking.
+pub fn check<T, G, P>(name: &str, cfg: &Config, generate: G, prop: P)
+where
+    T: Debug,
+    G: Fn(&mut Xoshiro256) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with_shrink(name, cfg, generate, |_| Vec::new(), prop);
+}
+
+/// [`check`] plus greedy shrinking over `shrink_candidates` (see
+/// [`shrink`] for stock integer/vec shrinkers).
+pub fn check_with_shrink<T, G, S, P>(name: &str, cfg: &Config, generate: G, shrink_candidates: S, prop: P)
+where
+    T: Debug,
+    G: Fn(&mut Xoshiro256) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T) -> Result<(), String>,
+{
+    if let Err(failure) = run_with_shrink(cfg, generate, shrink_candidates, prop) {
+        panic!("property '{name}' {failure}");
+    }
+}
+
+/// Re-run a property on the exact input a reported `case_seed` generates.
+/// Returns the property's verdict on that single input.
+pub fn reproduce<T, G, P>(case_seed: u64, generate: G, prop: P) -> Result<(), String>
+where
+    T: Debug,
+    G: Fn(&mut Xoshiro256) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let input = generate(&mut Xoshiro256::seed_from(case_seed));
+    test_one(&prop, &input)
+}
+
+/// Stock shrink-candidate producers for integers and vectors.
+///
+/// A shrinker maps a failing value to a list of strictly "smaller"
+/// candidates, best first; the runner greedily descends through whichever
+/// candidates still fail. Candidate lists may propose values outside the
+/// generator's range — the property re-check decides what counts.
+pub mod shrink {
+    /// Candidates for a `u64` bounded below by `lo`: the bound itself,
+    /// halfway down, and one less.
+    pub fn u64_toward(lo: u64, v: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let half = lo + (v - lo) / 2;
+            if half != lo && half != v {
+                out.push(half);
+            }
+            if v - 1 != lo {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+
+    /// Candidates for a `usize` bounded below by `lo`.
+    pub fn usize_toward(lo: usize, v: usize) -> Vec<usize> {
+        u64_toward(lo as u64, v as u64)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect()
+    }
+
+    /// Candidates for a vector: structural reductions first (drop half,
+    /// drop one element), then element-wise shrinks via `elem`.
+    pub fn vec<T: Clone>(v: &[T], elem: impl Fn(&T) -> Vec<T>) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        let n = v.len();
+        if n > 1 {
+            out.push(v[..n / 2].to_vec()); // first half
+            out.push(v[n - n / 2..].to_vec()); // second half
+        }
+        if n > 0 {
+            let mut without_last = v.to_vec();
+            without_last.pop();
+            out.push(without_last);
+        }
+        // Element-wise: replace each position by its first shrink candidate.
+        for i in 0..n {
+            for candidate in elem(&v[i]) {
+                let mut copy = v.to_vec();
+                copy[i] = candidate;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// Generation helpers layered over [`Xoshiro256`] for the shapes the
+/// workspace's properties draw.
+pub mod gen {
+    use crate::rng::Xoshiro256;
+
+    /// A vector with uniform length in `[len_lo, len_hi]`, elements from
+    /// `element`.
+    pub fn vec_with<T>(
+        rng: &mut Xoshiro256,
+        len_lo: usize,
+        len_hi: usize,
+        mut element: impl FnMut(&mut Xoshiro256) -> T,
+    ) -> Vec<T> {
+        let len = rng.range_inclusive(len_lo as u64, len_hi as u64) as usize;
+        (0..len).map(|_| element(rng)).collect()
+    }
+
+    /// A vector of uniform `u64` in `[lo, hi]`.
+    pub fn vec_u64(rng: &mut Xoshiro256, len_lo: usize, len_hi: usize, lo: u64, hi: u64) -> Vec<u64> {
+        vec_with(rng, len_lo, len_hi, |r| r.range_inclusive(lo, hi))
+    }
+
+    /// A vector of uniform `f64` in `[lo, hi)`.
+    pub fn vec_f64(rng: &mut Xoshiro256, len_lo: usize, len_hi: usize, lo: f64, hi: f64) -> Vec<f64> {
+        vec_with(rng, len_lo, len_hi, |r| lo + r.next_f64() * (hi - lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config::with_cases(17);
+        let n = run_with_shrink(&cfg, |rng| rng.next_u64(), |_| Vec::new(), |_| Ok(()))
+            .expect("property holds");
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn u64_toward_strictly_decreases() {
+        let mut v = 1_000_000u64;
+        let mut steps = 0;
+        while let Some(&next) = shrink::u64_toward(10, v).first() {
+            assert!(next < v);
+            v = next;
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn panics_are_reported_as_failures() {
+        let cfg = Config::with_cases(5);
+        let r = run_with_shrink(
+            &cfg,
+            |rng| rng.next_u64(),
+            |_| Vec::new(),
+            |_| -> Result<(), String> { panic!("boom") },
+        );
+        let f = r.expect_err("must fail");
+        assert!(f.message.contains("boom"), "{}", f.message);
+        assert_eq!(f.case_index, 0);
+    }
+}

@@ -100,7 +100,12 @@ impl Xoshiro256 {
         if lo == hi {
             return lo;
         }
-        lo + self.next_below(hi - lo + 1)
+        let span = hi - lo;
+        if span == u64::MAX {
+            // Full domain: `span + 1` would overflow; every u64 is valid.
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
     }
 
     /// Uniform `f64` in `[0, 1)` with 53-bit resolution.
@@ -238,6 +243,20 @@ mod tests {
         }
         assert!(lo_seen && hi_seen);
         assert_eq!(r.range_inclusive(9, 9), 9);
+    }
+
+    #[test]
+    fn range_inclusive_full_domain_does_not_overflow() {
+        let mut r = Xoshiro256::seed_from(31);
+        // Regression: `hi - lo + 1` used to overflow for the full range.
+        let _ = r.range_inclusive(0, u64::MAX);
+        let mut saw_large = false;
+        for _ in 0..100 {
+            if r.range_inclusive(0, u64::MAX) > u64::MAX / 2 {
+                saw_large = true;
+            }
+        }
+        assert!(saw_large, "full-domain draws never hit the upper half");
     }
 
     #[test]

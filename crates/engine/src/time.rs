@@ -7,7 +7,6 @@
 //! Bandwidths are stored as bytes/second and converted to durations with
 //! round-up integer division, so a transfer never finishes "for free".
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -16,9 +15,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 pub type Bytes = u64;
 
 /// A point in simulated time (or a duration), in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ns(pub u64);
 
 impl Ns {
@@ -156,7 +153,7 @@ impl fmt::Display for Ns {
 ///
 /// The paper's Theta configuration uses 16 GiB/s terminal links,
 /// 5.25 GiB/s local links, and 4.69 GiB/s global links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth {
     bytes_per_sec: u64,
 }

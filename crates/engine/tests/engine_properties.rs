@@ -1,94 +1,173 @@
 //! Property tests for the engine: total ordering of the event queue and
-//! statistical sanity of the RNG under arbitrary seeds.
+//! statistical sanity of the RNG under arbitrary seeds. Runs on the
+//! in-tree harness (`dfly_engine::proptest`) — no external crates.
 
+use dfly_engine::proptest::{check, check_with_shrink, gen, shrink, Config};
 use dfly_engine::{Bandwidth, EventQueue, Ns, Xoshiro256};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Popping returns events in (time, insertion) order for any schedule.
-    #[test]
-    fn queue_total_order(times in prop::collection::vec(0u64..10_000, 1..300)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(Ns(t), i);
-        }
-        let mut prev_time = Ns::ZERO;
-        let mut seen_at_time: Vec<usize> = Vec::new();
-        let mut last_time = None;
-        while let Some(e) = q.pop() {
-            prop_assert!(e.time >= prev_time);
-            if last_time == Some(e.time) {
-                // FIFO within a timestamp: insertion indices increase.
-                prop_assert!(*seen_at_time.last().unwrap() < e.event);
-                seen_at_time.push(e.event);
-            } else {
-                seen_at_time = vec![e.event];
-                last_time = Some(e.time);
+/// Popping returns events in (time, insertion) order for any schedule.
+#[test]
+fn queue_total_order() {
+    check_with_shrink(
+        "queue_total_order",
+        &Config::with_cases(64),
+        |rng| gen::vec_u64(rng, 1, 300, 0, 9_999),
+        |times| shrink::vec(times, |&t| shrink::u64_toward(0, t)),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Ns(t), i);
             }
-            prev_time = e.time;
-        }
-    }
+            let mut prev_time = Ns::ZERO;
+            let mut seen_at_time: Vec<usize> = Vec::new();
+            let mut last_time = None;
+            while let Some(e) = q.pop() {
+                if e.time < prev_time {
+                    return Err(format!("time went backwards at {:?}", e.time));
+                }
+                if last_time == Some(e.time) {
+                    // FIFO within a timestamp: insertion indices increase.
+                    if *seen_at_time.last().unwrap() >= e.event {
+                        return Err(format!("FIFO violated at {:?}", e.time));
+                    }
+                    seen_at_time.push(e.event);
+                } else {
+                    seen_at_time = vec![e.event];
+                    last_time = Some(e.time);
+                }
+                prev_time = e.time;
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every scheduled event is popped exactly once.
-    #[test]
-    fn queue_conservation(times in prop::collection::vec(0u64..1000, 0..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(Ns(t), i);
-        }
-        let mut seen = vec![false; times.len()];
-        while let Some(e) = q.pop() {
-            prop_assert!(!seen[e.event]);
-            seen[e.event] = true;
-        }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+/// Every scheduled event is popped exactly once.
+#[test]
+fn queue_conservation() {
+    check_with_shrink(
+        "queue_conservation",
+        &Config::with_cases(64),
+        |rng| gen::vec_u64(rng, 0, 200, 0, 999),
+        |times| shrink::vec(times, |&t| shrink::u64_toward(0, t)),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Ns(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some(e) = q.pop() {
+                if seen[e.event] {
+                    return Err(format!("event {} popped twice", e.event));
+                }
+                seen[e.event] = true;
+            }
+            if seen.iter().all(|&s| s) {
+                Ok(())
+            } else {
+                Err("some events never popped".into())
+            }
+        },
+    );
+}
 
-    /// Serialization time is monotone in bytes and antitone in bandwidth.
-    #[test]
-    fn serialization_monotonicity(
-        bytes_a in 1u64..1_000_000,
-        delta in 0u64..1_000_000,
-        bw_hundredths in 1u64..10_000,
-    ) {
-        let bw = Bandwidth::from_gib_per_sec_hundredths(bw_hundredths);
-        let faster = Bandwidth::from_gib_per_sec_hundredths(bw_hundredths * 2);
-        prop_assert!(bw.serialization_time(bytes_a + delta) >= bw.serialization_time(bytes_a));
-        prop_assert!(faster.serialization_time(bytes_a) <= bw.serialization_time(bytes_a));
-    }
+/// Serialization time is monotone in bytes and antitone in bandwidth.
+#[test]
+fn serialization_monotonicity() {
+    check(
+        "serialization_monotonicity",
+        &Config::with_cases(64),
+        |rng| {
+            (
+                rng.range_inclusive(1, 999_999),
+                rng.range_inclusive(0, 999_999),
+                rng.range_inclusive(1, 9_999),
+            )
+        },
+        |&(bytes_a, delta, bw_hundredths)| {
+            let bw = Bandwidth::from_gib_per_sec_hundredths(bw_hundredths);
+            let faster = Bandwidth::from_gib_per_sec_hundredths(bw_hundredths * 2);
+            if bw.serialization_time(bytes_a + delta) < bw.serialization_time(bytes_a) {
+                return Err("more bytes serialized faster".into());
+            }
+            if faster.serialization_time(bytes_a) > bw.serialization_time(bytes_a) {
+                return Err("faster link serialized slower".into());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// range_inclusive stays in range for arbitrary bounds and seeds.
-    #[test]
-    fn rng_range_inclusive_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
-        let mut rng = Xoshiro256::seed_from(seed);
-        let hi = lo + span;
-        for _ in 0..50 {
-            let v = rng.range_inclusive(lo, hi);
-            prop_assert!((lo..=hi).contains(&v));
-        }
-    }
+/// range_inclusive stays in range for arbitrary bounds and seeds.
+#[test]
+fn rng_range_inclusive_in_bounds() {
+    check(
+        "rng_range_inclusive_in_bounds",
+        &Config::with_cases(64),
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.range_inclusive(0, 999),
+                rng.range_inclusive(0, 999),
+            )
+        },
+        |&(seed, lo, span)| {
+            let mut rng = Xoshiro256::seed_from(seed);
+            let hi = lo + span;
+            for _ in 0..50 {
+                let v = rng.range_inclusive(lo, hi);
+                if !(lo..=hi).contains(&v) {
+                    return Err(format!("{v} outside [{lo}, {hi}]"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// shuffle preserves multiset membership for arbitrary content.
-    #[test]
-    fn rng_shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..100)) {
-        let mut rng = Xoshiro256::seed_from(seed);
-        let mut original = v.clone();
-        rng.shuffle(&mut v);
-        original.sort_unstable();
-        v.sort_unstable();
-        prop_assert_eq!(original, v);
-    }
+/// shuffle preserves multiset membership for arbitrary content.
+#[test]
+fn rng_shuffle_is_permutation() {
+    check(
+        "rng_shuffle_is_permutation",
+        &Config::with_cases(64),
+        |rng| {
+            let seed = rng.next_u64();
+            let v = gen::vec_u64(rng, 0, 100, 0, u64::MAX);
+            (seed, v)
+        },
+        |(seed, v)| {
+            let mut rng = Xoshiro256::seed_from(*seed);
+            let mut shuffled = v.clone();
+            rng.shuffle(&mut shuffled);
+            let mut original = v.clone();
+            original.sort_unstable();
+            shuffled.sort_unstable();
+            if original == shuffled {
+                Ok(())
+            } else {
+                Err("shuffle changed the multiset".into())
+            }
+        },
+    );
+}
 
-    /// split() children with different tags produce different streams.
-    #[test]
-    fn rng_split_streams_differ(seed in any::<u64>()) {
-        let mut parent = Xoshiro256::seed_from(seed);
-        let mut a = parent.split(1);
-        let mut parent2 = Xoshiro256::seed_from(seed);
-        let mut b = parent2.split(2);
-        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
-        prop_assert!(same < 4, "streams nearly identical");
-    }
+/// split() children with different tags produce different streams.
+#[test]
+fn rng_split_streams_differ() {
+    check(
+        "rng_split_streams_differ",
+        &Config::with_cases(64),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let mut a = Xoshiro256::seed_from(seed).split(1);
+            let mut b = Xoshiro256::seed_from(seed).split(2);
+            let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+            if same < 4 {
+                Ok(())
+            } else {
+                Err(format!("streams nearly identical ({same}/32 equal)"))
+            }
+        },
+    );
 }

@@ -1,0 +1,154 @@
+//! Tests of the in-tree property-testing harness itself: case counts are
+//! respected, failing seeds reproduce the same input, and shrinking
+//! converges to the minimal counterexample.
+
+use dfly_engine::proptest::{check, gen, reproduce, run_with_shrink, shrink, Config};
+use std::cell::Cell;
+
+fn cfg(cases: u32) -> Config {
+    Config {
+        cases,
+        seed: 0xC0FFEE,
+        max_shrink_steps: 1024,
+    }
+}
+
+#[test]
+fn case_count_is_respected() {
+    for cases in [1u32, 13, 100] {
+        let ran = Cell::new(0u32);
+        let n = run_with_shrink(
+            &cfg(cases),
+            |rng| rng.next_u64(),
+            |_| Vec::new(),
+            |_| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivial property holds");
+        assert_eq!(n, cases);
+        assert_eq!(ran.get(), cases);
+    }
+}
+
+#[test]
+fn same_master_seed_gives_identical_case_stream() {
+    let observe = || {
+        let inputs = std::cell::RefCell::new(Vec::new());
+        run_with_shrink(
+            &cfg(10),
+            |rng| rng.next_u64(),
+            |_| Vec::new(),
+            |&v| {
+                inputs.borrow_mut().push(v);
+                Ok(())
+            },
+        )
+        .expect("recording property holds");
+        inputs.into_inner()
+    };
+    assert_eq!(observe(), observe());
+}
+
+#[test]
+fn failing_seed_reproduces_the_same_input() {
+    // Property fails iff value >= 1000; generator draws from a wide range
+    // so some case fails quickly.
+    let generate = |rng: &mut dfly_engine::Xoshiro256| rng.next_below(1_000_000);
+    let prop = |&v: &u64| {
+        if v < 1000 {
+            Ok(())
+        } else {
+            Err(format!("{v} too big"))
+        }
+    };
+    let failure = run_with_shrink(&cfg(64), generate, |_| Vec::new(), prop)
+        .expect_err("property must fail for most draws");
+    // Re-running from the reported seed regenerates a failing input, and
+    // (no shrinker was supplied) the exact same one — the failure message
+    // embeds the value.
+    let msg = reproduce(failure.case_seed, generate, prop).expect_err("reported seed must still fail");
+    assert_eq!(msg, failure.message);
+    // A seed for a passing value passes: 0 draws below 1000 eventually;
+    // find one by scanning a few seeds.
+    let passing_seed = (0..10_000u64)
+        .find(|&s| {
+            let v = generate(&mut dfly_engine::Xoshiro256::seed_from(s));
+            v < 1000
+        })
+        .expect("some seed generates a small value");
+    assert!(reproduce(passing_seed, generate, prop).is_ok());
+}
+
+#[test]
+fn integer_shrinking_converges_to_the_boundary() {
+    // Fails for v >= 17; minimal counterexample is exactly 17.
+    let failure = run_with_shrink(
+        &cfg(32),
+        |rng| rng.range_inclusive(0, 1_000_000),
+        |&v| shrink::u64_toward(0, v),
+        |&v| if v < 17 { Ok(()) } else { Err("big".into()) },
+    )
+    .expect_err("must fail");
+    assert_eq!(failure.input, "17", "shrink did not reach the boundary");
+    assert!(failure.shrink_steps > 0, "no shrinking happened");
+}
+
+#[test]
+fn vec_shrinking_removes_irrelevant_elements() {
+    // Fails iff the vector contains any element >= 50; the minimal
+    // counterexample is the single vector [50].
+    let failure = run_with_shrink(
+        &cfg(32),
+        |rng| gen::vec_u64(rng, 1, 40, 0, 1000),
+        |v| shrink::vec(v, |&x| shrink::u64_toward(0, x)),
+        |v| {
+            if v.iter().any(|&x| x >= 50) {
+                Err("contains big element".into())
+            } else {
+                Ok(())
+            }
+        },
+    )
+    .expect_err("must fail: range 0..=1000 mostly exceeds 50");
+    assert_eq!(failure.input, "[50]", "not minimal: {}", failure.input);
+}
+
+#[test]
+fn shrink_step_budget_is_honored() {
+    // A shrinker that always offers one smaller failing candidate would
+    // descend forever; the budget must stop it.
+    let tight = Config {
+        cases: 1,
+        seed: 1,
+        max_shrink_steps: 7,
+    };
+    let failure = run_with_shrink(
+        &tight,
+        |_| u64::MAX,
+        |&v| if v > 0 { vec![v - 1] } else { vec![] },
+        |_| Err::<(), String>("always fails".into()),
+    )
+    .expect_err("must fail");
+    assert_eq!(failure.shrink_steps, 7);
+}
+
+#[test]
+fn check_panics_with_seed_report() {
+    let result = std::panic::catch_unwind(|| {
+        check(
+            "doomed",
+            &cfg(5),
+            |rng| rng.next_u64(),
+            |_| Err::<(), String>("nope".into()),
+        )
+    });
+    let payload = result.expect_err("check must panic on failure");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("panic message is a String");
+    assert!(msg.contains("property 'doomed'"), "{msg}");
+    assert!(msg.contains("case_seed"), "{msg}");
+    assert!(msg.contains("0x"), "no hex seed in: {msg}");
+}

@@ -6,11 +6,10 @@
 
 use dfly_engine::{Bytes, Ns};
 use dfly_topology::{ChannelClass, ChannelId, RouterId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Per-channel metric snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelSnapshot {
     /// The channel.
     pub id: ChannelId,
@@ -52,7 +51,7 @@ impl MetricsFilter {
 }
 
 /// All channel snapshots of a network at one point in time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkMetrics {
     snapshots: Vec<ChannelSnapshot>,
 }
@@ -262,7 +261,7 @@ mod tests {
 /// Time-binned traffic by channel class: who moved bytes when. Enabled
 /// with [`crate::Network::enable_traffic_timeline`]; each transmission
 /// start adds the packet bytes to its class's bin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficTimeline {
     bin_width: Ns,
     /// One series per class, indexed by [`class_index`].

@@ -2,18 +2,17 @@
 
 use dfly_engine::{Bytes, Ns};
 use dfly_topology::{ChannelId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Longest possible route in channels: terminal-up + at most 10
 /// router-to-router hops (non-minimal worst case) + terminal-down.
 pub const MAX_ROUTE_LEN: usize = dfly_topology::paths::MAX_ROUTER_HOPS + 2;
 
 /// Index of a message in the network's message table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MessageId(pub u64);
 
 /// Index of a packet in the network's (recycled) packet arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketId(pub u32);
 
 /// A fixed-capacity route: avoids a heap allocation per packet, which at

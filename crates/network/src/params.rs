@@ -1,11 +1,11 @@
 //! Network model parameters (Section II of the paper).
 
+use dfly_engine::kv::{kv, ToKv};
 use dfly_engine::Bytes;
 use dfly_topology::ChannelClass;
-use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the packet-level model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkParams {
     /// Maximum packet payload; messages are segmented into packets of this
     /// size (last packet may be smaller).
@@ -77,6 +77,18 @@ impl NetworkParams {
             }
         }
         Ok(())
+    }
+}
+
+impl ToKv for NetworkParams {
+    fn to_kv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        kv(&mut out, "packet_size", self.packet_size);
+        kv(&mut out, "terminal_vc_bytes", self.terminal_vc_bytes);
+        kv(&mut out, "local_vc_bytes", self.local_vc_bytes);
+        kv(&mut out, "global_vc_bytes", self.global_vc_bytes);
+        kv(&mut out, "adaptive_bias_bytes", self.adaptive_bias_bytes);
+        out
     }
 }
 

@@ -16,10 +16,9 @@ use crate::params::NetworkParams;
 use dfly_engine::{Bytes, Xoshiro256};
 use dfly_topology::paths;
 use dfly_topology::{ChannelId, NodeId, RouterId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Which routing mechanism packets use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Routing {
     /// Always take a minimal path.
     Minimal,

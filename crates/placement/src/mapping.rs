@@ -10,10 +10,9 @@
 
 use dfly_engine::Xoshiro256;
 use dfly_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Rank -> node arrangement within an allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskMapping {
     /// Rank `i` runs on the `i`-th allocated node (the allocation order of
     /// the placement policy — the default everywhere in the paper).

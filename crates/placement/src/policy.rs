@@ -3,7 +3,6 @@
 use crate::pool::NodePool;
 use dfly_engine::Xoshiro256;
 use dfly_topology::{CabinetId, ChassisId, NodeId, RouterId, Topology};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Allocation failure.
@@ -32,7 +31,7 @@ impl fmt::Display for AllocationError {
 impl std::error::Error for AllocationError {}
 
 /// Job placement policy (paper Section III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Consecutive free nodes.
     Contiguous,

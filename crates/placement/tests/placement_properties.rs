@@ -1,102 +1,165 @@
 //! Property tests for placement policies: exactness, disjointness, and
 //! the locality ordering, including on fragmented machines (the state a
-//! real scheduler actually allocates from).
+//! real scheduler actually allocates from). Runs on the in-tree harness
+//! (`dfly_engine::proptest`) — no external crates.
 
+use dfly_engine::proptest::{check, Config};
 use dfly_engine::Xoshiro256;
 use dfly_placement::{NodePool, PlacementPolicy};
 use dfly_topology::{NodeId, Topology, TopologyConfig};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn topo() -> Topology {
     Topology::build(TopologyConfig::quick()) // 768 nodes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any policy, any job size, any seed: exact, distinct, free nodes.
-    #[test]
-    fn allocation_exact_distinct_free(
-        seed in any::<u64>(),
-        size in 1u32..768,
-        policy_idx in 0usize..5,
-    ) {
-        let t = topo();
-        let policy = PlacementPolicy::ALL[policy_idx];
-        let mut pool = NodePool::new(&t);
-        let mut rng = Xoshiro256::seed_from(seed);
-        let nodes = policy.allocate(&t, &mut pool, size, &mut rng).unwrap();
-        prop_assert_eq!(nodes.len(), size as usize);
-        let set: HashSet<_> = nodes.iter().collect();
-        prop_assert_eq!(set.len(), size as usize);
-        prop_assert_eq!(pool.free_count(), 768 - size);
-    }
-
-    /// Allocating from a fragmented pool (an earlier random job took a
-    /// random subset) still returns exactly the requested free nodes.
-    #[test]
-    fn allocation_from_fragmented_pool(
-        seed in any::<u64>(),
-        first in 1u32..400,
-        second in 1u32..300,
-        policy_idx in 0usize..5,
-    ) {
-        let t = topo();
-        let mut pool = NodePool::new(&t);
-        let mut rng = Xoshiro256::seed_from(seed);
-        let job1 = PlacementPolicy::RandomNode
-            .allocate(&t, &mut pool, first, &mut rng)
-            .unwrap();
-        let policy = PlacementPolicy::ALL[policy_idx];
-        let job2 = policy.allocate(&t, &mut pool, second, &mut rng).unwrap();
-        prop_assert_eq!(job2.len(), second as usize);
-        let taken: HashSet<_> = job1.iter().collect();
-        prop_assert!(job2.iter().all(|n| !taken.contains(n)));
-    }
-
-    /// Group-spread ordering holds for any seed: contiguous touches no
-    /// more groups than random-chassis, which touches no more than
-    /// random-node (for a job large enough to be meaningful).
-    #[test]
-    fn group_spread_ordering(seed in any::<u64>()) {
-        let t = topo();
-        let size = 256u32;
-        let groups_of = |policy: PlacementPolicy| {
+/// Any policy, any job size, any seed: exact, distinct, free nodes.
+#[test]
+fn allocation_exact_distinct_free() {
+    let t = topo();
+    check(
+        "allocation_exact_distinct_free",
+        &Config::with_cases(32),
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.range_inclusive(1, 767) as u32,
+                rng.index(PlacementPolicy::ALL.len()),
+            )
+        },
+        |&(seed, size, policy_idx)| {
+            let policy = PlacementPolicy::ALL[policy_idx];
             let mut pool = NodePool::new(&t);
             let mut rng = Xoshiro256::seed_from(seed);
-            let nodes = policy.allocate(&t, &mut pool, size, &mut rng).unwrap();
-            nodes.iter().map(|&n| t.node_group(n)).collect::<HashSet<_>>().len()
-        };
-        let cont = groups_of(PlacementPolicy::Contiguous);
-        let chas = groups_of(PlacementPolicy::RandomChassis);
-        let rand = groups_of(PlacementPolicy::RandomNode);
-        prop_assert!(cont <= chas);
-        prop_assert!(chas <= rand + 1); // chassis can tie with rand on small jobs
-        prop_assert_eq!(cont, 2); // 256 nodes at 128/group (quick machine)
-    }
+            let nodes = policy
+                .allocate(&t, &mut pool, size, &mut rng)
+                .map_err(|e| format!("allocate failed: {e}"))?;
+            if nodes.len() != size as usize {
+                return Err(format!("{} nodes for size {size}", nodes.len()));
+            }
+            let set: HashSet<_> = nodes.iter().collect();
+            if set.len() != size as usize {
+                return Err("duplicate nodes in allocation".into());
+            }
+            if pool.free_count() != 768 - size {
+                return Err(format!("free_count {} after taking {size}", pool.free_count()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Rank adjacency: under container policies, consecutive ranks share
-    /// their container much more often than under random-node.
-    #[test]
-    fn container_policies_keep_neighbours_close(seed in any::<u64>()) {
-        let t = topo();
-        let size = 300u32;
-        let same_router_fraction = |policy: PlacementPolicy| {
+/// Allocating from a fragmented pool (an earlier random job took a
+/// random subset) still returns exactly the requested free nodes.
+#[test]
+fn allocation_from_fragmented_pool() {
+    let t = topo();
+    check(
+        "allocation_from_fragmented_pool",
+        &Config::with_cases(32),
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.range_inclusive(1, 399) as u32,
+                rng.range_inclusive(1, 299) as u32,
+                rng.index(PlacementPolicy::ALL.len()),
+            )
+        },
+        |&(seed, first, second, policy_idx)| {
             let mut pool = NodePool::new(&t);
             let mut rng = Xoshiro256::seed_from(seed);
-            let nodes = policy.allocate(&t, &mut pool, size, &mut rng).unwrap();
-            let same = nodes
-                .windows(2)
-                .filter(|w| t.node_router(w[0]) == t.node_router(w[1]))
-                .count();
-            same as f64 / (size - 1) as f64
-        };
-        let rotr = same_router_fraction(PlacementPolicy::RandomRouter);
-        let rand = same_router_fraction(PlacementPolicy::RandomNode);
-        prop_assert!(rotr > 0.5, "random-router adjacency {rotr}");
-        prop_assert!(rand < 0.2, "random-node adjacency {rand}");
-    }
+            let job1 = PlacementPolicy::RandomNode
+                .allocate(&t, &mut pool, first, &mut rng)
+                .map_err(|e| format!("job1: {e}"))?;
+            let policy = PlacementPolicy::ALL[policy_idx];
+            let job2 = policy
+                .allocate(&t, &mut pool, second, &mut rng)
+                .map_err(|e| format!("job2: {e}"))?;
+            if job2.len() != second as usize {
+                return Err(format!("job2 got {} of {second}", job2.len()));
+            }
+            let taken: HashSet<_> = job1.iter().collect();
+            if job2.iter().any(|n| taken.contains(n)) {
+                return Err("job2 reused job1's nodes".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Group-spread ordering holds for any seed: contiguous touches no
+/// more groups than random-chassis, which touches no more than
+/// random-node (for a job large enough to be meaningful).
+#[test]
+fn group_spread_ordering() {
+    let t = topo();
+    check(
+        "group_spread_ordering",
+        &Config::with_cases(32),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let size = 256u32;
+            let groups_of = |policy: PlacementPolicy| {
+                let mut pool = NodePool::new(&t);
+                let mut rng = Xoshiro256::seed_from(seed);
+                let nodes = policy.allocate(&t, &mut pool, size, &mut rng).unwrap();
+                nodes
+                    .iter()
+                    .map(|&n| t.node_group(n))
+                    .collect::<HashSet<_>>()
+                    .len()
+            };
+            let cont = groups_of(PlacementPolicy::Contiguous);
+            let chas = groups_of(PlacementPolicy::RandomChassis);
+            let rand = groups_of(PlacementPolicy::RandomNode);
+            if cont > chas {
+                return Err(format!("contiguous spans {cont} > chassis {chas}"));
+            }
+            // Chassis can tie with rand on small jobs.
+            if chas > rand + 1 {
+                return Err(format!("chassis spans {chas} > random {rand} + 1"));
+            }
+            if cont != 2 {
+                // 256 nodes at 128/group (quick machine).
+                return Err(format!("contiguous spans {cont} groups, expected 2"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Rank adjacency: under container policies, consecutive ranks share
+/// their container much more often than under random-node.
+#[test]
+fn container_policies_keep_neighbours_close() {
+    let t = topo();
+    check(
+        "container_policies_keep_neighbours_close",
+        &Config::with_cases(32),
+        |rng| rng.next_u64(),
+        |&seed| {
+            let size = 300u32;
+            let same_router_fraction = |policy: PlacementPolicy| {
+                let mut pool = NodePool::new(&t);
+                let mut rng = Xoshiro256::seed_from(seed);
+                let nodes = policy.allocate(&t, &mut pool, size, &mut rng).unwrap();
+                let same = nodes
+                    .windows(2)
+                    .filter(|w| t.node_router(w[0]) == t.node_router(w[1]))
+                    .count();
+                same as f64 / (size - 1) as f64
+            };
+            let rotr = same_router_fraction(PlacementPolicy::RandomRouter);
+            let rand = same_router_fraction(PlacementPolicy::RandomNode);
+            if rotr <= 0.5 {
+                return Err(format!("random-router adjacency {rotr}"));
+            }
+            if rand >= 0.2 {
+                return Err(format!("random-node adjacency {rand}"));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

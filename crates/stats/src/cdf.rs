@@ -5,10 +5,9 @@
 //! CDF over the channel population. [`Cdf`] holds the sorted sample set and
 //! produces exactly those series.
 
-use serde::{Deserialize, Serialize};
 
 /// An empirical CDF over a set of samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }

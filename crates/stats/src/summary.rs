@@ -1,10 +1,9 @@
 //! Five-number summaries and scalar statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// The five-number summary behind each box in the paper's box plots,
 /// plus mean and sample count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxStats {
     /// Smallest sample.
     pub min: f64,

@@ -1,14 +1,14 @@
 //! Topology configuration, with the paper's Theta parameters as default.
 
+use dfly_engine::kv::{kv, ToKv};
 use dfly_engine::{Bandwidth, Ns};
-use serde::{Deserialize, Serialize};
 
 /// Shape and link parameters of a dragonfly machine.
 ///
 /// [`TopologyConfig::theta`] is the exact configuration in the paper's
 /// Section II: 9 groups x (6 x 16) routers x 4 nodes; 16 GiB/s terminal,
 /// 5.25 GiB/s local, 4.69 GiB/s global links.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologyConfig {
     /// Number of groups.
     pub groups: u32,
@@ -158,6 +158,26 @@ impl TopologyConfig {
     }
 }
 
+impl ToKv for TopologyConfig {
+    fn to_kv(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        kv(&mut out, "groups", self.groups);
+        kv(&mut out, "rows", self.rows);
+        kv(&mut out, "cols", self.cols);
+        kv(&mut out, "nodes_per_router", self.nodes_per_router);
+        kv(&mut out, "global_links_per_router", self.global_links_per_router);
+        kv(&mut out, "chassis_per_cabinet", self.chassis_per_cabinet);
+        kv(&mut out, "terminal_bw", self.terminal_bw);
+        kv(&mut out, "local_bw", self.local_bw);
+        kv(&mut out, "global_bw", self.global_bw);
+        kv(&mut out, "router_latency", self.router_latency);
+        kv(&mut out, "local_latency", self.local_latency);
+        kv(&mut out, "global_latency", self.global_latency);
+        kv(&mut out, "terminal_latency", self.terminal_latency);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,8 +237,16 @@ mod tests {
     }
 
     #[test]
-    fn config_is_serde() {
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<TopologyConfig>();
+    fn config_echo_covers_every_field_once() {
+        let t = TopologyConfig::theta();
+        let kvs = t.to_kv();
+        // 13 public fields, each exactly once, in declaration order.
+        assert_eq!(kvs.len(), 13);
+        let keys: std::collections::HashSet<_> = kvs.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), kvs.len(), "duplicate keys in config echo");
+        assert_eq!(kvs[0], ("groups".to_string(), "9".to_string()));
+        // Equal configs echo byte-identically; different configs differ.
+        assert_eq!(t.kv_echo(), TopologyConfig::theta().kv_echo());
+        assert_ne!(t.kv_echo(), TopologyConfig::quick().kv_echo());
     }
 }

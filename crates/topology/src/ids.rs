@@ -5,15 +5,12 @@
 //! simulator's per-packet state small (see the type-size guidance in the
 //! Rust Performance Book).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -73,7 +70,7 @@ id_type!(
 /// and virtual-channel buffer capacity (the paper: node VC 8 KiB, local VC
 /// 8 KiB, global VC 16 KiB), and the traffic/saturation metrics are reported
 /// per class ("local channels" vs "global channels").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelClass {
     /// Node -> router injection link.
     TerminalUp,
@@ -116,7 +113,7 @@ impl ChannelClass {
 }
 
 /// One endpoint of a directed channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelEnd {
     /// A compute node (terminal channels only).
     Node(NodeId),

@@ -16,10 +16,9 @@
 use crate::ids::{ChannelId, RouterId};
 use crate::topology::Topology;
 use dfly_engine::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// Whether a path is minimal or detours through an intermediate router.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteKind {
     /// Shortest path.
     Minimal,

@@ -6,10 +6,9 @@ use crate::ids::{
     CabinetId, ChannelClass, ChannelEnd, ChannelId, ChassisId, GroupId, NodeId, RouterId,
 };
 use dfly_engine::{Bandwidth, Ns};
-use serde::{Deserialize, Serialize};
 
 /// Static description of one directed channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelInfo {
     /// The channel class (terminal / local row / local col / global).
     pub class: ChannelClass,
@@ -21,7 +20,7 @@ pub struct ChannelInfo {
 
 /// One undirected global link between two groups, with its two directed
 /// channel ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GlobalLink {
     /// Endpoint router in the lower-numbered group.
     pub a: RouterId,

@@ -1,29 +1,32 @@
 //! Property tests over topology construction and path validity for
 //! arbitrary (valid) machine shapes — not just the Theta and test
-//! configurations.
+//! configurations. Runs on the in-tree harness (`dfly_engine::proptest`)
+//! — no external crates.
 
+use dfly_engine::proptest::{check, Config};
 use dfly_engine::Xoshiro256;
 use dfly_topology::{paths, ChannelClass, GroupId, RouterId, Topology, TopologyConfig};
-use proptest::prelude::*;
 
-/// Strategy: small-but-varied valid configs. Global endpoints must divide
+/// Generator: small-but-varied valid configs. Global endpoints must divide
 /// evenly among peer groups, so pick `global_links_per_router` as a
 /// multiple of `(groups - 1) / gcd(rows * cols, groups - 1)`.
-fn arb_config() -> impl Strategy<Value = TopologyConfig> {
-    (2u32..6, 1u32..4, 2u32..6, 1u32..3).prop_map(|(groups, rows, cols, npr)| {
-        let rpg = rows * cols;
-        let peers = groups - 1;
-        let g = gcd(rpg, peers);
-        let step = peers / g;
-        let mut cfg = TopologyConfig::theta();
-        cfg.groups = groups;
-        cfg.rows = rows;
-        cfg.cols = cols;
-        cfg.nodes_per_router = npr;
-        cfg.global_links_per_router = step.max(1);
-        cfg.chassis_per_cabinet = 1;
-        cfg
-    })
+fn arb_config(rng: &mut Xoshiro256) -> TopologyConfig {
+    let groups = rng.range_inclusive(2, 5) as u32;
+    let rows = rng.range_inclusive(1, 3) as u32;
+    let cols = rng.range_inclusive(2, 5) as u32;
+    let npr = rng.range_inclusive(1, 2) as u32;
+    let rpg = rows * cols;
+    let peers = groups - 1;
+    let g = gcd(rpg, peers);
+    let step = peers / g;
+    let mut cfg = TopologyConfig::theta();
+    cfg.groups = groups;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.nodes_per_router = npr;
+    cfg.global_links_per_router = step.max(1);
+    cfg.chassis_per_cabinet = 1;
+    cfg
 }
 
 fn gcd(a: u32, b: u32) -> u32 {
@@ -34,82 +37,133 @@ fn gcd(a: u32, b: u32) -> u32 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn arbitrary_configs_build_consistently() {
+    check(
+        "arbitrary_configs_build_consistently",
+        &Config::with_cases(48),
+        arb_config,
+        |cfg| {
+            cfg.validate().map_err(|e| format!("{e} for {cfg:?}"))?;
+            let topo = Topology::build(cfg.clone());
 
-    #[test]
-    fn arbitrary_configs_build_consistently(cfg in arb_config()) {
-        prop_assert!(cfg.validate().is_ok(), "{cfg:?}");
-        let topo = Topology::build(cfg.clone());
-
-        // Channel endpoints are mutually consistent.
-        for (id, info) in topo.channels() {
-            match info.class {
-                ChannelClass::TerminalUp => {
-                    let node = info.src.node().expect("src node");
-                    prop_assert_eq!(topo.terminal_up(node), id);
-                    prop_assert_eq!(info.dst.router(), Some(topo.node_router(node)));
-                }
-                ChannelClass::TerminalDown => {
-                    let node = info.dst.node().expect("dst node");
-                    prop_assert_eq!(topo.terminal_down(node), id);
-                }
-                ChannelClass::LocalRow | ChannelClass::LocalCol => {
-                    let s = info.src.router().expect("router");
-                    let d = info.dst.router().expect("router");
-                    prop_assert_eq!(topo.router_group(s), topo.router_group(d));
-                    prop_assert_ne!(s, d);
-                }
-                ChannelClass::Global => {
-                    let s = info.src.router().expect("router");
-                    let d = info.dst.router().expect("router");
-                    prop_assert_ne!(topo.router_group(s), topo.router_group(d));
-                }
-            }
-        }
-
-        // Every router carries exactly the configured global degree.
-        let mut degree = vec![0u32; cfg.total_routers() as usize];
-        for link in topo.global_links() {
-            degree[link.a.index()] += 1;
-            degree[link.b.index()] += 1;
-        }
-        for &d in &degree {
-            prop_assert_eq!(d, cfg.global_links_per_router);
-        }
-    }
-
-    #[test]
-    fn minimal_paths_valid_on_arbitrary_configs(cfg in arb_config(), seed in any::<u64>()) {
-        let topo = Topology::build(cfg.clone());
-        let mut rng = Xoshiro256::seed_from(seed);
-        let n = cfg.total_routers() as u64;
-        for _ in 0..30 {
-            let s = RouterId(rng.next_below(n) as u32);
-            let d = RouterId(rng.next_below(n) as u32);
-            let p = paths::minimal_path(&topo, s, d, &mut rng);
-            prop_assert!(paths::validate_path(&topo, s, d, &p));
-            prop_assert!(p.hops() <= 5);
-            // Minimal inter-group paths carry exactly one global hop.
-            if topo.router_group(s) != topo.router_group(d) {
-                let globals = p.channels.iter()
-                    .filter(|&&c| topo.channel(c).class == ChannelClass::Global)
-                    .count();
-                prop_assert_eq!(globals, 1);
-            }
-        }
-    }
-
-    #[test]
-    fn gateways_complete_on_arbitrary_configs(cfg in arb_config()) {
-        let topo = Topology::build(cfg.clone());
-        for a in 0..cfg.groups {
-            for b in 0..cfg.groups {
-                if a != b {
-                    let gws = topo.gateways(GroupId(a), GroupId(b));
-                    prop_assert_eq!(gws.len() as u32, cfg.links_per_group_pair());
+            // Channel endpoints are mutually consistent.
+            for (id, info) in topo.channels() {
+                match info.class {
+                    ChannelClass::TerminalUp => {
+                        let node = info.src.node().expect("src node");
+                        if topo.terminal_up(node) != id {
+                            return Err(format!("terminal_up mismatch for {node}"));
+                        }
+                        if info.dst.router() != Some(topo.node_router(node)) {
+                            return Err(format!("terminal_up dst mismatch for {node}"));
+                        }
+                    }
+                    ChannelClass::TerminalDown => {
+                        let node = info.dst.node().expect("dst node");
+                        if topo.terminal_down(node) != id {
+                            return Err(format!("terminal_down mismatch for {node}"));
+                        }
+                    }
+                    ChannelClass::LocalRow | ChannelClass::LocalCol => {
+                        let s = info.src.router().expect("router");
+                        let d = info.dst.router().expect("router");
+                        if topo.router_group(s) != topo.router_group(d) {
+                            return Err(format!("local link {s}->{d} crosses groups"));
+                        }
+                        if s == d {
+                            return Err(format!("local self-link at {s}"));
+                        }
+                    }
+                    ChannelClass::Global => {
+                        let s = info.src.router().expect("router");
+                        let d = info.dst.router().expect("router");
+                        if topo.router_group(s) == topo.router_group(d) {
+                            return Err(format!("global link {s}->{d} inside one group"));
+                        }
+                    }
                 }
             }
-        }
-    }
+
+            // Every router carries exactly the configured global degree.
+            let mut degree = vec![0u32; cfg.total_routers() as usize];
+            for link in topo.global_links() {
+                degree[link.a.index()] += 1;
+                degree[link.b.index()] += 1;
+            }
+            for (r, &d) in degree.iter().enumerate() {
+                if d != cfg.global_links_per_router {
+                    return Err(format!(
+                        "router {r} has global degree {d}, expected {}",
+                        cfg.global_links_per_router
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn minimal_paths_valid_on_arbitrary_configs() {
+    check(
+        "minimal_paths_valid_on_arbitrary_configs",
+        &Config::with_cases(48),
+        |rng| (arb_config(rng), rng.next_u64()),
+        |(cfg, seed)| {
+            let topo = Topology::build(cfg.clone());
+            let mut rng = Xoshiro256::seed_from(*seed);
+            let n = cfg.total_routers() as u64;
+            for _ in 0..30 {
+                let s = RouterId(rng.next_below(n) as u32);
+                let d = RouterId(rng.next_below(n) as u32);
+                let p = paths::minimal_path(&topo, s, d, &mut rng);
+                if !paths::validate_path(&topo, s, d, &p) {
+                    return Err(format!("invalid path {s}->{d}"));
+                }
+                if p.hops() > 5 {
+                    return Err(format!("path {s}->{d} has {} hops", p.hops()));
+                }
+                // Minimal inter-group paths carry exactly one global hop.
+                if topo.router_group(s) != topo.router_group(d) {
+                    let globals = p
+                        .channels
+                        .iter()
+                        .filter(|&&c| topo.channel(c).class == ChannelClass::Global)
+                        .count();
+                    if globals != 1 {
+                        return Err(format!("path {s}->{d} has {globals} global hops"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn gateways_complete_on_arbitrary_configs() {
+    check(
+        "gateways_complete_on_arbitrary_configs",
+        &Config::with_cases(48),
+        arb_config,
+        |cfg| {
+            let topo = Topology::build(cfg.clone());
+            for a in 0..cfg.groups {
+                for b in 0..cfg.groups {
+                    if a != b {
+                        let gws = topo.gateways(GroupId(a), GroupId(b));
+                        if gws.len() as u32 != cfg.links_per_group_pair() {
+                            return Err(format!(
+                                "{} gateways g{a}->g{b}, expected {}",
+                                gws.len(),
+                                cfg.links_per_group_pair()
+                            ));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -6,10 +6,9 @@
 
 use crate::trace::{JobTrace, Phase, RankProgram, SendOp};
 use dfly_engine::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// Which miniapp to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppKind {
     /// Crystal Router (Nek5000 communication kernel).
     CrystalRouter,
@@ -40,7 +39,7 @@ impl AppKind {
 }
 
 /// Full workload specification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// The application.
     pub kind: AppKind,

@@ -17,10 +17,9 @@
 //! materialize millions of messages up front.
 
 use dfly_engine::{Bytes, Ns, Xoshiro256};
-use serde::{Deserialize, Serialize};
 
 /// Background traffic pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackgroundKind {
     /// Small messages to random destinations at a short interval.
     UniformRandom,
@@ -39,7 +38,7 @@ impl BackgroundKind {
 }
 
 /// Background traffic specification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BackgroundSpec {
     /// The pattern.
     pub kind: BackgroundKind,

@@ -9,10 +9,9 @@
 
 use crate::trace::{JobTrace, Phase, RankProgram, SendOp};
 use dfly_engine::{Bytes, Xoshiro256};
-use serde::{Deserialize, Serialize};
 
 /// A synthetic traffic pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pattern {
     /// Every rank sends to one uniformly random destination per phase.
     UniformRandom,
@@ -58,7 +57,7 @@ impl Pattern {
 }
 
 /// Specification of a synthetic-pattern job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PatternSpec {
     /// The pattern.
     pub pattern: Pattern,

@@ -10,10 +10,9 @@
 //! to the rank in phase `p` has arrived (the matching receives).
 
 use dfly_engine::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// One non-blocking send operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendOp {
     /// Destination rank (job-local).
     pub peer: u32,
@@ -22,7 +21,7 @@ pub struct SendOp {
 }
 
 /// One communication phase of a rank: a set of sends issued together.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phase {
     /// Sends issued at the start of the phase.
     pub sends: Vec<SendOp>,
@@ -36,7 +35,7 @@ impl Phase {
 }
 
 /// The communication program of a single MPI rank.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RankProgram {
     /// Ordered phases.
     pub phases: Vec<Phase>,
@@ -56,7 +55,7 @@ impl RankProgram {
 
 /// The full trace of a job: one program per rank, all with the same number
 /// of phases (ranks without work in a phase simply have no sends there).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobTrace {
     /// Program of each rank; index = rank.
     pub programs: Vec<RankProgram>,

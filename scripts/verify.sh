@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Hermetic verification gate: the workspace must build, test, and compile
+# every bench target fully offline. If anyone reintroduces an external
+# dependency, the --offline flags make this fail fast instead of silently
+# fetching from a registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo bench --no-run --offline --workspace
+
+echo "verify.sh: offline build + tests + bench compile all passed."

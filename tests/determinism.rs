@@ -4,9 +4,12 @@
 use dragonfly_tradeoff::core::config::{
     AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy,
 };
+use dragonfly_tradeoff::core::report::ConfigLabel;
 use dragonfly_tradeoff::core::runner::run_experiment;
-use dragonfly_tradeoff::engine::Ns;
+use dragonfly_tradeoff::core::sweep::run_config_grid;
+use dragonfly_tradeoff::engine::{Ns, ToKv};
 use dragonfly_tradeoff::placement::PlacementPolicy;
+use dragonfly_tradeoff::stats::CsvWriter;
 use dragonfly_tradeoff::workloads::BackgroundSpec;
 
 fn cfg() -> ExperimentConfig {
@@ -57,6 +60,51 @@ fn different_seed_different_random_placement_same_invariants() {
         assert_eq!(r.rank_comm_times.len(), 27);
         assert!(r.job_end > Ns::ZERO);
     }
+}
+
+/// Render a full sweep's results the way the reproduction binaries do:
+/// config echo, then one CSV row per grid cell with every per-rank value.
+fn sweep_csv(cfg: &ExperimentConfig) -> Vec<u8> {
+    let grid = run_config_grid(cfg, &ConfigLabel::all_ten());
+    let mut w = CsvWriter::from_writer(
+        Vec::new(),
+        &["config", "max_comm_ns", "total_traffic_bytes", "rank_comm_ns"],
+    )
+    .unwrap();
+    for cell in &grid {
+        let ranks = cell
+            .result
+            .rank_comm_times
+            .iter()
+            .map(|t| t.0.to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        let traffic: u64 = cell.result.metrics.channels().map(|c| c.traffic_bytes).sum();
+        w.row(&[
+            cell.label.to_string(),
+            cell.result.max_comm_time().0.to_string(),
+            traffic.to_string(),
+            ranks,
+        ])
+        .unwrap();
+    }
+    let mut bytes = cfg.kv_echo().into_bytes();
+    bytes.extend(w.finish().unwrap());
+    bytes
+}
+
+/// The sweep runner fans simulations out over worker threads; a guard for
+/// the `parking_lot` -> `std::sync::Mutex` rewrite that result order and
+/// content stay independent of thread scheduling: two full sweeps with the
+/// same seed must produce byte-identical CSV output.
+#[test]
+fn sweep_runs_produce_byte_identical_csv() {
+    let mut c = cfg();
+    c.msg_scale = 0.05; // keep the 10-cell grid fast
+    let a = sweep_csv(&c);
+    let b = sweep_csv(&c);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two identically-seeded sweeps diverged");
 }
 
 #[test]

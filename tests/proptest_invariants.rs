@@ -5,149 +5,236 @@
 //! * placement policies return exactly-sized, duplicate-free allocations;
 //! * generated traces are structurally valid and scale linearly;
 //! * CDF/summary statistics agree with naive reference implementations.
+//!
+//! Runs on the in-tree harness (`dfly_engine::proptest`) — no external
+//! crates.
 
+use dragonfly_tradeoff::engine::proptest::{check, check_with_shrink, gen, shrink, Config};
 use dragonfly_tradeoff::engine::{Ns, Xoshiro256};
 use dragonfly_tradeoff::network::{Network, NetworkParams, Routing};
 use dragonfly_tradeoff::placement::{NodePool, PlacementPolicy};
 use dragonfly_tradeoff::stats::{BoxStats, Cdf};
 use dragonfly_tradeoff::topology::{NodeId, Topology, TopologyConfig};
 use dragonfly_tradeoff::workloads::{generate, AppKind, WorkloadSpec};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn small_topo() -> Arc<Topology> {
     Arc::new(Topology::build(TopologyConfig::small_test()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Adversarial random traffic always drains and conserves messages —
+/// the deadlock-freedom property of the VC discipline.
+#[test]
+fn network_always_drains() {
+    let topo = small_topo();
+    check(
+        "network_always_drains",
+        &Config::with_cases(24),
+        |rng| {
+            let seed = rng.next_u64();
+            let n_msgs = rng.range_inclusive(1, 119) as usize;
+            let routing = *rng.choose(&[Routing::Minimal, Routing::Adaptive]);
+            (seed, n_msgs, routing)
+        },
+        |&(seed, n_msgs, routing)| {
+            let nodes = topo.config().total_nodes() as u64;
+            let mut net = Network::new(topo.clone(), NetworkParams::default(), routing, seed);
+            let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
+            for i in 0..n_msgs {
+                let src = NodeId(rng.next_below(nodes) as u32);
+                let dst = NodeId(rng.next_below(nodes) as u32);
+                let bytes = rng.range_inclusive(0, 100_000);
+                let at = Ns(rng.next_below(50_000));
+                net.send(at, src, dst, bytes, i as u64);
+            }
+            let mut delivered = std::collections::HashSet::new();
+            while let Some(d) = net.poll_delivery() {
+                if !delivered.insert(d.tag) {
+                    return Err(format!("duplicate delivery {}", d.tag));
+                }
+                if d.completed_at < d.injected_at {
+                    return Err(format!("delivery {} completed before injection", d.tag));
+                }
+                if d.avg_hops > 10.0 {
+                    return Err(format!("delivery {} took {} hops", d.tag, d.avg_hops));
+                }
+            }
+            if delivered.len() != n_msgs {
+                return Err(format!("delivered {} of {n_msgs}", delivered.len()));
+            }
+            if !net.is_idle() {
+                return Err("network not idle after draining".into());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Adversarial random traffic always drains and conserves messages —
-    /// the deadlock-freedom property of the VC discipline.
-    #[test]
-    fn network_always_drains(
-        seed in any::<u64>(),
-        n_msgs in 1usize..120,
-        routing in prop_oneof![Just(Routing::Minimal), Just(Routing::Adaptive)],
-    ) {
-        let topo = small_topo();
-        let nodes = topo.config().total_nodes() as u64;
-        let mut net = Network::new(topo, NetworkParams::default(), routing, seed);
-        let mut rng = Xoshiro256::seed_from(seed ^ 0xABCD);
-        for i in 0..n_msgs {
-            let src = NodeId(rng.next_below(nodes) as u32);
-            let dst = NodeId(rng.next_below(nodes) as u32);
-            let bytes = rng.range_inclusive(0, 100_000);
-            let at = Ns(rng.next_below(50_000));
-            net.send(at, src, dst, bytes, i as u64);
-        }
-        let mut delivered = std::collections::HashSet::new();
-        while let Some(d) = net.poll_delivery() {
-            prop_assert!(delivered.insert(d.tag), "duplicate delivery {}", d.tag);
-            prop_assert!(d.completed_at >= d.injected_at);
-            prop_assert!(d.avg_hops <= 10.0);
-        }
-        prop_assert_eq!(delivered.len(), n_msgs);
-        prop_assert!(net.is_idle());
-    }
+/// Small random VC buffers still cannot deadlock the network.
+#[test]
+fn network_drains_with_tight_buffers() {
+    let topo = small_topo();
+    check(
+        "network_drains_with_tight_buffers",
+        &Config::with_cases(24),
+        |rng| (rng.next_u64(), rng.range_inclusive(1, 3) as u32),
+        |&(seed, packet_kb)| {
+            let params = NetworkParams {
+                packet_size: packet_kb * 1024,
+                terminal_vc_bytes: (packet_kb as u64) * 1024,
+                local_vc_bytes: (packet_kb as u64) * 1024,
+                global_vc_bytes: (packet_kb as u64) * 1024,
+                ..NetworkParams::default()
+            };
+            let nodes = topo.config().total_nodes() as u64;
+            let mut net = Network::new(topo.clone(), params, Routing::Adaptive, seed);
+            let mut rng = Xoshiro256::seed_from(seed);
+            for i in 0..80u64 {
+                let src = NodeId(rng.next_below(nodes) as u32);
+                let dst = NodeId(rng.next_below(nodes) as u32);
+                net.send(Ns::ZERO, src, dst, 40_000, i);
+            }
+            let mut count = 0;
+            while net.poll_delivery().is_some() {
+                count += 1;
+            }
+            if count == 80 {
+                Ok(())
+            } else {
+                Err(format!("only {count} of 80 messages delivered"))
+            }
+        },
+    );
+}
 
-    /// Small random VC buffers still cannot deadlock the network.
-    #[test]
-    fn network_drains_with_tight_buffers(
-        seed in any::<u64>(),
-        packet_kb in 1u32..4,
-    ) {
-        let topo = small_topo();
-        let params = NetworkParams {
-            packet_size: packet_kb * 1024,
-            terminal_vc_bytes: (packet_kb as u64) * 1024,
-            local_vc_bytes: (packet_kb as u64) * 1024,
-            global_vc_bytes: (packet_kb as u64) * 1024,
-            ..NetworkParams::default()
-        };
-        let nodes = topo.config().total_nodes() as u64;
-        let mut net = Network::new(topo, params, Routing::Adaptive, seed);
-        let mut rng = Xoshiro256::seed_from(seed);
-        for i in 0..80u64 {
-            let src = NodeId(rng.next_below(nodes) as u32);
-            let dst = NodeId(rng.next_below(nodes) as u32);
-            net.send(Ns::ZERO, src, dst, 40_000, i);
-        }
-        let mut count = 0;
-        while net.poll_delivery().is_some() {
-            count += 1;
-        }
-        prop_assert_eq!(count, 80);
-    }
+/// Every placement policy returns exactly `size` distinct free nodes.
+#[test]
+fn placements_exact_and_distinct() {
+    let topo = small_topo();
+    check(
+        "placements_exact_and_distinct",
+        &Config::with_cases(24),
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.range_inclusive(1, 63) as u32,
+                rng.index(PlacementPolicy::ALL.len()),
+            )
+        },
+        |&(seed, size, policy_idx)| {
+            let policy = PlacementPolicy::ALL[policy_idx];
+            let mut pool = NodePool::new(&topo);
+            let mut rng = Xoshiro256::seed_from(seed);
+            let nodes = policy
+                .allocate(&topo, &mut pool, size, &mut rng)
+                .map_err(|e| format!("allocate failed: {e}"))?;
+            if nodes.len() != size as usize {
+                return Err(format!("{} nodes for size {size}", nodes.len()));
+            }
+            let set: std::collections::HashSet<_> = nodes.iter().collect();
+            if set.len() != size as usize {
+                return Err("duplicate nodes".into());
+            }
+            if pool.free_count() != 64 - size {
+                return Err(format!("free_count {}", pool.free_count()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every placement policy returns exactly `size` distinct free nodes.
-    #[test]
-    fn placements_exact_and_distinct(
-        seed in any::<u64>(),
-        size in 1u32..64,
-        policy_idx in 0usize..5,
-    ) {
-        let topo = small_topo();
-        let policy = PlacementPolicy::ALL[policy_idx];
-        let mut pool = NodePool::new(&topo);
-        let mut rng = Xoshiro256::seed_from(seed);
-        let nodes = policy.allocate(&topo, &mut pool, size, &mut rng).unwrap();
-        prop_assert_eq!(nodes.len(), size as usize);
-        let set: std::collections::HashSet<_> = nodes.iter().collect();
-        prop_assert_eq!(set.len(), size as usize);
-        prop_assert_eq!(pool.free_count(), 64 - size);
-    }
+/// Trace generation is valid for arbitrary rank counts and scales,
+/// and total bytes scale linearly with msg_scale.
+#[test]
+fn traces_valid_and_scale_linearly() {
+    check(
+        "traces_valid_and_scale_linearly",
+        &Config::with_cases(24),
+        |rng| {
+            (
+                rng.range_inclusive(2, 79) as u32,
+                rng.range_inclusive(10, 299) as u32,
+                rng.index(3),
+            )
+        },
+        |&(ranks, scale_pct, kind_idx)| {
+            let kind = [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg][kind_idx];
+            let spec = WorkloadSpec {
+                kind,
+                ranks,
+                msg_scale: 1.0,
+                seed: 77,
+            };
+            let base = generate(&spec);
+            base.validate().map_err(|e| format!("invalid trace: {e}"))?;
+            let scaled = generate(&WorkloadSpec {
+                msg_scale: scale_pct as f64 / 100.0,
+                ..spec
+            });
+            let ratio = scaled.total_bytes() as f64 / base.total_bytes() as f64;
+            let expected = scale_pct as f64 / 100.0;
+            if (ratio / expected - 1.0).abs() < 0.02 {
+                Ok(())
+            } else {
+                Err(format!("scaling ratio {ratio} vs expected {expected}"))
+            }
+        },
+    );
+}
 
-    /// Trace generation is valid for arbitrary rank counts and scales,
-    /// and total bytes scale linearly with msg_scale.
-    #[test]
-    fn traces_valid_and_scale_linearly(
-        ranks in 2u32..80,
-        scale_pct in 10u32..300,
-        kind_idx in 0usize..3,
-    ) {
-        let kind = [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg][kind_idx];
-        let spec = WorkloadSpec { kind, ranks, msg_scale: 1.0, seed: 77 };
-        let base = generate(&spec);
-        prop_assert!(base.validate().is_ok());
-        let scaled = generate(&WorkloadSpec {
-            msg_scale: scale_pct as f64 / 100.0,
-            ..spec
-        });
-        let ratio = scaled.total_bytes() as f64 / base.total_bytes() as f64;
-        let expected = scale_pct as f64 / 100.0;
-        prop_assert!((ratio / expected - 1.0).abs() < 0.02,
-            "scaling ratio {ratio} vs expected {expected}");
-    }
+/// BoxStats quartiles bracket each other and bound the data for any
+/// input.
+#[test]
+fn boxstats_ordering() {
+    check_with_shrink(
+        "boxstats_ordering",
+        &Config::with_cases(32),
+        |rng| gen::vec_f64(rng, 1, 200, 0.0, 1e9),
+        |v| shrink::vec(v, |_| Vec::new()),
+        |data| {
+            let s = BoxStats::from_samples(data).ok_or("empty samples")?;
+            if s.min > s.q1 || s.q1 > s.median || s.median > s.q3 || s.q3 > s.max {
+                return Err(format!("quartiles out of order: {s:?}"));
+            }
+            if s.mean < s.min || s.mean > s.max {
+                return Err(format!("mean {} outside [{}, {}]", s.mean, s.min, s.max));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// BoxStats quartiles bracket each other and bound the data for any
-    /// input.
-    #[test]
-    fn boxstats_ordering(data in prop::collection::vec(0.0f64..1e9, 1..200)) {
-        let s = BoxStats::from_samples(&data).unwrap();
-        prop_assert!(s.min <= s.q1);
-        prop_assert!(s.q1 <= s.median);
-        prop_assert!(s.median <= s.q3);
-        prop_assert!(s.q3 <= s.max);
-        prop_assert!(s.mean >= s.min && s.mean <= s.max);
-    }
-
-    /// A CDF is a proper distribution function: monotone, ends at 100%,
-    /// quantile inverts fraction lookups.
-    #[test]
-    fn cdf_is_monotone_distribution(data in prop::collection::vec(0.0f64..1e6, 1..200)) {
-        let cdf = Cdf::from_samples(data.clone());
-        let steps = cdf.steps();
-        prop_assert_eq!(steps.len(), data.len());
-        let mut prev = (f64::NEG_INFINITY, 0.0);
-        for &(x, p) in &steps {
-            prop_assert!(x >= prev.0);
-            prop_assert!(p >= prev.1);
-            prev = (x, p);
-        }
-        prop_assert!((steps.last().unwrap().1 - 100.0).abs() < 1e-9);
-        // quantile(fraction_at_or_below(x)) <= max and >= min for any x.
-        let q = cdf.quantile(0.5);
-        prop_assert!(q >= cdf.min().unwrap() && q <= cdf.max().unwrap());
-    }
+/// A CDF is a proper distribution function: monotone, ends at 100%,
+/// quantile inverts fraction lookups.
+#[test]
+fn cdf_is_monotone_distribution() {
+    check_with_shrink(
+        "cdf_is_monotone_distribution",
+        &Config::with_cases(32),
+        |rng| gen::vec_f64(rng, 1, 200, 0.0, 1e6),
+        |v| shrink::vec(v, |_| Vec::new()),
+        |data| {
+            let cdf = Cdf::from_samples(data.iter().copied());
+            let steps = cdf.steps();
+            if steps.len() != data.len() {
+                return Err(format!("{} steps for {} samples", steps.len(), data.len()));
+            }
+            let mut prev = (f64::NEG_INFINITY, 0.0);
+            for &(x, p) in &steps {
+                if x < prev.0 || p < prev.1 {
+                    return Err(format!("CDF not monotone at ({x}, {p})"));
+                }
+                prev = (x, p);
+            }
+            if (steps.last().unwrap().1 - 100.0).abs() > 1e-9 {
+                return Err(format!("CDF ends at {}", steps.last().unwrap().1));
+            }
+            // quantile(fraction_at_or_below(x)) <= max and >= min for any x.
+            let q = cdf.quantile(0.5);
+            if q < cdf.min().unwrap() || q > cdf.max().unwrap() {
+                return Err(format!("median {q} outside data range"));
+            }
+            Ok(())
+        },
+    );
 }
