@@ -62,5 +62,10 @@ fn bench_vc_capacity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_packet_size, bench_adaptive_bias, bench_vc_capacity);
+criterion_group!(
+    benches,
+    bench_packet_size,
+    bench_adaptive_bias,
+    bench_vc_capacity
+);
 criterion_main!(benches);

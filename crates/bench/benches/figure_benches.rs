@@ -27,8 +27,16 @@ fn bench_fig3_cell(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_cell");
     g.sample_size(10);
     for (label, placement, routing) in [
-        ("cont_min", PlacementPolicy::Contiguous, RoutingPolicy::Minimal),
-        ("rand_adp", PlacementPolicy::RandomNode, RoutingPolicy::Adaptive),
+        (
+            "cont_min",
+            PlacementPolicy::Contiguous,
+            RoutingPolicy::Minimal,
+        ),
+        (
+            "rand_adp",
+            PlacementPolicy::RandomNode,
+            RoutingPolicy::Adaptive,
+        ),
     ] {
         g.bench_function(format!("cr24_{label}"), |b| {
             let mut cfg = mini(AppSelection::CrystalRouter { ranks: 24 });

@@ -34,10 +34,23 @@ fn bench_throughput(c: &mut Criterion) {
     g.bench_function("hotspot_contended_adaptive", |b| {
         // Everyone hammers one router's nodes: worst-case back-pressure.
         b.iter_batched(
-            || Network::new(topo.clone(), NetworkParams::default(), Routing::Adaptive, 17),
+            || {
+                Network::new(
+                    topo.clone(),
+                    NetworkParams::default(),
+                    Routing::Adaptive,
+                    17,
+                )
+            },
             |mut net| {
                 for src in 4..64u32 {
-                    net.send(Ns::ZERO, NodeId(src), NodeId(src % 4), 32 * 1024, src as u64);
+                    net.send(
+                        Ns::ZERO,
+                        NodeId(src),
+                        NodeId(src % 4),
+                        32 * 1024,
+                        src as u64,
+                    );
                 }
                 net.run_to_idle();
                 black_box(net.events_processed())

@@ -15,9 +15,7 @@ fn bench_allocate(c: &mut Criterion) {
             let mut rng = Xoshiro256::seed_from(9);
             b.iter_batched(
                 || NodePool::new(&topo),
-                |mut pool| {
-                    black_box(policy.allocate(&topo, &mut pool, 1000, &mut rng).unwrap())
-                },
+                |mut pool| black_box(policy.allocate(&topo, &mut pool, 1000, &mut rng).unwrap()),
                 BatchSize::SmallInput,
             );
         });

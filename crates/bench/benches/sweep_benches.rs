@@ -1,0 +1,98 @@
+//! Sweep-layer benchmarks: the cost of a 10-cell placement x routing
+//! grid with a fresh topology per cell (the pre-refactor shape) versus
+//! one shared `Arc<Topology>` prepared once. The delta is the topology
+//! construction the shared path amortizes — on the Theta-scale machine
+//! (864 routers, thousands of channels) that build dominates small
+//! per-cell simulations.
+
+use dfly_bench::{criterion_group, criterion_main, Criterion};
+use dfly_core::config::AppSelection;
+use dfly_core::report::ConfigLabel;
+use dfly_core::runner::{execute_experiment, prepare_topology};
+use dfly_core::{run_config_grid, ExperimentConfig};
+use dfly_topology::Topology;
+use dfly_workloads::AppKind;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Ten grid cells over `base`: tiny app + low message scale so topology
+/// setup, not simulation, is the dominant term being compared.
+fn grid_cells(base: &ExperimentConfig) -> Vec<ExperimentConfig> {
+    ConfigLabel::all_ten()
+        .into_iter()
+        .map(|l| {
+            let mut cfg = base.clone();
+            cfg.placement = l.placement;
+            cfg.routing = l.routing;
+            cfg
+        })
+        .collect()
+}
+
+fn small_grid_base() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.msg_scale = 0.05;
+    cfg
+}
+
+fn theta_grid_base() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::theta(AppKind::Amg);
+    cfg.app = AppSelection::Amg { ranks: 16 };
+    cfg.msg_scale = 0.05;
+    cfg
+}
+
+/// Pre-refactor per-cell path: build the topology anew for every cell.
+fn run_fresh(cells: &[ExperimentConfig]) -> u64 {
+    cells
+        .iter()
+        .map(|cfg| {
+            let topo = Arc::new(Topology::build(cfg.topology.clone()));
+            execute_experiment(cfg, topo).events
+        })
+        .sum()
+}
+
+/// Shared path: one prepare, ten executes.
+fn run_shared(cells: &[ExperimentConfig]) -> u64 {
+    let topo = prepare_topology(&cells[0]);
+    cells
+        .iter()
+        .map(|cfg| execute_experiment(cfg, topo.clone()).events)
+        .sum()
+}
+
+fn bench_small_grid(c: &mut Criterion) {
+    let cells = grid_cells(&small_grid_base());
+    let mut g = c.benchmark_group("sweep_grid_small");
+    g.sample_size(10);
+    g.bench_function("fresh_topology_per_cell", |b| {
+        b.iter(|| black_box(run_fresh(&cells)));
+    });
+    g.bench_function("shared_topology", |b| {
+        b.iter(|| black_box(run_shared(&cells)));
+    });
+    g.finish();
+}
+
+fn bench_theta_grid(c: &mut Criterion) {
+    let base = theta_grid_base();
+    let cells = grid_cells(&base);
+    let mut g = c.benchmark_group("sweep_grid_theta");
+    g.sample_size(10);
+    g.bench_function("fresh_topology_per_cell", |b| {
+        b.iter(|| black_box(run_fresh(&cells)));
+    });
+    g.bench_function("shared_topology", |b| {
+        b.iter(|| black_box(run_shared(&cells)));
+    });
+    // The production entry point (shared build + scoped-thread workers),
+    // for the end-to-end grid number.
+    g.bench_function("run_config_grid_parallel", |b| {
+        b.iter(|| black_box(run_config_grid(&base, &ConfigLabel::all_ten()).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_small_grid, bench_theta_grid);
+criterion_main!(benches);

@@ -62,18 +62,36 @@ fn main() {
     ]);
     let mut csv = args.csv(
         "ablations.csv",
-        &["parameter", "value", "median_comm_ms", "mean_hops", "local_sat_ms"],
+        &[
+            "parameter",
+            "value",
+            "median_comm_ms",
+            "mean_hops",
+            "local_sat_ms",
+        ],
     );
 
     for kib in [1u32, 2, 4, 8] {
         let mut cfg = base.clone();
         cfg.network.packet_size = kib * 1024;
-        report(&mut table, &mut csv, "packet_size", format!("{kib}KiB"), &cfg);
+        report(
+            &mut table,
+            &mut csv,
+            "packet_size",
+            format!("{kib}KiB"),
+            &cfg,
+        );
     }
     for bias in [0u64, 4096, 32768, 262144] {
         let mut cfg = base.clone();
         cfg.network.adaptive_bias_bytes = bias;
-        report(&mut table, &mut csv, "adaptive_bias", format!("{bias}B"), &cfg);
+        report(
+            &mut table,
+            &mut csv,
+            "adaptive_bias",
+            format!("{bias}B"),
+            &cfg,
+        );
     }
     // Candidate degrees; each mode keeps those whose endpoint count
     // divides evenly among its peer groups.
@@ -83,14 +101,26 @@ fn main() {
         if cfg.topology.validate().is_err() {
             continue;
         }
-        report(&mut table, &mut csv, "global_links_per_router", glinks.to_string(), &cfg);
+        report(
+            &mut table,
+            &mut csv,
+            "global_links_per_router",
+            glinks.to_string(),
+            &cfg,
+        );
     }
     for kib in [4u64, 8, 16, 32] {
         let mut cfg = base.clone();
         cfg.network.terminal_vc_bytes = kib * 1024;
         cfg.network.local_vc_bytes = kib * 1024;
         cfg.network.global_vc_bytes = 2 * kib * 1024;
-        report(&mut table, &mut csv, "vc_capacity", format!("{kib}KiB"), &cfg);
+        report(
+            &mut table,
+            &mut csv,
+            "vc_capacity",
+            format!("{kib}KiB"),
+            &cfg,
+        );
     }
     csv.finish().expect("csv");
     print!("{}", table.render());

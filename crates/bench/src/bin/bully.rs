@@ -16,7 +16,10 @@ use dfly_workloads::AppKind;
 
 fn main() {
     let args = parse_args();
-    println!("Multi-job co-run ('bully') study — mode: {}", args.mode_label());
+    println!(
+        "Multi-job co-run ('bully') study — mode: {}",
+        args.mode_label()
+    );
     let base = args.base_config(AppKind::CrystalRouter);
     // Keep the pair within the machine: CR + AMG at the quick/full sizes.
     let (cr_ranks, amg_ranks) = match args.mode {
@@ -26,7 +29,14 @@ fn main() {
 
     let mut csv = args.csv(
         "bully_corun.csv",
-        &["placement", "routing", "job", "solo_median_ms", "corun_median_ms", "slowdown_pct"],
+        &[
+            "placement",
+            "routing",
+            "job",
+            "solo_median_ms",
+            "corun_median_ms",
+            "slowdown_pct",
+        ],
     );
     for routing in [RoutingPolicy::Minimal, RoutingPolicy::Adaptive] {
         let mut table = AsciiTable::new(vec![

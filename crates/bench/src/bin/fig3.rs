@@ -14,7 +14,16 @@ fn main() {
     println!("Figure 3 reproduction — mode: {}", args.mode_label());
     let mut csv = args.csv(
         "fig3_comm_time.csv",
-        &["app", "config", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms", "mean_ms"],
+        &[
+            "app",
+            "config",
+            "min_ms",
+            "q1_ms",
+            "median_ms",
+            "q3_ms",
+            "max_ms",
+            "mean_ms",
+        ],
     );
     for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
         let base = args.base_config(app);
@@ -60,5 +69,8 @@ fn main() {
         );
     }
     csv.finish().expect("csv");
-    println!("\nWrote {}", args.out_dir.join("fig3_comm_time.csv").display());
+    println!(
+        "\nWrote {}",
+        args.out_dir.join("fig3_comm_time.csv").display()
+    );
 }

@@ -6,5 +6,8 @@ use dfly_workloads::AppKind;
 
 fn main() {
     let args = parse_args();
-    dfly_bench::figures::fig456(&args, &[AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg]);
+    dfly_bench::figures::fig456(
+        &args,
+        &[AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg],
+    );
 }

@@ -23,7 +23,13 @@ fn main() {
 
     let mut csv = args.csv(
         "patterns_study.csv",
-        &["pattern", "config", "job_end_ms", "global_traffic_gini", "local_traffic_gini"],
+        &[
+            "pattern",
+            "config",
+            "job_end_ms",
+            "global_traffic_gini",
+            "local_traffic_gini",
+        ],
     );
     for pattern in Pattern::ALL {
         let spec = PatternSpec {
@@ -34,7 +40,8 @@ fn main() {
             seed: 0xBEEF,
         };
         let trace = generate_pattern(&spec);
-        let mut table = AsciiTable::new(vec!["config", "job end (ms)", "global gini", "local gini"]);
+        let mut table =
+            AsciiTable::new(vec!["config", "job end (ms)", "global gini", "local gini"]);
         for (placement, routing) in [
             (PlacementPolicy::Contiguous, RoutingPolicy::Minimal),
             (PlacementPolicy::RandomNode, RoutingPolicy::Minimal),

@@ -35,7 +35,14 @@ fn main() {
 
     let mut csv = args.csv(
         "scheduler_study.csv",
-        &["placement", "job_index", "app", "arrival_us", "wait_us", "runtime_us"],
+        &[
+            "placement",
+            "job_index",
+            "app",
+            "arrival_us",
+            "wait_us",
+            "runtime_us",
+        ],
     );
     let mut table = AsciiTable::new(vec![
         "placement",

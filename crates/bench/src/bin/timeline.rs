@@ -83,5 +83,8 @@ fn main() {
         }
     }
     csv.finish().expect("csv");
-    println!("\nWrote {}", args.out_dir.join("timeline_load.csv").display());
+    println!(
+        "\nWrote {}",
+        args.out_dir.join("timeline_load.csv").display()
+    );
 }

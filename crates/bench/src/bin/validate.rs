@@ -60,5 +60,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("(efficiency = capacity-bound / makespan; 1.0 = wire speed on the direct global links)");
+    println!(
+        "(efficiency = capacity-bound / makespan; 1.0 = wire speed on the direct global links)"
+    );
 }

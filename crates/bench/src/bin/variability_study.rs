@@ -11,7 +11,7 @@ use dfly_core::config::RoutingPolicy;
 use dfly_core::variability::measure_variability;
 use dfly_placement::PlacementPolicy;
 use dfly_stats::AsciiTable;
-use dfly_workloads::{BackgroundKind, AppKind};
+use dfly_workloads::{AppKind, BackgroundKind};
 
 fn main() {
     let args = parse_args();
@@ -19,7 +19,13 @@ fn main() {
     let runs = 5;
     let mut csv = args.csv(
         "variability_study.csv",
-        &["scenario", "placement", "mean_median_ms", "variability_pct", "cv_pct"],
+        &[
+            "scenario",
+            "placement",
+            "mean_median_ms",
+            "variability_pct",
+            "cv_pct",
+        ],
     );
     for (scenario, with_bg) in [("solo", false), ("uniform-bg", true)] {
         let mut table = AsciiTable::new(vec![

@@ -10,8 +10,8 @@
 
 use crate::harness::{emit_cdf_family, label_of, RunArgs};
 use dfly_core::report::ConfigLabel;
-use dfly_engine::ToKv;
 use dfly_core::sweep::run_config_grid;
+use dfly_engine::ToKv;
 use dfly_network::MetricsFilter;
 use dfly_stats::Cdf;
 use dfly_workloads::AppKind;
@@ -39,7 +39,10 @@ pub fn fig456(args: &RunArgs, apps: &[AppKind]) {
             emit_cdf_family(
                 args,
                 &format!("fig{fig}a_avg_hops.csv"),
-                &format!("Fig {fig}(a): {} average hops CDF (percent of ranks)", app.label()),
+                &format!(
+                    "Fig {fig}(a): {} average hops CDF (percent of ranks)",
+                    app.label()
+                ),
                 "avg_hops",
                 &series,
             );
@@ -88,7 +91,10 @@ pub fn fig456(args: &RunArgs, apps: &[AppKind]) {
         emit_cdf_family(
             args,
             &format!("fig{fig}_global_saturation.csv"),
-            &format!("Fig {fig}: {} global link saturation time (ms)", app.label()),
+            &format!(
+                "Fig {fig}: {} global link saturation time (ms)",
+                app.label()
+            ),
             "saturated_ms",
             &global_sat,
         );
@@ -155,7 +161,13 @@ pub fn fig7(args: &RunArgs, apps: &[AppKind]) {
     println!("Figure 7 reproduction — mode: {}", args.mode_label());
     let mut csv = args.csv(
         "fig7_sensitivity.csv",
-        &["app", "config", "msg_scale", "max_comm_ms", "relative_to_rand_adp_pct"],
+        &[
+            "app",
+            "config",
+            "msg_scale",
+            "max_comm_ms",
+            "relative_to_rand_adp_pct",
+        ],
     );
     for &app in apps {
         let scales = scale_grid(app);
@@ -178,10 +190,17 @@ pub fn fig7(args: &RunArgs, apps: &[AppKind]) {
             .position(|l| *l == ConfigLabel::baseline())
             .expect("rand-adp in extremes");
         let baseline: Vec<f64> = (0..scales.len())
-            .map(|si| results[base_idx * scales.len() + si].max_comm_time().as_ms_f64())
+            .map(|si| {
+                results[base_idx * scales.len() + si]
+                    .max_comm_time()
+                    .as_ms_f64()
+            })
             .collect();
 
-        println!("\n== Fig 7: {} max comm time relative to rand-adp (%) ==", app.label());
+        println!(
+            "\n== Fig 7: {} max comm time relative to rand-adp (%) ==",
+            app.label()
+        );
         let mut header: Vec<String> = vec!["config".into()];
         header.extend(scales.iter().map(|s| format!("x{s}")));
         let mut table = AsciiTable::new(header);
@@ -205,7 +224,10 @@ pub fn fig7(args: &RunArgs, apps: &[AppKind]) {
         print!("{}", table.render());
     }
     csv.finish().expect("csv");
-    println!("\nWrote {}", args.out_dir.join("fig7_sensitivity.csv").display());
+    println!(
+        "\nWrote {}",
+        args.out_dir.join("fig7_sensitivity.csv").display()
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -215,7 +237,11 @@ pub fn fig7(args: &RunArgs, apps: &[AppKind]) {
 /// Table I: the nomenclature of placement x routing configurations.
 pub fn table1() {
     println!("Table I: Nomenclature of Different Placement and Routing Configurations\n");
-    let mut table = AsciiTable::new(vec!["Placement Policy", "Minimal Routing", "Adaptive Routing"]);
+    let mut table = AsciiTable::new(vec![
+        "Placement Policy",
+        "Minimal Routing",
+        "Adaptive Routing",
+    ]);
     for p in PlacementPolicy::ALL {
         table.row(vec![
             p.name().to_string(),
@@ -266,14 +292,16 @@ pub fn background_for(app: AppKind, kind: BackgroundKind, solo_runtime: Ns) -> B
 
 /// Table II: peak background traffic load on the network.
 pub fn table2(args: &RunArgs) {
-    println!("Table II: Peak Background Traffic Load — mode: {}", args.mode_label());
+    println!(
+        "Table II: Peak Background Traffic Load — mode: {}",
+        args.mode_label()
+    );
     println!("(solo app runtimes measured with rand-adp; loads follow from the\n background specs used in Figures 8-10)\n");
-    let mut table = AsciiTable::new(vec![
-        "Application",
-        "Uniform Random (MB)",
-        "Bursty (MB)",
-    ]);
-    let mut csv = args.csv("table2_background_load.csv", &["app", "uniform_mb", "bursty_mb"]);
+    let mut table = AsciiTable::new(vec!["Application", "Uniform Random (MB)", "Bursty (MB)"]);
+    let mut csv = args.csv(
+        "table2_background_load.csv",
+        &["app", "uniform_mb", "bursty_mb"],
+    );
     for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
         let mut cfg = args.base_config(app);
         cfg.placement = PlacementPolicy::RandomNode;
@@ -291,8 +319,12 @@ pub fn table2(args: &RunArgs) {
             format!("{uni:.2}"),
             format!("{burst:.2}"),
         ]);
-        csv.row(&[app.label().to_string(), format!("{uni:.3}"), format!("{burst:.3}")])
-            .expect("csv");
+        csv.row(&[
+            app.label().to_string(),
+            format!("{uni:.3}"),
+            format!("{burst:.3}"),
+        ])
+        .expect("csv");
     }
     csv.finish().expect("csv");
     print!("{}", table.render());
@@ -328,7 +360,16 @@ pub fn fig_interference(args: &RunArgs, app: AppKind, fig: u32) {
     };
     let mut csv = args.csv(
         &format!("fig{fig}_comm_time.csv"),
-        &["app", "background", "config", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms"],
+        &[
+            "app",
+            "background",
+            "config",
+            "min_ms",
+            "q1_ms",
+            "median_ms",
+            "q3_ms",
+            "max_ms",
+        ],
     );
     for &kind in kinds {
         let spec = background_for(app, kind, solo.job_end);
@@ -353,7 +394,11 @@ pub fn fig_interference(args: &RunArgs, app: AppKind, fig: u32) {
             .expect("csv");
         }
         print_boxplot_table(
-            &format!("Fig {fig}: {} comm time with {} background (ms)", app.label(), kind.label()),
+            &format!(
+                "Fig {fig}: {} comm time with {} background (ms)",
+                app.label(),
+                kind.label()
+            ),
             &rows,
         );
 
@@ -436,8 +481,16 @@ mod tests {
 
     #[test]
     fn background_specs_scale_with_solo_runtime() {
-        let short = background_for(AppKind::Amg, BackgroundKind::UniformRandom, Ns::from_us(200));
-        let long = background_for(AppKind::Amg, BackgroundKind::UniformRandom, Ns::from_us(2000));
+        let short = background_for(
+            AppKind::Amg,
+            BackgroundKind::UniformRandom,
+            Ns::from_us(200),
+        );
+        let long = background_for(
+            AppKind::Amg,
+            BackgroundKind::UniformRandom,
+            Ns::from_us(2000),
+        );
         assert!(long.interval > short.interval);
         assert_eq!(short.message_bytes, long.message_bytes);
     }
@@ -461,7 +514,9 @@ mod tests {
     fn background_specs_validate() {
         for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
             for kind in [BackgroundKind::UniformRandom, BackgroundKind::Bursty] {
-                background_for(app, kind, Ns::from_us(500)).validate().unwrap();
+                background_for(app, kind, Ns::from_us(500))
+                    .validate()
+                    .unwrap();
                 // Degenerate solo runtime still yields a valid spec.
                 background_for(app, kind, Ns::ZERO).validate().unwrap();
             }

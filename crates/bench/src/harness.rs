@@ -76,7 +76,10 @@ pub fn parse_args() -> RunArgs {
 /// paper's communication-time figures.
 pub fn print_boxplot_table(title: &str, rows: &[(String, BoxStats)]) {
     println!("\n== {title} ==");
-    let lo = rows.iter().map(|(_, s)| s.min).fold(f64::INFINITY, f64::min);
+    let lo = rows
+        .iter()
+        .map(|(_, s)| s.min)
+        .fold(f64::INFINITY, f64::min);
     let hi = rows.iter().map(|(_, s)| s.max).fold(0.0f64, f64::max);
     let axis_hi = if hi > lo { hi } else { lo + 1.0 };
     let mut table = AsciiTable::new(vec![
@@ -119,7 +122,13 @@ pub fn emit_cdf_family(
     let mut table = AsciiTable::new(vec!["config", "p50", "p90", "p99", "max"]);
     for (label, cdf) in series {
         if cdf.is_empty() {
-            table.row(vec![label.clone(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                label.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         table.row(vec![
@@ -159,12 +168,21 @@ mod tests {
     #[test]
     fn boxplot_table_prints_all_configs() {
         let rows = vec![
-            ("cont-min".to_string(), BoxStats::from_samples(&[1.0, 2.0, 3.0]).unwrap()),
-            ("rand-adp".to_string(), BoxStats::from_samples(&[0.5, 1.0, 1.5]).unwrap()),
+            (
+                "cont-min".to_string(),
+                BoxStats::from_samples(&[1.0, 2.0, 3.0]).unwrap(),
+            ),
+            (
+                "rand-adp".to_string(),
+                BoxStats::from_samples(&[0.5, 1.0, 1.5]).unwrap(),
+            ),
         ];
         // Smoke: must not panic on a normal and on a degenerate axis.
         print_boxplot_table("test", &rows);
-        let flat = vec![("x".to_string(), BoxStats::from_samples(&[2.0, 2.0]).unwrap())];
+        let flat = vec![(
+            "x".to_string(),
+            BoxStats::from_samples(&[2.0, 2.0]).unwrap(),
+        )];
         print_boxplot_table("flat", &flat);
     }
 

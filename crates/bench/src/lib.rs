@@ -18,7 +18,7 @@ pub mod harness;
 pub mod microbench;
 
 pub mod figures;
-pub use microbench::{BatchSize, Bencher, BenchmarkGroup, Criterion};
 pub use harness::{
     emit_cdf_family, label_of, parse_args, print_boxplot_table, print_run_summary, Mode, RunArgs,
 };
+pub use microbench::{BatchSize, Bencher, BenchmarkGroup, Criterion};

@@ -56,9 +56,7 @@ impl Criterion {
     /// ...) are ignored, the first bare argument is a substring filter on
     /// `group/name`.
     pub fn from_args(target: &str) -> Criterion {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             target: target.to_string(),
             filter,
@@ -116,7 +114,11 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark. `f` receives a [`Bencher`] and must call
     /// [`Bencher::iter`] or [`Bencher::iter_batched`] exactly once.
-    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let id = id.into();
         let full = format!("{}/{}", self.name, id);
         if let Some(filter) = &self.criterion.filter {

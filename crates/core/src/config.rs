@@ -198,7 +198,11 @@ impl ToKv for ExperimentConfig {
                 kv(&mut out, "background.message_bytes", bg.spec.message_bytes);
                 kv(&mut out, "background.interval", bg.spec.interval);
                 kv(&mut out, "background.fanout", bg.spec.fanout);
-                kv(&mut out, "background.seed", format_args!("{:#x}", bg.spec.seed));
+                kv(
+                    &mut out,
+                    "background.seed",
+                    format_args!("{:#x}", bg.spec.seed),
+                );
             }
         }
         nest(&mut out, "topology", &self.topology);

@@ -34,7 +34,7 @@ pub use mpi::{JobResult, LoadSeries, MpiDriver, MultiDriver};
 pub use multijob::{run_multijob, JobSpec, MultiJobConfig, MultiJobResult};
 pub use recommend::{recommend, CommIntensity, Recommendation};
 pub use report::ConfigLabel;
-pub use runner::{run_experiment, ExperimentResult};
+pub use runner::{execute_experiment, prepare_topology, run_experiment, ExperimentResult};
 pub use scheduler::{run_schedule, ScheduleResult, SchedulerConfig, Submission};
-pub use variability::{measure_variability, VariabilityReport};
 pub use sweep::{run_config_grid, GridResult};
+pub use variability::{measure_variability, VariabilityReport};

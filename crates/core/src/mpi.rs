@@ -51,7 +51,11 @@ pub struct JobResult {
 impl JobResult {
     /// The slowest rank's communication time (Figure 7's metric).
     pub fn max_comm_time(&self) -> Ns {
-        self.rank_comm_time.iter().copied().max().unwrap_or(Ns::ZERO)
+        self.rank_comm_time
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Ns::ZERO)
     }
 
     /// Per-rank communication times in fractional milliseconds.
@@ -273,15 +277,16 @@ impl<'a> MultiDriver<'a> {
             match self.net.poll() {
                 Some(NetworkEvent::Delivery(d)) => self.on_delivery(d),
                 Some(NetworkEvent::Wakeup) => self.on_wakeup(),
-                None => panic!(
-                    "network drained with unfinished ranks — dependency deadlock in trace"
-                ),
+                None => {
+                    panic!("network drained with unfinished ranks — dependency deadlock in trace")
+                }
             }
         }
 
         let bg_messages = self.background.as_ref().map_or(0, |b| b.messages);
         let series = self.sampler.map(|s| s.series).unwrap_or_default();
-        let results: Vec<JobResult> = self.jobs
+        let results: Vec<JobResult> = self
+            .jobs
             .iter()
             .map(|job| {
                 let job_end = job
@@ -465,7 +470,9 @@ mod tests {
     use super::*;
     use dfly_network::{NetworkParams, Routing};
     use dfly_topology::{Topology, TopologyConfig};
-    use dfly_workloads::{generate, AppKind, BackgroundSpec, Phase, RankProgram, SendOp, WorkloadSpec};
+    use dfly_workloads::{
+        generate, AppKind, BackgroundSpec, Phase, RankProgram, SendOp, WorkloadSpec,
+    };
     use std::sync::Arc;
 
     fn network(routing: Routing) -> Network {
@@ -483,14 +490,24 @@ mod tests {
             programs: vec![
                 RankProgram {
                     phases: vec![
-                        Phase { sends: vec![SendOp { peer: 1, bytes: 4096 }] },
+                        Phase {
+                            sends: vec![SendOp {
+                                peer: 1,
+                                bytes: 4096,
+                            }],
+                        },
                         Phase { sends: vec![] }, // waits for the reply
                     ],
                 },
                 RankProgram {
                     phases: vec![
                         Phase { sends: vec![] }, // waits for rank 0's message
-                        Phase { sends: vec![SendOp { peer: 0, bytes: 4096 }] },
+                        Phase {
+                            sends: vec![SendOp {
+                                peer: 0,
+                                bytes: 4096,
+                            }],
+                        },
                     ],
                 },
             ],
@@ -511,12 +528,22 @@ mod tests {
         let chain = JobTrace {
             programs: vec![
                 RankProgram {
-                    phases: vec![Phase { sends: vec![SendOp { peer: 1, bytes: 100_000 }] }],
+                    phases: vec![Phase {
+                        sends: vec![SendOp {
+                            peer: 1,
+                            bytes: 100_000,
+                        }],
+                    }],
                 },
                 RankProgram {
                     phases: vec![
                         Phase { sends: vec![] },
-                        Phase { sends: vec![SendOp { peer: 2, bytes: 100_000 }] },
+                        Phase {
+                            sends: vec![SendOp {
+                                peer: 2,
+                                bytes: 100_000,
+                            }],
+                        },
                     ],
                 },
                 RankProgram {
@@ -527,9 +554,16 @@ mod tests {
         let single = JobTrace {
             programs: vec![
                 RankProgram {
-                    phases: vec![Phase { sends: vec![SendOp { peer: 1, bytes: 100_000 }] }],
+                    phases: vec![Phase {
+                        sends: vec![SendOp {
+                            peer: 1,
+                            bytes: 100_000,
+                        }],
+                    }],
                 },
-                RankProgram { phases: vec![Phase { sends: vec![] }] },
+                RankProgram {
+                    phases: vec![Phase { sends: vec![] }],
+                },
                 RankProgram { phases: vec![] },
             ],
         };
@@ -709,8 +743,7 @@ mod tests {
 
         // Co-run with CR.
         let mut net = network(Routing::Adaptive);
-        let results =
-            MultiDriver::new(&mut net, &[(&cr, &p_cr), (&amg, &p_amg)], None).run();
+        let results = MultiDriver::new(&mut net, &[(&cr, &p_cr), (&amg, &p_amg)], None).run();
         assert_eq!(results.len(), 2);
         assert!(results[0].job_end > Ns::ZERO);
         assert!(results[1].job_end > Ns::ZERO);
@@ -768,7 +801,11 @@ mod tests {
             .with_sampler(Ns::from_us(5))
             .run_with_series();
         assert_eq!(results.len(), 1);
-        assert!(series.times.len() >= 2, "too few samples: {}", series.times.len());
+        assert!(
+            series.times.len() >= 2,
+            "too few samples: {}",
+            series.times.len()
+        );
         // Timestamps are strictly increasing and spaced by >= interval.
         for w in series.times.windows(2) {
             assert!(w[1] >= w[0] + Ns::from_us(5));
@@ -786,8 +823,7 @@ mod tests {
         };
         let p = contiguous(2);
         let mut net = network(Routing::Minimal);
-        let (_, series) =
-            MultiDriver::new(&mut net, &[(&trace, &p)], None).run_with_series();
+        let (_, series) = MultiDriver::new(&mut net, &[(&trace, &p)], None).run_with_series();
         assert!(series.times.is_empty());
     }
 

@@ -101,9 +101,9 @@ impl JobOutcome {
         BoxStats::from_samples(&self.result.comm_times_ms()).expect("at least one rank")
     }
 
-    /// Metrics filter restricted to this job's routers.
-    pub fn filter(&self) -> MetricsFilter {
-        MetricsFilter::Routers(self.routers.clone())
+    /// Metrics filter restricted to this job's routers (borrows the set).
+    pub fn filter(&self) -> MetricsFilter<'_> {
+        MetricsFilter::Routers(&self.routers)
     }
 }
 
@@ -142,7 +142,12 @@ pub fn run_multijob(config: &MultiJobConfig) -> MultiJobResult {
         .jobs
         .iter()
         .enumerate()
-        .map(|(i, job)| generate(&job.app.spec(job.msg_scale, workload_seed ^ (i as u64) << 32)))
+        .map(|(i, job)| {
+            generate(
+                &job.app
+                    .spec(job.msg_scale, workload_seed ^ (i as u64) << 32),
+            )
+        })
         .collect();
 
     let mut net = Network::new(topo.clone(), config.network, config.routing, routing_seed);

@@ -48,7 +48,11 @@ impl ExperimentResult {
 
     /// The slowest rank's communication time.
     pub fn max_comm_time(&self) -> Ns {
-        self.rank_comm_times.iter().copied().max().unwrap_or(Ns::ZERO)
+        self.rank_comm_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Ns::ZERO)
     }
 
     /// CDF of per-rank average hops — Figure 4(a).
@@ -65,8 +69,9 @@ impl ExperimentResult {
     }
 
     /// The metrics filter restricted to the app's routers (Figures 8–10).
-    pub fn app_filter(&self) -> MetricsFilter {
-        MetricsFilter::Routers(self.app_routers.clone())
+    /// Borrows the result's router set — constructing one is free.
+    pub fn app_filter(&self) -> MetricsFilter<'_> {
+        MetricsFilter::Routers(&self.app_routers)
     }
 
     /// CDF of local-channel traffic in MB.
@@ -100,15 +105,31 @@ impl ExperimentResult {
     }
 }
 
-/// Run one experiment end to end.
+/// Validate a configuration and build its topology, ready for
+/// [`execute_experiment`].
 ///
-/// Seeding: placement, workload jitter, routing decisions, and background
-/// destinations each get an independent RNG stream derived from
-/// `config.seed`, so e.g. changing the routing policy never perturbs the
-/// placement.
-pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+/// Building the Theta-scale topology (864 routers, thousands of channels)
+/// dominates the setup cost of small experiments; sweeps call this once
+/// per *distinct* [`TopologyConfig`](dfly_topology::TopologyConfig) and
+/// share the `Arc` across every grid cell and worker thread.
+pub fn prepare_topology(config: &ExperimentConfig) -> Arc<Topology> {
     config.validate().expect("invalid experiment config");
-    let topo = Arc::new(Topology::build(config.topology.clone()));
+    Arc::new(Topology::build(config.topology.clone()))
+}
+
+/// Run one experiment end to end (see [`run_experiment`]).
+///
+/// `topo` must have been built from `config.topology` — sharing a
+/// prebuilt topology across cells must not change any result, and the
+/// equivalence test in `tests/refactor_equivalence.rs` holds this path to
+/// bit-identical output against a fresh per-cell build.
+pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> ExperimentResult {
+    config.validate().expect("invalid experiment config");
+    assert_eq!(
+        topo.config(),
+        &config.topology,
+        "topology was built from a different TopologyConfig"
+    );
 
     let mut master = Xoshiro256::seed_from(config.seed);
     let mut placement_rng = master.split(1);
@@ -132,12 +153,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     let trace = generate(&config.app.spec(config.msg_scale, workload_seed));
 
     // Network.
-    let mut net = Network::new(
-        topo.clone(),
-        config.network,
-        config.routing,
-        routing_seed,
-    );
+    let mut net = Network::new(topo.clone(), config.network, config.routing, routing_seed);
 
     // Background job on the complement nodes.
     let background = config.background.as_ref().map(|bg| {
@@ -152,8 +168,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
 
     let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
     let metrics = net.metrics();
-    let app_routers: HashSet<RouterId> =
-        placement.iter().map(|&n| topo.node_router(n)).collect();
+    let app_routers: HashSet<RouterId> = placement.iter().map(|&n| topo.node_router(n)).collect();
 
     ExperimentResult {
         config: config.clone(),
@@ -168,6 +183,19 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     }
 }
 
+/// Run one experiment end to end: [`prepare_topology`] +
+/// [`execute_experiment`]. The convenience path for a single run; sweeps
+/// prepare once and execute many times.
+///
+/// Seeding: placement, workload jitter, routing decisions, and background
+/// destinations each get an independent RNG stream derived from
+/// `config.seed`, so e.g. changing the routing policy never perturbs the
+/// placement.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    let topo = prepare_topology(config);
+    execute_experiment(config, topo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,7 +203,10 @@ mod tests {
     use dfly_placement::PlacementPolicy;
     use dfly_workloads::BackgroundSpec;
 
-    fn small(placement: PlacementPolicy, routing: crate::config::RoutingPolicy) -> ExperimentConfig {
+    fn small(
+        placement: PlacementPolicy,
+        routing: crate::config::RoutingPolicy,
+    ) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::small_test();
         cfg.placement = placement;
         cfg.routing = routing;
@@ -185,7 +216,10 @@ mod tests {
 
     #[test]
     fn basic_run_produces_complete_result() {
-        let cfg = small(PlacementPolicy::Contiguous, crate::config::RoutingPolicy::Minimal);
+        let cfg = small(
+            PlacementPolicy::Contiguous,
+            crate::config::RoutingPolicy::Minimal,
+        );
         let r = run_experiment(&cfg);
         assert_eq!(r.rank_comm_times.len(), 16);
         assert_eq!(r.placement.len(), 16);
@@ -247,7 +281,10 @@ mod tests {
 
     #[test]
     fn results_deterministic_per_seed() {
-        let cfg = small(PlacementPolicy::RandomChassis, crate::config::RoutingPolicy::Adaptive);
+        let cfg = small(
+            PlacementPolicy::RandomChassis,
+            crate::config::RoutingPolicy::Adaptive,
+        );
         let a = run_experiment(&cfg);
         let b = run_experiment(&cfg);
         assert_eq!(a.rank_comm_times, b.rank_comm_times);
@@ -260,7 +297,10 @@ mod tests {
 
     #[test]
     fn background_run_degrades_app() {
-        let mut quiet = small(PlacementPolicy::RandomNode, crate::config::RoutingPolicy::Adaptive);
+        let mut quiet = small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        );
         quiet.app = AppSelection::Amg { ranks: 8 };
         quiet.msg_scale = 1.0;
         let mut noisy = quiet.clone();

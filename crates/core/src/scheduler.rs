@@ -158,7 +158,11 @@ pub fn run_schedule(config: &SchedulerConfig) -> ScheduleResult {
                 .placement
                 .allocate(topo, pool, sub.job.app.ranks(), placement_rng)
                 .expect("checked free count");
-            let trace = generate(&sub.job.app.spec(sub.job.msg_scale, workload_seed ^ (idx as u64) << 32));
+            let trace = generate(
+                &sub.job
+                    .app
+                    .spec(sub.job.msg_scale, workload_seed ^ (idx as u64) << 32),
+            );
             let job_id = running.len() as u32;
             for (rank, &node) in placement.iter().enumerate() {
                 node_owner[node.index()] = (job_id, rank as u32);
@@ -211,7 +215,8 @@ pub fn run_schedule(config: &SchedulerConfig) -> ScheduleResult {
             Some(NetworkEvent::Delivery(d)) => {
                 let now = net.now();
                 let job_id = (d.tag >> JOB_SHIFT) as u32;
-                let phase = ((d.tag >> PHASE_SHIFT) & ((1 << (JOB_SHIFT - PHASE_SHIFT)) - 1)) as usize;
+                let phase =
+                    ((d.tag >> PHASE_SHIFT) & ((1 << (JOB_SHIFT - PHASE_SHIFT)) - 1)) as usize;
                 let src_rank = (d.tag & ((1 << RANK_BITS) - 1)) as u32;
                 let (dst_job, dst_rank) = node_owner[d.dst.index()];
                 debug_assert_eq!(dst_job, job_id);
@@ -245,7 +250,9 @@ pub fn run_schedule(config: &SchedulerConfig) -> ScheduleResult {
             None => {
                 // Network idle: if jobs remain queued, jump to the next
                 // arrival (the wakeups guarantee there is one).
-                if done.len() < total && queue.is_empty() && running.iter().all(|j| j.unfinished == 0)
+                if done.len() < total
+                    && queue.is_empty()
+                    && running.iter().all(|j| j.unfinished == 0)
                 {
                     panic!("scheduler stalled with jobs unaccounted for");
                 }
@@ -365,11 +372,17 @@ mod tests {
         // Two 40-node jobs on a 64-node machine: the second must wait for
         // the first to finish.
         let a = Submission {
-            job: job(AppSelection::CrystalRouter { ranks: 40 }, PlacementPolicy::Contiguous),
+            job: job(
+                AppSelection::CrystalRouter { ranks: 40 },
+                PlacementPolicy::Contiguous,
+            ),
             arrival: Ns::ZERO,
         };
         let b = Submission {
-            job: job(AppSelection::FillBoundary { ranks: 40 }, PlacementPolicy::Contiguous),
+            job: job(
+                AppSelection::FillBoundary { ranks: 40 },
+                PlacementPolicy::Contiguous,
+            ),
             arrival: Ns(1),
         };
         let r = run_schedule(&cfg(vec![a, b]));
@@ -435,11 +448,17 @@ mod tests {
     fn deterministic() {
         let subs = vec![
             Submission {
-                job: job(AppSelection::CrystalRouter { ranks: 24 }, PlacementPolicy::RandomNode),
+                job: job(
+                    AppSelection::CrystalRouter { ranks: 24 },
+                    PlacementPolicy::RandomNode,
+                ),
                 arrival: Ns::ZERO,
             },
             Submission {
-                job: job(AppSelection::Amg { ranks: 27 }, PlacementPolicy::RandomChassis),
+                job: job(
+                    AppSelection::Amg { ranks: 27 },
+                    PlacementPolicy::RandomChassis,
+                ),
                 arrival: Ns::from_us(50),
             },
         ];
@@ -452,7 +471,10 @@ mod tests {
     fn validate_rejects_bad_submissions() {
         assert!(cfg(vec![]).validate().is_err());
         let too_big = cfg(vec![Submission {
-            job: job(AppSelection::CrystalRouter { ranks: 100 }, PlacementPolicy::Contiguous),
+            job: job(
+                AppSelection::CrystalRouter { ranks: 100 },
+                PlacementPolicy::Contiguous,
+            ),
             arrival: Ns::ZERO,
         }]);
         assert!(too_big.validate().is_err());

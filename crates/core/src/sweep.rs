@@ -4,11 +4,17 @@
 //! — ten placement x routing combinations, message-scale sweeps — are
 //! embarrassingly parallel, so the sweep runner fans simulations out over
 //! scoped threads with a shared work queue.
+//!
+//! The immutable topology is built **once per distinct
+//! [`TopologyConfig`]** and shared across every cell and worker thread as
+//! an `Arc` — a grid over the Theta machine constructs its 864 routers
+//! and thousands of channels one time, not once per cell.
 
 use crate::config::ExperimentConfig;
 use crate::report::ConfigLabel;
-use crate::runner::{run_experiment, ExperimentResult};
-use std::sync::Mutex;
+use crate::runner::{execute_experiment, prepare_topology, ExperimentResult};
+use dfly_topology::Topology;
+use std::sync::{Arc, Mutex};
 
 /// One grid cell's outcome.
 #[derive(Debug, Clone)]
@@ -54,13 +60,38 @@ pub fn run_scale_sweep(base: &ExperimentConfig, scales: &[f64]) -> Vec<Experimen
 
 /// Run a batch of independent experiments, using up to
 /// `available_parallelism` worker threads. Result order matches input.
+///
+/// Each distinct topology in the batch is built exactly once
+/// ([`prepare_topology`]) and shared across all cells and workers; a
+/// typical grid varies only placement/routing/scale, so the whole batch
+/// shares a single `Arc<Topology>`.
 pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+    // Dedupe topologies by config equality (TopologyConfig is not Hash;
+    // batches hold a handful of distinct topologies at most).
+    let mut unique: Vec<Arc<Topology>> = Vec::new();
+    let topos: Vec<Arc<Topology>> = configs
+        .iter()
+        .map(
+            |cfg| match unique.iter().find(|t| t.config() == &cfg.topology) {
+                Some(t) => t.clone(),
+                None => {
+                    let t = prepare_topology(cfg);
+                    unique.push(t.clone());
+                    t
+                }
+            },
+        )
+        .collect();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(configs.len().max(1));
     if workers <= 1 || configs.len() <= 1 {
-        return configs.iter().map(run_experiment).collect();
+        return configs
+            .iter()
+            .zip(&topos)
+            .map(|(cfg, topo)| execute_experiment(cfg, topo.clone()))
+            .collect();
     }
     let next = Mutex::new(0usize);
     let results: Vec<Mutex<Option<ExperimentResult>>> =
@@ -77,7 +108,7 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
                 if i >= configs.len() {
                     break;
                 }
-                let r = run_experiment(&configs[i]);
+                let r = execute_experiment(&configs[i], topos[i].clone());
                 *results[i].lock().expect("slot lock never poisoned") = Some(r);
             });
         }
@@ -96,6 +127,7 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
 mod tests {
     use super::*;
     use crate::config::RoutingPolicy;
+    use crate::runner::run_experiment;
     use dfly_placement::PlacementPolicy;
 
     fn base() -> ExperimentConfig {

@@ -49,7 +49,9 @@ pub fn expected_one_way(
     let mut first_packet = Ns::ZERO;
     let mut bottleneck = Ns::ZERO;
     for (i, &class) in route_classes.iter().enumerate() {
-        let ser = topo.class_bandwidth(class).serialization_time(full.min(bytes.max(1)));
+        let ser = topo
+            .class_bandwidth(class)
+            .serialization_time(full.min(bytes.max(1)));
         let next_is_router = i + 1 < route_classes.len();
         let extra = topo.class_latency(class)
             + if next_is_router {
@@ -79,14 +81,18 @@ pub fn run_pingpong(cfg: &TopologyConfig, params: NetworkParams, bytes: Bytes) -
         programs: vec![
             RankProgram {
                 phases: vec![
-                    Phase { sends: vec![SendOp { peer: 1, bytes }] },
+                    Phase {
+                        sends: vec![SendOp { peer: 1, bytes }],
+                    },
                     Phase { sends: vec![] },
                 ],
             },
             RankProgram {
                 phases: vec![
                     Phase { sends: vec![] },
-                    Phase { sends: vec![SendOp { peer: 0, bytes }] },
+                    Phase {
+                        sends: vec![SendOp { peer: 0, bytes }],
+                    },
                 ],
             },
         ],
@@ -168,8 +174,8 @@ pub fn run_bisection(
     // volume over links_per_group_pair global links (minimal routing).
     let volume_per_pair = per_group as u64 * bytes_per_node;
     let pair_bw = cfg.links_per_group_pair() as u64 * cfg.global_bw.bytes_per_sec();
-    let capacity_bound = Ns(((volume_per_pair as u128 * 1_000_000_000u128)
-        / pair_bw as u128) as u64);
+    let capacity_bound =
+        Ns(((volume_per_pair as u128 * 1_000_000_000u128) / pair_bw as u128) as u64);
     let efficiency = capacity_bound.as_nanos() as f64 / makespan.as_nanos() as f64;
     let achieved = (senders * bytes_per_node) as f64 / makespan.as_secs_f64() / (1u64 << 30) as f64;
     BisectionResult {
@@ -187,7 +193,11 @@ mod tests {
     #[test]
     fn pingpong_matches_closed_form_small() {
         // One packet each way: the expectation is exact.
-        let r = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), 4096);
+        let r = run_pingpong(
+            &TopologyConfig::small_test(),
+            NetworkParams::default(),
+            4096,
+        );
         assert!(
             r.relative_error < 0.01,
             "1-packet ping-pong error {:.3}% (measured {}, expected {})",
@@ -201,7 +211,11 @@ mod tests {
     fn pingpong_matches_closed_form_large() {
         // Many packets: pipelining must match within CODES's 8% bar.
         for bytes in [64 * 1024, 190 * 1024, 1024 * 1024] {
-            let r = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), bytes);
+            let r = run_pingpong(
+                &TopologyConfig::small_test(),
+                NetworkParams::default(),
+                bytes,
+            );
             assert!(
                 r.relative_error < 0.08,
                 "{bytes}B ping-pong error {:.2}% (measured {}, expected {})",
@@ -214,10 +228,17 @@ mod tests {
 
     #[test]
     fn pingpong_scales_with_message_size() {
-        let small = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), 8 * 1024);
-        let large = run_pingpong(&TopologyConfig::small_test(), NetworkParams::default(), 512 * 1024);
-        let ratio =
-            large.measured_rtt.as_nanos() as f64 / small.measured_rtt.as_nanos() as f64;
+        let small = run_pingpong(
+            &TopologyConfig::small_test(),
+            NetworkParams::default(),
+            8 * 1024,
+        );
+        let large = run_pingpong(
+            &TopologyConfig::small_test(),
+            NetworkParams::default(),
+            512 * 1024,
+        );
+        let ratio = large.measured_rtt.as_nanos() as f64 / small.measured_rtt.as_nanos() as f64;
         // 64x the bytes, pipelined: between 16x and 64x.
         assert!(ratio > 16.0 && ratio < 64.0, "ratio {ratio:.1}");
     }

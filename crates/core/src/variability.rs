@@ -40,10 +40,7 @@ pub fn measure_variability(config: &ExperimentConfig, runs: u32) -> VariabilityR
         })
         .collect();
     let results = run_many(&configs);
-    let run_medians_ms: Vec<f64> = results
-        .iter()
-        .map(|r| r.comm_time_stats().median)
-        .collect();
+    let run_medians_ms: Vec<f64> = results.iter().map(|r| r.comm_time_stats().median).collect();
     let run_maxima_ms: Vec<f64> = results
         .iter()
         .map(|r| r.max_comm_time().as_ms_f64())
@@ -51,7 +48,11 @@ pub fn measure_variability(config: &ExperimentConfig, runs: u32) -> VariabilityR
     let median_stats = BoxStats::from_samples(&run_medians_ms).expect("runs >= 2");
     let lo = median_stats.min;
     let hi = median_stats.max;
-    let variability_percent = if lo > 0.0 { 100.0 * (hi - lo) / lo } else { 0.0 };
+    let variability_percent = if lo > 0.0 {
+        100.0 * (hi - lo) / lo
+    } else {
+        0.0
+    };
     let m = mean(&run_medians_ms);
     let cv_percent = if m > 0.0 {
         100.0 * stddev(&run_medians_ms) / m

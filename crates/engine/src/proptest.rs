@@ -115,7 +115,12 @@ impl std::fmt::Display for Failure {
             "case #{} (case_seed = {:#018x}) failed: {}\n  minimal input \
              (after {} shrink steps): {}\n  reproduce with \
              DFLY_PROPTEST_SEED or proptest::reproduce({:#018x}, ...)",
-            self.case_index, self.case_seed, self.message, self.shrink_steps, self.input, self.case_seed
+            self.case_index,
+            self.case_seed,
+            self.message,
+            self.shrink_steps,
+            self.input,
+            self.case_seed
         )
     }
 }
@@ -204,8 +209,13 @@ where
 
 /// [`check`] plus greedy shrinking over `shrink_candidates` (see
 /// [`shrink`] for stock integer/vec shrinkers).
-pub fn check_with_shrink<T, G, S, P>(name: &str, cfg: &Config, generate: G, shrink_candidates: S, prop: P)
-where
+pub fn check_with_shrink<T, G, S, P>(
+    name: &str,
+    cfg: &Config,
+    generate: G,
+    shrink_candidates: S,
+    prop: P,
+) where
     T: Debug,
     G: Fn(&mut Xoshiro256) -> T,
     S: Fn(&T) -> Vec<T>,
@@ -304,12 +314,24 @@ pub mod gen {
     }
 
     /// A vector of uniform `u64` in `[lo, hi]`.
-    pub fn vec_u64(rng: &mut Xoshiro256, len_lo: usize, len_hi: usize, lo: u64, hi: u64) -> Vec<u64> {
+    pub fn vec_u64(
+        rng: &mut Xoshiro256,
+        len_lo: usize,
+        len_hi: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<u64> {
         vec_with(rng, len_lo, len_hi, |r| r.range_inclusive(lo, hi))
     }
 
     /// A vector of uniform `f64` in `[lo, hi)`.
-    pub fn vec_f64(rng: &mut Xoshiro256, len_lo: usize, len_hi: usize, lo: f64, hi: f64) -> Vec<f64> {
+    pub fn vec_f64(
+        rng: &mut Xoshiro256,
+        len_lo: usize,
+        len_hi: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Vec<f64> {
         vec_with(rng, len_lo, len_hi, |r| lo + r.next_f64() * (hi - lo))
     }
 }

@@ -307,7 +307,10 @@ mod tests {
 
     #[test]
     fn bandwidth_display() {
-        assert_eq!(format!("{}", Bandwidth::from_gib_per_sec(16)), "16.00 GiB/s");
+        assert_eq!(
+            format!("{}", Bandwidth::from_gib_per_sec(16)),
+            "16.00 GiB/s"
+        );
         assert_eq!(
             format!("{}", Bandwidth::from_gib_per_sec_hundredths(525)),
             "5.25 GiB/s"

@@ -68,7 +68,8 @@ fn failing_seed_reproduces_the_same_input() {
     // Re-running from the reported seed regenerates a failing input, and
     // (no shrinker was supplied) the exact same one — the failure message
     // embeds the value.
-    let msg = reproduce(failure.case_seed, generate, prop).expect_err("reported seed must still fail");
+    let msg =
+        reproduce(failure.case_seed, generate, prop).expect_err("reported seed must still fail");
     assert_eq!(msg, failure.message);
     // A seed for a passing value passes: 0 draws below 1000 eventually;
     // find one by scanning a few seeds.

@@ -1,0 +1,109 @@
+//! Channel arbitration: round-robin virtual-channel selection and the
+//! waiter/wakeup protocol for channels blocked on downstream credit.
+//!
+//! A channel transmits one packet at a time; when it goes idle it scans
+//! its VCs round-robin (starting after the last VC served) for a head
+//! packet whose next buffer can accept it. If every candidate is blocked,
+//! the channel registers as a *waiter* on the first blocking channel and
+//! is retried when that channel frees space at its `TxDone`. One
+//! registration is enough: a woken channel rescans **all** of its VCs, and
+//! every full channel fires `TxDone` eventually (the ascending-VC
+//! discipline makes the buffer dependency graph acyclic), so progress is
+//! never lost. The `in_waitlist` bit on
+//! [`ChannelState`](crate::channel::ChannelState) makes the duplicate
+//! check O(1) where the old `waiters.contains` scan was O(#waiters) — on
+//! a hot channel under congestion, that list is long exactly when
+//! `try_start` runs most often.
+
+use crate::channel::ChannelState;
+use crate::packet::MAX_ROUTE_LEN;
+use dfly_topology::ChannelId;
+
+/// The VC scan order for one arbitration round: all `MAX_ROUTE_LEN`
+/// levels, starting at `start` (the VC after the last one served).
+#[inline]
+pub(crate) fn rr_scan(start: u8) -> impl Iterator<Item = usize> {
+    let start = start as usize;
+    (0..MAX_ROUTE_LEN).map(move |k| (start + k) % MAX_ROUTE_LEN)
+}
+
+/// Register `waiter` on `blocked_on`'s wait list, unless `waiter` is
+/// already parked somewhere. Returns true if it registered.
+#[inline]
+pub(crate) fn park_waiter(
+    channels: &mut [ChannelState],
+    blocked_on: ChannelId,
+    waiter: ChannelId,
+) -> bool {
+    if channels[waiter.index()].in_waitlist {
+        return false;
+    }
+    channels[waiter.index()].in_waitlist = true;
+    channels[blocked_on.index()].waiters.push(waiter);
+    true
+}
+
+/// Take every channel parked on `ch`, clearing their `in_waitlist` bits.
+/// The caller retries each returned channel (`try_start`), in
+/// registration order — FIFO service keeps wakeups deterministic.
+pub(crate) fn take_waiters(channels: &mut [ChannelState], ch: ChannelId) -> Vec<ChannelId> {
+    let waiters = std::mem::take(&mut channels[ch.index()].waiters);
+    for w in &waiters {
+        channels[w.index()].in_waitlist = false;
+    }
+    waiters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_engine::{Bandwidth, Ns};
+    use dfly_topology::ChannelClass;
+
+    fn channels(n: usize) -> Vec<ChannelState> {
+        (0..n)
+            .map(|_| {
+                ChannelState::new(
+                    ChannelClass::LocalRow,
+                    Bandwidth::from_gib_per_sec(1),
+                    Ns(0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rr_scan_covers_all_vcs_once_from_start() {
+        let order: Vec<usize> = rr_scan(3).collect();
+        assert_eq!(order.len(), MAX_ROUTE_LEN);
+        assert_eq!(order[0], 3);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..MAX_ROUTE_LEN).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn park_is_idempotent_while_parked() {
+        let mut chs = channels(3);
+        assert!(park_waiter(&mut chs, ChannelId(0), ChannelId(2)));
+        // Second attempt (even on a different blocker) is a no-op: one
+        // wakeup rescans every VC.
+        assert!(!park_waiter(&mut chs, ChannelId(1), ChannelId(2)));
+        assert_eq!(chs[0].waiters, vec![ChannelId(2)]);
+        assert!(chs[1].waiters.is_empty());
+    }
+
+    #[test]
+    fn take_waiters_clears_bits_and_allows_reparking() {
+        let mut chs = channels(4);
+        park_waiter(&mut chs, ChannelId(0), ChannelId(2));
+        park_waiter(&mut chs, ChannelId(0), ChannelId(3));
+        let woken = take_waiters(&mut chs, ChannelId(0));
+        assert_eq!(woken, vec![ChannelId(2), ChannelId(3)]);
+        assert!(chs[0].waiters.is_empty());
+        assert!(!chs[2].in_waitlist && !chs[3].in_waitlist);
+        // A woken channel that is still blocked can park again.
+        assert!(park_waiter(&mut chs, ChannelId(1), ChannelId(2)));
+        assert_eq!(chs[1].waiters, vec![ChannelId(2)]);
+    }
+}

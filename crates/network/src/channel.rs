@@ -1,0 +1,247 @@
+//! Per-channel state: virtual-channel buffers, credit/occupancy
+//! bookkeeping, and full-interval (saturation) accounting.
+//!
+//! A VC buffer is an intrusive FIFO over the network's packet arena: the
+//! queue itself is just a head/tail pair of arena indices, and each
+//! [`Packet`](crate::packet::Packet) carries the index of the packet
+//! behind it. A packet sits in at most one queue at a time (its current
+//! channel's VC, or the source NIC), so one link per packet suffices.
+//! Compared to the previous `VecDeque<PacketId>` per VC, this removes
+//! `MAX_ROUTE_LEN` heap allocations per channel (thousands of channels x
+//! twelve VCs on the Theta machine) and the pointer chase per operation —
+//! push, pop, and front are all O(1) on the arena the event loop already
+//! has hot.
+
+use crate::packet::{Packet, PacketId, MAX_ROUTE_LEN, NO_PACKET};
+use dfly_engine::{Bandwidth, Bytes, Ns};
+use dfly_topology::{ChannelClass, ChannelId};
+
+/// Intrusive FIFO of packets; links live in the packet arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PacketList {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for PacketList {
+    fn default() -> Self {
+        PacketList {
+            head: NO_PACKET,
+            tail: NO_PACKET,
+        }
+    }
+}
+
+impl PacketList {
+    /// The packet at the head, without removing it.
+    #[inline]
+    pub(crate) fn front(&self) -> Option<PacketId> {
+        (self.head != NO_PACKET).then_some(PacketId(self.head))
+    }
+
+    /// Append `pid`, updating its intrusive link in `packets`.
+    #[inline]
+    pub(crate) fn push_back(&mut self, packets: &mut [Packet], pid: PacketId) {
+        packets[pid.0 as usize].next = NO_PACKET;
+        if self.tail == NO_PACKET {
+            self.head = pid.0;
+        } else {
+            packets[self.tail as usize].next = pid.0;
+        }
+        self.tail = pid.0;
+    }
+
+    /// Detach and return the head packet.
+    #[inline]
+    pub(crate) fn pop_front(&mut self, packets: &[Packet]) -> Option<PacketId> {
+        if self.head == NO_PACKET {
+            return None;
+        }
+        let pid = self.head;
+        self.head = packets[pid as usize].next;
+        if self.head == NO_PACKET {
+            self.tail = NO_PACKET;
+        }
+        Some(PacketId(pid))
+    }
+}
+
+/// One virtual-channel buffer: its queued packets, how many bytes they
+/// (plus inbound reservations) occupy, and whether a reservation was
+/// refused since space last freed.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct VcState {
+    pub(crate) queue: PacketList,
+    pub(crate) occupancy: Bytes,
+    /// True once a reservation was refused; cleared when space frees.
+    pub(crate) full: bool,
+}
+
+/// Mutable per-channel simulation state. The immutable half (endpoints,
+/// class wiring) stays in the shared [`Topology`](dfly_topology::Topology).
+pub(crate) struct ChannelState {
+    pub(crate) class: ChannelClass,
+    pub(crate) bandwidth: Bandwidth,
+    /// Link propagation latency plus downstream router traversal latency.
+    pub(crate) arrival_extra: Ns,
+    /// One buffer per VC level; VC index = hop index, so `MAX_ROUTE_LEN`
+    /// covers every reachable level. Fixed-size: no per-channel heap.
+    pub(crate) vcs: [VcState; MAX_ROUTE_LEN],
+    pub(crate) total_occupancy: Bytes,
+    pub(crate) busy: bool,
+    pub(crate) tx_vc: u8,
+    pub(crate) rr_next: u8,
+    /// Channels whose head packet is waiting for space in our buffers.
+    pub(crate) waiters: Vec<ChannelId>,
+    /// True while this channel sits on some other channel's `waiters`
+    /// list. A blocked channel registers on at most one blocker at a
+    /// time — any wakeup rescans all VCs — so one bit replaces the
+    /// O(waiters) `contains` scan the arbiter used to do per attempt.
+    pub(crate) in_waitlist: bool,
+    // --- metrics ---
+    pub(crate) full_vcs: u16,
+    pub(crate) full_start: Ns,
+    pub(crate) saturated: Ns,
+    pub(crate) traffic: Bytes,
+    pub(crate) busy_time: Ns,
+}
+
+impl ChannelState {
+    /// Fresh state for a channel of `class`.
+    pub(crate) fn new(
+        class: ChannelClass,
+        bandwidth: Bandwidth,
+        arrival_extra: Ns,
+    ) -> ChannelState {
+        ChannelState {
+            class,
+            bandwidth,
+            arrival_extra,
+            vcs: [VcState::default(); MAX_ROUTE_LEN],
+            total_occupancy: 0,
+            busy: false,
+            tx_vc: 0,
+            rr_next: 0,
+            waiters: Vec::new(),
+            in_waitlist: false,
+            full_vcs: 0,
+            full_start: Ns::ZERO,
+            saturated: Ns::ZERO,
+            traffic: 0,
+            busy_time: Ns::ZERO,
+        }
+    }
+
+    /// Record that a reservation on VC `vc` was refused at `now`: opens
+    /// the channel's saturated interval if it wasn't already open.
+    pub(crate) fn mark_full(&mut self, vc: usize, now: Ns) {
+        if !self.vcs[vc].full {
+            self.vcs[vc].full = true;
+            if self.full_vcs == 0 {
+                self.full_start = now;
+            }
+            self.full_vcs += 1;
+        }
+    }
+
+    /// Record that VC `vc` freed space at `now`: closes the saturated
+    /// interval once no VC is full, accumulating it exactly once.
+    pub(crate) fn clear_full(&mut self, vc: usize, now: Ns) {
+        if self.vcs[vc].full {
+            self.vcs[vc].full = false;
+            self.full_vcs -= 1;
+            if self.full_vcs == 0 {
+                self.saturated += now - self.full_start;
+            }
+        }
+    }
+
+    /// Saturated time including a still-open full interval at `now`.
+    pub(crate) fn saturated_until(&self, now: Ns) -> Ns {
+        let mut s = self.saturated;
+        if self.full_vcs > 0 {
+            s += now - self.full_start;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{MessageId, Route};
+
+    fn arena(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|_| Packet {
+                msg: MessageId(0),
+                size: 1,
+                hop: 0,
+                routed: false,
+                route: Route::from_slice(&[ChannelId(0), ChannelId(1)]),
+                next: NO_PACKET,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packet_list_fifo_order() {
+        let mut packets = arena(4);
+        let mut q = PacketList::default();
+        assert_eq!(q.front(), None);
+        for i in 0..4 {
+            q.push_back(&mut packets, PacketId(i));
+        }
+        assert_eq!(q.front(), Some(PacketId(0)));
+        for i in 0..4 {
+            assert_eq!(q.pop_front(&packets), Some(PacketId(i)));
+        }
+        assert_eq!(q.pop_front(&packets), None);
+        assert_eq!(q, PacketList::default());
+    }
+
+    #[test]
+    fn packet_list_interleaved_push_pop() {
+        let mut packets = arena(6);
+        let mut q = PacketList::default();
+        q.push_back(&mut packets, PacketId(0));
+        q.push_back(&mut packets, PacketId(1));
+        assert_eq!(q.pop_front(&packets), Some(PacketId(0)));
+        q.push_back(&mut packets, PacketId(2));
+        assert_eq!(q.pop_front(&packets), Some(PacketId(1)));
+        assert_eq!(q.pop_front(&packets), Some(PacketId(2)));
+        assert_eq!(q.pop_front(&packets), None);
+        // Reusable after full drain.
+        q.push_back(&mut packets, PacketId(5));
+        assert_eq!(q.front(), Some(PacketId(5)));
+    }
+
+    #[test]
+    fn full_interval_accounting_is_exactly_once() {
+        let mut ch = ChannelState::new(
+            ChannelClass::LocalRow,
+            Bandwidth::from_gib_per_sec(1),
+            Ns(0),
+        );
+        ch.mark_full(0, Ns(100));
+        ch.mark_full(0, Ns(150)); // repeated refusal: no double-open
+        ch.mark_full(2, Ns(200)); // second VC joins the open interval
+        ch.clear_full(0, Ns(300));
+        assert_eq!(ch.saturated, Ns::ZERO, "interval still open via VC 2");
+        ch.clear_full(2, Ns(450));
+        assert_eq!(ch.saturated, Ns(350));
+        // Clearing an already-clear VC is a no-op.
+        ch.clear_full(1, Ns(500));
+        assert_eq!(ch.saturated, Ns(350));
+    }
+
+    #[test]
+    fn saturated_until_closes_open_interval() {
+        let mut ch = ChannelState::new(ChannelClass::Global, Bandwidth::from_gib_per_sec(1), Ns(0));
+        assert_eq!(ch.saturated_until(Ns(50)), Ns::ZERO);
+        ch.mark_full(1, Ns(10));
+        assert_eq!(ch.saturated_until(Ns(50)), Ns(40));
+        ch.clear_full(1, Ns(60));
+        assert_eq!(ch.saturated_until(Ns(90)), Ns(50));
+    }
+}

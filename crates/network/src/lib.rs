@@ -26,14 +26,16 @@
 
 #![warn(missing_docs)]
 
+mod arbiter;
+mod channel;
 pub mod metrics;
-pub mod network;
+pub mod net;
 pub mod packet;
 pub mod params;
 pub mod routing;
 
 pub use metrics::{class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, TrafficTimeline};
-pub use network::{Delivery, Network, NetworkEvent};
+pub use net::{Delivery, Network, NetworkEvent};
 pub use packet::{MessageId, PacketId};
 pub use params::NetworkParams;
 pub use routing::Routing;

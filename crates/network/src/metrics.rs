@@ -29,23 +29,27 @@ pub struct ChannelSnapshot {
 }
 
 /// Which channels a report should include.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MetricsFilter {
+///
+/// Borrows its router set rather than owning it: filters are transient
+/// views constructed per report, and the app-router sets they reference
+/// live in experiment results — cloning a `HashSet` per figure line was
+/// pure waste.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFilter<'a> {
     /// Every channel in the machine (Figures 4–6).
     All,
     /// Only channels owned by the given routers (Figures 8–10: the routers
     /// serving the target application's nodes).
-    Routers(HashSet<RouterId>),
+    Routers(&'a HashSet<RouterId>),
 }
 
-impl MetricsFilter {
+impl MetricsFilter<'_> {
     fn accepts(&self, snap: &ChannelSnapshot) -> bool {
         match self {
             MetricsFilter::All => true,
-            MetricsFilter::Routers(set) => snap
-                .src_router
-                .map(|r| set.contains(&r))
-                .unwrap_or(false),
+            MetricsFilter::Routers(set) => {
+                snap.src_router.map(|r| set.contains(&r)).unwrap_or(false)
+            }
         }
     }
 }
@@ -84,7 +88,11 @@ impl NetworkMetrics {
 
     /// Saturated time (milliseconds) of each local channel passing `filter`.
     pub fn local_saturation_ms(&self, filter: &MetricsFilter) -> Vec<f64> {
-        self.select(filter, |c| c.class.is_local(), |c| c.saturated_time.as_ms_f64())
+        self.select(
+            filter,
+            |c| c.class.is_local(),
+            |c| c.saturated_time.as_ms_f64(),
+        )
     }
 
     /// Saturated time (milliseconds) of each global channel passing `filter`.
@@ -150,7 +158,13 @@ impl NetworkMetrics {
 mod tests {
     use super::*;
 
-    fn snap(id: u32, class: ChannelClass, router: u32, traffic: u64, sat_ns: u64) -> ChannelSnapshot {
+    fn snap(
+        id: u32,
+        class: ChannelClass,
+        router: u32,
+        traffic: u64,
+        sat_ns: u64,
+    ) -> ChannelSnapshot {
         ChannelSnapshot {
             id: ChannelId(id),
             class,
@@ -197,7 +211,8 @@ mod tests {
     #[test]
     fn router_filter_restricts() {
         let m = sample();
-        let filter = MetricsFilter::Routers([RouterId(0)].into_iter().collect());
+        let routers: HashSet<RouterId> = [RouterId(0)].into_iter().collect();
+        let filter = MetricsFilter::Routers(&routers);
         let mut v = m.local_traffic(&filter);
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(v, vec![100.0, 200.0]);
@@ -252,7 +267,8 @@ mod tests {
         let mut s = snap(9, ChannelClass::LocalRow, 0, 50, 0);
         s.src_router = None;
         let m = NetworkMetrics::new(vec![s]);
-        let filter = MetricsFilter::Routers([RouterId(0)].into_iter().collect());
+        let routers: HashSet<RouterId> = [RouterId(0)].into_iter().collect();
+        let filter = MetricsFilter::Routers(&routers);
         assert!(m.local_traffic(&filter).is_empty());
         assert_eq!(m.local_traffic(&MetricsFilter::All), vec![50.0]);
     }

@@ -1,6 +1,9 @@
-//! The packet-level network simulator.
+//! The packet engine: event loop and public API.
 //!
-//! See the crate docs for the model. The central invariants:
+//! The per-channel state lives in [`crate::channel`]; VC selection and
+//! the blocked-channel wakeup protocol in [`crate::arbiter`]; this module
+//! owns the event queue, the packet/message arenas, and the handlers that
+//! tie them together. The central invariants:
 //!
 //! * a channel transmits one packet at a time (serialization at link
 //!   bandwidth), and only starts when the packet's next buffer has space —
@@ -12,11 +15,13 @@
 //! * per-channel traffic bytes and refused-full ("saturation") time are
 //!   accumulated exactly once per packet / full interval.
 
+use crate::arbiter;
+use crate::channel::{ChannelState, PacketList};
 use crate::metrics::{ChannelSnapshot, NetworkMetrics, TrafficTimeline};
 use crate::packet::{MessageId, MessageState, Packet, PacketId, Route, MAX_ROUTE_LEN};
 use crate::params::NetworkParams;
 use crate::routing::{RouteComputer, Routing};
-use dfly_engine::{Bandwidth, Bytes, EventQueue, Ns, Xoshiro256};
+use dfly_engine::{Bytes, EventQueue, Ns, Xoshiro256};
 use dfly_topology::{ChannelClass, ChannelEnd, ChannelId, NodeId, Topology};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -73,34 +78,6 @@ pub enum NetworkEvent {
     Wakeup,
 }
 
-#[derive(Debug, Default)]
-struct VcState {
-    queue: VecDeque<PacketId>,
-    occupancy: Bytes,
-    /// True once a reservation was refused; cleared when space frees.
-    full: bool,
-}
-
-struct ChannelState {
-    class: ChannelClass,
-    bandwidth: Bandwidth,
-    /// Link propagation latency plus downstream router traversal latency.
-    arrival_extra: Ns,
-    vcs: Vec<VcState>,
-    total_occupancy: Bytes,
-    busy: bool,
-    tx_vc: u8,
-    rr_next: u8,
-    /// Channels whose head packet is waiting for space in our buffers.
-    waiters: Vec<ChannelId>,
-    // --- metrics ---
-    full_vcs: u16,
-    full_start: Ns,
-    saturated: Ns,
-    traffic: Bytes,
-    busy_time: Ns,
-}
-
 /// The packet-level dragonfly network.
 pub struct Network {
     topo: Arc<Topology>,
@@ -111,7 +88,7 @@ pub struct Network {
     free_packets: Vec<PacketId>,
     messages: Vec<MessageState>,
     free_messages: Vec<MessageId>,
-    nic: Vec<VecDeque<PacketId>>,
+    nic: Vec<PacketList>,
     queue: EventQueue<NetEvent>,
     deliveries: VecDeque<Delivery>,
     router: RouteComputer,
@@ -133,23 +110,16 @@ impl Network {
             .channels()
             .map(|(_, info)| {
                 let dst_is_router = info.dst.router().is_some();
-                ChannelState {
-                    class: info.class,
-                    bandwidth: topo.class_bandwidth(info.class),
-                    arrival_extra: topo.class_latency(info.class)
-                        + if dst_is_router { router_latency } else { Ns::ZERO },
-                    vcs: (0..MAX_ROUTE_LEN).map(|_| VcState::default()).collect(),
-                    total_occupancy: 0,
-                    busy: false,
-                    tx_vc: 0,
-                    rr_next: 0,
-                    waiters: Vec::new(),
-                    full_vcs: 0,
-                    full_start: Ns::ZERO,
-                    saturated: Ns::ZERO,
-                    traffic: 0,
-                    busy_time: Ns::ZERO,
-                }
+                ChannelState::new(
+                    info.class,
+                    topo.class_bandwidth(info.class),
+                    topo.class_latency(info.class)
+                        + if dst_is_router {
+                            router_latency
+                        } else {
+                            Ns::ZERO
+                        },
+                )
             })
             .collect();
         let nodes = topo.config().total_nodes() as usize;
@@ -161,7 +131,7 @@ impl Network {
             free_packets: Vec::new(),
             messages: Vec::new(),
             free_messages: Vec::new(),
-            nic: vec![VecDeque::new(); nodes],
+            nic: vec![PacketList::default(); nodes],
             queue: EventQueue::with_capacity(1024),
             deliveries: VecDeque::new(),
             router: RouteComputer::new(routing, Xoshiro256::seed_from(seed)),
@@ -205,7 +175,10 @@ impl Network {
         self.packets_delivered
     }
 
-    /// Queue a message for injection at absolute time `at` (>= `now`).
+    /// Queue a message for injection at absolute time `at`. Injection
+    /// times in the past are clamped to [`Network::now`] — a driver that
+    /// computes injection times from stale state gets "inject now"
+    /// semantics instead of a causality panic deep in the event queue.
     ///
     /// The message is segmented into packets at injection time; each
     /// packet's route is computed later, when it reaches the head of the
@@ -216,6 +189,7 @@ impl Network {
             src.0 < self.topo.config().total_nodes() && dst.0 < self.topo.config().total_nodes(),
             "send endpoints out of range"
         );
+        let at = at.max(self.queue.now());
         let total_packets = self.params.packets_for(bytes);
         let state = MessageState {
             src,
@@ -329,9 +303,9 @@ impl Network {
         };
         let pkt_size = self.params.packet_size as u64;
         let mut remaining = bytes.max(1); // zero-byte messages carry a header byte
-        // Placeholder route until the source router fixes the real one at
-        // the packet's first transmission attempt (per-packet routing with
-        // a fresh congestion view).
+                                          // Placeholder route until the source router fixes the real one at
+                                          // the packet's first transmission attempt (per-packet routing with
+                                          // a fresh congestion view).
         let placeholder =
             Route::from_slice(&[self.topo.terminal_up(src), self.topo.terminal_down(dst)]);
         for _ in 0..total_packets {
@@ -343,6 +317,7 @@ impl Network {
                 hop: 0,
                 routed: false,
                 route: placeholder,
+                next: crate::packet::NO_PACKET,
             };
             let pid = match self.free_packets.pop() {
                 Some(pid) => {
@@ -355,7 +330,7 @@ impl Network {
                     pid
                 }
             };
-            self.nic[src.index()].push_back(pid);
+            self.nic[src.index()].push_back(&mut self.packets, pid);
         }
         self.nic_push(src);
     }
@@ -365,24 +340,25 @@ impl Network {
     fn nic_push(&mut self, node: NodeId) {
         let ch_id = self.topo.terminal_up(node);
         loop {
-            let Some(&pid) = self.nic[node.index()].front() else {
+            let Some(pid) = self.nic[node.index()].front() else {
                 return;
             };
             let size = self.packets[pid.0 as usize].size as u64;
             let now = self.queue.now();
             let ch = &mut self.channels[ch_id.index()];
             let cap = self.params.vc_capacity(ch.class);
-            let vc = &mut ch.vcs[0];
-            if vc.occupancy + size > cap {
+            if ch.vcs[0].occupancy + size > cap {
                 // NIC blocked: the injection buffer is full.
-                mark_full(ch, 0, now);
+                ch.mark_full(0, now);
                 return;
             }
-            vc.occupancy += size;
-            vc.queue.push_back(pid);
+            ch.vcs[0].occupancy += size;
             ch.total_occupancy += size;
             self.total_queued += size;
-            self.nic[node.index()].pop_front();
+            self.nic[node.index()].pop_front(&self.packets);
+            self.channels[ch_id.index()].vcs[0]
+                .queue
+                .push_back(&mut self.packets, pid);
             self.try_start(ch_id);
         }
     }
@@ -425,11 +401,8 @@ impl Network {
         if self.channels[ch_id.index()].busy {
             return;
         }
-        let n_vcs = MAX_ROUTE_LEN;
-        let start = self.channels[ch_id.index()].rr_next as usize;
-        for k in 0..n_vcs {
-            let v = (start + k) % n_vcs;
-            let Some(&pid) = self.channels[ch_id.index()].vcs[v].queue.front() else {
+        for v in arbiter::rr_scan(self.channels[ch_id.index()].rr_next) {
+            let Some(pid) = self.channels[ch_id.index()].vcs[v].queue.front() else {
                 continue;
             };
             // Route the packet at its source router, with the congestion
@@ -450,10 +423,8 @@ impl Network {
                 let ncs = &mut self.channels[nc.index()];
                 let cap = self.params.vc_capacity(ncs.class);
                 if ncs.vcs[next_vc].occupancy + size > cap {
-                    mark_full(ncs, next_vc, now);
-                    if !ncs.waiters.contains(&ch_id) {
-                        ncs.waiters.push(ch_id);
-                    }
+                    ncs.mark_full(next_vc, now);
+                    arbiter::park_waiter(&mut self.channels, nc, ch_id);
                     continue;
                 }
                 ncs.vcs[next_vc].occupancy += size;
@@ -464,7 +435,7 @@ impl Network {
             let ch = &mut self.channels[ch_id.index()];
             ch.busy = true;
             ch.tx_vc = v as u8;
-            ch.rr_next = ((v + 1) % n_vcs) as u8;
+            ch.rr_next = ((v + 1) % MAX_ROUTE_LEN) as u8;
             ch.traffic += size;
             let ser = ch.bandwidth.serialization_time(size);
             ch.busy_time += ser;
@@ -473,41 +444,39 @@ impl Network {
                 tl.record(ch.class, self.queue.now(), size);
             }
             self.queue.schedule_after(ser, NetEvent::TxDone(ch_id));
-            self.queue.schedule_after(ser + extra, NetEvent::Arrive(pid));
+            self.queue
+                .schedule_after(ser + extra, NetEvent::Arrive(pid));
             return;
         }
     }
 
     fn handle_tx_done(&mut self, ch_id: ChannelId) {
         let now = self.queue.now();
-        let node_to_push: Option<NodeId>;
-        let waiters: Vec<ChannelId>;
-        {
+        let node_to_push: Option<NodeId> = {
             let ch = &mut self.channels[ch_id.index()];
             debug_assert!(ch.busy);
             let v = ch.tx_vc as usize;
             let pid = ch.vcs[v]
                 .queue
-                .pop_front()
+                .pop_front(&self.packets)
                 .expect("tx_vc queue cannot be empty at TxDone");
             let size = self.packets[pid.0 as usize].size as u64;
             ch.vcs[v].occupancy -= size;
             ch.total_occupancy -= size;
             self.total_queued -= size;
             ch.busy = false;
-            clear_full(ch, v, now);
-            waiters = std::mem::take(&mut ch.waiters);
-            node_to_push = if ch.class == ChannelClass::TerminalUp {
+            ch.clear_full(v, now);
+            if ch.class == ChannelClass::TerminalUp {
                 // terminal-up channel id == node id by construction
                 Some(NodeId(ch_id.0))
             } else {
                 None
-            };
-        }
+            }
+        };
         if let Some(node) = node_to_push {
             self.nic_push(node);
         }
-        for w in waiters {
+        for w in arbiter::take_waiters(&mut self.channels, ch_id) {
             self.try_start(w);
         }
         self.try_start(ch_id);
@@ -527,10 +496,13 @@ impl Network {
         if !at_last {
             // Enqueue at the next channel (space was reserved at TxDone's
             // transmission start); then see if that channel can transmit.
-            let p = &self.packets[pid.0 as usize];
-            let ch_id = p.current_channel();
-            let v = Packet::vc_at(p.hop);
-            self.channels[ch_id.index()].vcs[v].queue.push_back(pid);
+            let (ch_id, v) = {
+                let p = &self.packets[pid.0 as usize];
+                (p.current_channel(), Packet::vc_at(p.hop))
+            };
+            self.channels[ch_id.index()].vcs[v]
+                .queue
+                .push_back(&mut self.packets, pid);
             self.try_start(ch_id);
             return;
         }
@@ -568,10 +540,6 @@ impl Network {
             .channels()
             .map(|(id, info)| {
                 let ch = &self.channels[id.index()];
-                let mut saturated = ch.saturated;
-                if ch.full_vcs > 0 {
-                    saturated += now - ch.full_start;
-                }
                 ChannelSnapshot {
                     id,
                     class: info.class,
@@ -580,7 +548,7 @@ impl Network {
                         ChannelEnd::Node(n) => Some(self.topo.node_router(n)),
                     },
                     traffic_bytes: ch.traffic,
-                    saturated_time: saturated,
+                    saturated_time: ch.saturated_until(now),
                     busy_time: ch.busy_time,
                 }
             })
@@ -619,26 +587,6 @@ impl Network {
     /// The recorded traffic timeline, if enabled.
     pub fn traffic_timeline(&self) -> Option<&TrafficTimeline> {
         self.traffic_timeline.as_ref()
-    }
-}
-
-fn mark_full(ch: &mut ChannelState, vc: usize, now: Ns) {
-    if !ch.vcs[vc].full {
-        ch.vcs[vc].full = true;
-        if ch.full_vcs == 0 {
-            ch.full_start = now;
-        }
-        ch.full_vcs += 1;
-    }
-}
-
-fn clear_full(ch: &mut ChannelState, vc: usize, now: Ns) {
-    if ch.vcs[vc].full {
-        ch.vcs[vc].full = false;
-        ch.full_vcs -= 1;
-        if ch.full_vcs == 0 {
-            ch.saturated += now - ch.full_start;
-        }
     }
 }
 
@@ -758,7 +706,13 @@ mod tests {
         // the local links feeding it must saturate.
         for src in 1..32u32 {
             for k in 0..4 {
-                n.send(Ns::ZERO, NodeId(src), NodeId(0), 16 * 4096, (src * 10 + k) as u64);
+                n.send(
+                    Ns::ZERO,
+                    NodeId(src),
+                    NodeId(0),
+                    16 * 4096,
+                    (src * 10 + k) as u64,
+                );
             }
         }
         n.run_to_idle();
@@ -828,7 +782,13 @@ mod tests {
             for i in 0..row_nodes {
                 for j in 0..row_nodes {
                     if i != j {
-                        n.send(Ns::ZERO, NodeId(i), NodeId(j), 256 * 1024, (i * 100 + j) as u64);
+                        n.send(
+                            Ns::ZERO,
+                            NodeId(i),
+                            NodeId(j),
+                            256 * 1024,
+                            (i * 100 + j) as u64,
+                        );
                     }
                 }
             }
@@ -908,11 +868,51 @@ mod tests {
     }
 
     #[test]
+    fn send_in_the_past_is_clamped_to_now() {
+        // Regression: `send` used to forward a stale `at < now` straight
+        // into the event queue, which panics on causality violations. The
+        // documented contract is now "clamped to now".
+        let mut n = net(Routing::Minimal);
+        n.schedule_wakeup(Ns::from_ms(1));
+        assert_eq!(n.poll(), Some(NetworkEvent::Wakeup));
+        assert_eq!(n.now(), Ns::from_ms(1));
+        n.send(Ns::ZERO, NodeId(0), NodeId(1), 100, 9);
+        let d = n.poll_delivery().expect("clamped send must deliver");
+        assert_eq!(d.tag, 9);
+        assert_eq!(d.injected_at, Ns::from_ms(1), "injection clamped to now");
+        assert!(d.completed_at > Ns::from_ms(1));
+    }
+
+    #[test]
+    fn parked_channel_is_woken_and_drains() {
+        // Saturate one destination hard enough that upstream channels must
+        // park on the terminal-down link's wait list (exercising the
+        // in_waitlist protocol end to end), then verify full drain.
+        let mut n = net(Routing::Minimal);
+        for src in 1..16u32 {
+            n.send(Ns::ZERO, NodeId(src), NodeId(0), 64 * 1024, src as u64);
+        }
+        n.run_to_idle();
+        assert_eq!(n.drain_deliveries().len(), 15);
+        assert_eq!(n.total_queued_bytes(), 0);
+        for ch in &n.channels {
+            assert!(!ch.in_waitlist, "waitlist bit must clear at drain");
+            assert!(ch.waiters.is_empty(), "wait lists must empty at drain");
+        }
+    }
+
+    #[test]
     fn traffic_timeline_partitions_total_traffic() {
         let mut n = net(Routing::Minimal);
         n.enable_traffic_timeline(Ns::from_us(1));
         for i in 0..20u64 {
-            n.send(Ns(i * 500), NodeId((i % 8) as u32), NodeId(32 + (i % 8) as u32), 20_000, i);
+            n.send(
+                Ns(i * 500),
+                NodeId((i % 8) as u32),
+                NodeId(32 + (i % 8) as u32),
+                20_000,
+                i,
+            );
         }
         n.run_to_idle();
         let m = n.metrics();
@@ -930,7 +930,10 @@ mod tests {
             local_total,
             m.total_traffic(ChannelClass::LocalRow) + m.total_traffic(ChannelClass::LocalCol)
         );
-        assert!(tl.series(ChannelClass::Global).len() > 1, "spans multiple bins");
+        assert!(
+            tl.series(ChannelClass::Global).len() > 1,
+            "spans multiple bins"
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub struct MessageId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketId(pub u32);
 
+/// Sentinel for "no packet" in the intrusive queue links ([`Packet::next`]).
+pub(crate) const NO_PACKET: u32 = u32::MAX;
+
 /// A fixed-capacity route: avoids a heap allocation per packet, which at
 /// millions of packets per run is the simulator's dominant cost otherwise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +92,12 @@ pub struct Packet {
     pub routed: bool,
     /// The full route, terminal links included.
     pub route: Route,
+    /// Intrusive link: arena index of the packet behind this one in
+    /// whichever FIFO (NIC queue or VC buffer) currently holds it, or
+    /// [`NO_PACKET`]. A packet sits in at most one queue at a time, so a
+    /// single link suffices and the queues themselves are just
+    /// head/tail pairs — no per-VC heap allocation.
+    pub(crate) next: u32,
 }
 
 impl Packet {
@@ -187,6 +196,7 @@ mod tests {
             hop: 0,
             routed: true,
             route: r,
+            next: NO_PACKET,
         };
         assert_eq!(p.current_channel(), ChannelId(1));
         assert_eq!(p.next_channel(), Some(ChannelId(2)));

@@ -225,7 +225,11 @@ mod tests {
             let d = NodeId(rng.next_below(t.config().total_nodes() as u64) as u32);
             let mut adaptive = Vec::new();
             rc.compute(&t, &params, s, d, |_| 0, &mut adaptive);
-            assert!(adaptive.len() <= 5, "idle adaptive took {} hops", adaptive.len());
+            assert!(
+                adaptive.len() <= 5,
+                "idle adaptive took {} hops",
+                adaptive.len()
+            );
             hops_total += adaptive.len();
         }
         // Average must be well inside the minimal regime (< 3 hops on the
@@ -335,7 +339,12 @@ mod tests {
                 channels: rv.clone(),
                 kind: dfly_topology::RouteKind::NonMinimal,
             };
-            assert!(paths::validate_path(&t, t.node_router(s), t.node_router(d), &p));
+            assert!(paths::validate_path(
+                &t,
+                t.node_router(s),
+                t.node_router(d),
+                &p
+            ));
             v_hops += rv.len();
             let mut rm = Vec::new();
             min.compute(&t, &params, s, d, |_| 0, &mut rm);

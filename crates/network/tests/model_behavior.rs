@@ -138,7 +138,13 @@ fn terminal_traffic_matches_sent_bytes() {
     let mut rng = Xoshiro256::seed_from(77);
     for i in 0..40 {
         let bytes = rng.range_inclusive(1, 60_000);
-        n.send(Ns(i * 10), NodeId(0), NodeId(32 + (i % 16) as u32), bytes, i);
+        n.send(
+            Ns(i * 10),
+            NodeId(0),
+            NodeId(32 + (i % 16) as u32),
+            bytes,
+            i,
+        );
         sent += bytes;
     }
     n.run_to_idle();
@@ -181,7 +187,13 @@ fn global_traffic_doubles_under_valiant() {
         let mut n = Network::new(t.clone(), NetworkParams::default(), routing, 4);
         let per_group = t.config().routers_per_group() * t.config().nodes_per_router;
         for i in 0..60u64 {
-            n.send(Ns(i * 5), NodeId((i % 16) as u32), NodeId(per_group + (i % 16) as u32), 30_000, i);
+            n.send(
+                Ns(i * 5),
+                NodeId((i % 16) as u32),
+                NodeId(per_group + (i % 16) as u32),
+                30_000,
+                i,
+            );
         }
         n.run_to_idle();
         n.metrics().total_traffic(ChannelClass::Global)

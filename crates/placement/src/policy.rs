@@ -104,21 +104,13 @@ impl PlacementPolicy {
                 let total = topo.total_cabinets();
                 let mut order: Vec<CabinetId> = (0..total).map(CabinetId).collect();
                 rng.shuffle(&mut order);
-                take_from_containers(
-                    size,
-                    order.into_iter().map(|c| topo.cabinet_nodes(c)),
-                    pool,
-                )
+                take_from_containers(size, order.into_iter().map(|c| topo.cabinet_nodes(c)), pool)
             }
             PlacementPolicy::RandomChassis => {
                 let total = topo.config().total_chassis();
                 let mut order: Vec<ChassisId> = (0..total).map(ChassisId).collect();
                 rng.shuffle(&mut order);
-                take_from_containers(
-                    size,
-                    order.into_iter().map(|c| topo.chassis_nodes(c)),
-                    pool,
-                )
+                take_from_containers(size, order.into_iter().map(|c| topo.chassis_nodes(c)), pool)
             }
             PlacementPolicy::RandomRouter => {
                 let total = topo.config().total_routers();

@@ -42,7 +42,10 @@ fn allocation_exact_distinct_free() {
                 return Err("duplicate nodes in allocation".into());
             }
             if pool.free_count() != 768 - size {
-                return Err(format!("free_count {} after taking {size}", pool.free_count()));
+                return Err(format!(
+                    "free_count {} after taking {size}",
+                    pool.free_count()
+                ));
             }
             Ok(())
         },

@@ -5,7 +5,6 @@
 //! CDF over the channel population. [`Cdf`] holds the sorted sample set and
 //! produces exactly those series.
 
-
 /// An empirical CDF over a set of samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {

@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn quoting_commas_and_quotes() {
         let s = render(&["x"], &[vec!["has,comma"], vec!["has\"quote"]]);
-        assert_eq!(s, "x\nhas,comma\n".replace("has,comma", "\"has,comma\"") + "\"has\"\"quote\"\n");
+        assert_eq!(
+            s,
+            "x\nhas,comma\n".replace("has,comma", "\"has,comma\"") + "\"has\"\"quote\"\n"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Five-number summaries and scalar statistics.
 
-
 /// The five-number summary behind each box in the paper's box plots,
 /// plus mean and sample count.
 #[derive(Debug, Clone, Copy, PartialEq)]

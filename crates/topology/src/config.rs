@@ -165,7 +165,11 @@ impl ToKv for TopologyConfig {
         kv(&mut out, "rows", self.rows);
         kv(&mut out, "cols", self.cols);
         kv(&mut out, "nodes_per_router", self.nodes_per_router);
-        kv(&mut out, "global_links_per_router", self.global_links_per_router);
+        kv(
+            &mut out,
+            "global_links_per_router",
+            self.global_links_per_router,
+        );
         kv(&mut out, "chassis_per_cabinet", self.chassis_per_cabinet);
         kv(&mut out, "terminal_bw", self.terminal_bw);
         kv(&mut out, "local_bw", self.local_bw);

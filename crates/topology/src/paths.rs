@@ -108,12 +108,7 @@ pub fn push_minimal(
 }
 
 /// A complete minimal path.
-pub fn minimal_path(
-    topo: &Topology,
-    src: RouterId,
-    dst: RouterId,
-    rng: &mut Xoshiro256,
-) -> Path {
+pub fn minimal_path(topo: &Topology, src: RouterId, dst: RouterId, rng: &mut Xoshiro256) -> Path {
     let mut channels = Vec::with_capacity(5);
     push_minimal(topo, src, dst, rng, &mut channels);
     Path {

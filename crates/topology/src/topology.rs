@@ -133,8 +133,7 @@ impl Topology {
         let stride = pick_stride(rpg);
         let mut cursor: Vec<u32> = (0..cfg.groups).map(|g| (g * 7) % rpg).collect();
         let mut global_links = Vec::new();
-        let mut gateways =
-            vec![vec![Vec::new(); cfg.groups as usize]; cfg.groups as usize];
+        let mut gateways = vec![vec![Vec::new(); cfg.groups as usize]; cfg.groups as usize];
 
         let mut next_id = base_global;
         for ga in 0..cfg.groups {
@@ -159,7 +158,12 @@ impl Topology {
                         src: ChannelEnd::Router(rb),
                         dst: ChannelEnd::Router(ra),
                     });
-                    global_links.push(GlobalLink { a: ra, b: rb, ab, ba });
+                    global_links.push(GlobalLink {
+                        a: ra,
+                        b: rb,
+                        ab,
+                        ba,
+                    });
                     gateways[ga as usize][gb as usize].push((ra, ab));
                     gateways[gb as usize][ga as usize].push((rb, ba));
                 }
@@ -314,7 +318,11 @@ impl Topology {
         let (_, _, src_col) = decompose(&self.cfg, src.0);
         let (_, _, dst_col) = decompose(&self.cfg, dst.0);
         debug_assert_ne!(src_col, dst_col);
-        let rank = if dst_col < src_col { dst_col } else { dst_col - 1 };
+        let rank = if dst_col < src_col {
+            dst_col
+        } else {
+            dst_col - 1
+        };
         ChannelId(self.base_row + src.0 * (self.cfg.cols - 1) + rank)
     }
 
@@ -324,7 +332,11 @@ impl Topology {
         let (_, src_row, _) = decompose(&self.cfg, src.0);
         let (_, dst_row, _) = decompose(&self.cfg, dst.0);
         debug_assert_ne!(src_row, dst_row);
-        let rank = if dst_row < src_row { dst_row } else { dst_row - 1 };
+        let rank = if dst_row < src_row {
+            dst_row
+        } else {
+            dst_row - 1
+        };
         ChannelId(self.base_col + src.0 * (self.cfg.rows - 1) + rank)
     }
 
@@ -558,8 +570,7 @@ mod tests {
         assert_eq!(t.total_cabinets(), 18);
         // A cabinet's nodes are the union of its chassis' nodes
         // (Theta: 3 chassis per cabinet, so cabinet 3 = chassis 9..12).
-        let cab: std::collections::HashSet<_> =
-            t.cabinet_nodes(CabinetId(3)).into_iter().collect();
+        let cab: std::collections::HashSet<_> = t.cabinet_nodes(CabinetId(3)).into_iter().collect();
         for c in 9..12 {
             for n in t.chassis_nodes(ChassisId(c)) {
                 assert!(cab.contains(&n));

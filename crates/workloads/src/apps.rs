@@ -105,7 +105,10 @@ fn crystal_router(spec: &WorkloadSpec, rng: &mut Xoshiro256) -> JobTrace {
                 // ~190 KB with +-5% jitter.
                 let jitter = 1.0 + 0.05 * (rng.next_f64() * 2.0 - 1.0);
                 let bytes = scaled(190.0 * 1024.0 * jitter, spec.msg_scale);
-                phase.sends.push(SendOp { peer: partner, bytes });
+                phase.sends.push(SendOp {
+                    peer: partner,
+                    bytes,
+                });
             }
             // Neighborhood component: smaller transfers to ranks +-1, +-2.
             for off in [1i64, -1, 2, -2] {
@@ -269,12 +272,7 @@ fn neighbors_3d_open(r: u32, dims: (u32, u32, u32)) -> Vec<u32> {
     let (dx, dy, dz) = dims;
     let mut out = Vec::with_capacity(6);
     let mut push = |c: (i64, i64, i64)| {
-        if c.0 >= 0
-            && c.0 < dx as i64
-            && c.1 >= 0
-            && c.1 < dy as i64
-            && c.2 >= 0
-            && c.2 < dz as i64
+        if c.0 >= 0 && c.0 < dx as i64 && c.1 >= 0 && c.1 < dy as i64 && c.2 >= 0 && c.2 < dz as i64
         {
             out.push(index((c.0 as u32, c.1 as u32, c.2 as u32), dims));
         }

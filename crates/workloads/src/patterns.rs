@@ -89,12 +89,18 @@ pub fn generate_pattern(spec: &PatternSpec) -> JobTrace {
                     if dst >= r {
                         dst += 1;
                     }
-                    sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                    sends.push(SendOp {
+                        peer: dst,
+                        bytes: spec.bytes_per_phase,
+                    });
                 }
                 Pattern::Shift => {
                     let dst = (r + n / 2) % n;
                     if dst != r {
-                        sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                        sends.push(SendOp {
+                            peer: dst,
+                            bytes: spec.bytes_per_phase,
+                        });
                     }
                 }
                 Pattern::Transpose => {
@@ -103,7 +109,10 @@ pub fn generate_pattern(spec: &PatternSpec) -> JobTrace {
                         let (row, col) = (r / side, r % side);
                         let dst = col * side + row;
                         if dst != r {
-                            sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                            sends.push(SendOp {
+                                peer: dst,
+                                bytes: spec.bytes_per_phase,
+                            });
                         }
                     }
                 }
@@ -113,20 +122,32 @@ pub fn generate_pattern(spec: &PatternSpec) -> JobTrace {
                     if r < pow2 {
                         let dst = r.reverse_bits() >> (32 - bits);
                         if dst != r && dst < n {
-                            sends.push(SendOp { peer: dst, bytes: spec.bytes_per_phase });
+                            sends.push(SendOp {
+                                peer: dst,
+                                bytes: spec.bytes_per_phase,
+                            });
                         }
                     }
                 }
                 Pattern::Ring => {
                     let half = spec.bytes_per_phase / 2;
-                    sends.push(SendOp { peer: (r + 1) % n, bytes: half.max(1) });
-                    sends.push(SendOp { peer: (r + n - 1) % n, bytes: half.max(1) });
+                    sends.push(SendOp {
+                        peer: (r + 1) % n,
+                        bytes: half.max(1),
+                    });
+                    sends.push(SendOp {
+                        peer: (r + n - 1) % n,
+                        bytes: half.max(1),
+                    });
                 }
                 Pattern::AllToAll => {
                     let each = (spec.bytes_per_phase / (n as u64 - 1)).max(1);
                     for dst in 0..n {
                         if dst != r {
-                            sends.push(SendOp { peer: dst, bytes: each });
+                            sends.push(SendOp {
+                                peer: dst,
+                                bytes: each,
+                            });
                         }
                     }
                 }
@@ -158,7 +179,8 @@ mod tests {
         for p in Pattern::ALL {
             for ranks in [2u32, 16, 64, 100] {
                 let t = generate_pattern(&spec(p, ranks));
-                t.validate().unwrap_or_else(|e| panic!("{p:?}/{ranks}: {e}"));
+                t.validate()
+                    .unwrap_or_else(|e| panic!("{p:?}/{ranks}: {e}"));
                 assert_eq!(t.ranks(), ranks);
                 assert_eq!(t.phase_count(), 3);
             }

@@ -69,7 +69,11 @@ impl JobTrace {
 
     /// Number of phases (0 for an empty trace).
     pub fn phase_count(&self) -> usize {
-        self.programs.iter().map(|p| p.phases.len()).max().unwrap_or(0)
+        self.programs
+            .iter()
+            .map(|p| p.phases.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total bytes sent by all ranks.
@@ -167,20 +171,41 @@ mod tests {
             programs: vec![
                 RankProgram {
                     phases: vec![
-                        Phase { sends: vec![SendOp { peer: 1, bytes: 100 }] },
-                        Phase { sends: vec![SendOp { peer: 2, bytes: 50 }] },
+                        Phase {
+                            sends: vec![SendOp {
+                                peer: 1,
+                                bytes: 100,
+                            }],
+                        },
+                        Phase {
+                            sends: vec![SendOp { peer: 2, bytes: 50 }],
+                        },
                     ],
                 },
                 RankProgram {
                     phases: vec![
-                        Phase { sends: vec![SendOp { peer: 2, bytes: 100 }] },
-                        Phase { sends: vec![SendOp { peer: 0, bytes: 50 }] },
+                        Phase {
+                            sends: vec![SendOp {
+                                peer: 2,
+                                bytes: 100,
+                            }],
+                        },
+                        Phase {
+                            sends: vec![SendOp { peer: 0, bytes: 50 }],
+                        },
                     ],
                 },
                 RankProgram {
                     phases: vec![
-                        Phase { sends: vec![SendOp { peer: 0, bytes: 100 }] },
-                        Phase { sends: vec![SendOp { peer: 1, bytes: 50 }] },
+                        Phase {
+                            sends: vec![SendOp {
+                                peer: 0,
+                                bytes: 100,
+                            }],
+                        },
+                        Phase {
+                            sends: vec![SendOp { peer: 1, bytes: 50 }],
+                        },
                     ],
                 },
             ],

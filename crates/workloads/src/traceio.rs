@@ -216,7 +216,9 @@ send 2 1 0 250
             programs: vec![
                 RankProgram {
                     phases: vec![
-                        Phase { sends: vec![SendOp { peer: 1, bytes: 7 }] },
+                        Phase {
+                            sends: vec![SendOp { peer: 1, bytes: 7 }],
+                        },
                         Phase::default(),
                     ],
                 },

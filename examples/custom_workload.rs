@@ -23,10 +23,22 @@ fn stencil_with_reduction(side: u32) -> JobTrace {
         for r in 0..n {
             let (x, y) = coord(r);
             let sends = vec![
-                SendOp { peer: index(x + 1, y), bytes: 64 * 1024 },
-                SendOp { peer: index(x + side - 1, y), bytes: 64 * 1024 },
-                SendOp { peer: index(x, y + 1), bytes: 64 * 1024 },
-                SendOp { peer: index(x, y + side - 1), bytes: 64 * 1024 },
+                SendOp {
+                    peer: index(x + 1, y),
+                    bytes: 64 * 1024,
+                },
+                SendOp {
+                    peer: index(x + side - 1, y),
+                    bytes: 64 * 1024,
+                },
+                SendOp {
+                    peer: index(x, y + 1),
+                    bytes: 64 * 1024,
+                },
+                SendOp {
+                    peer: index(x, y + side - 1),
+                    bytes: 64 * 1024,
+                },
             ];
             programs[r as usize].phases.push(Phase { sends });
         }
@@ -36,7 +48,10 @@ fn stencil_with_reduction(side: u32) -> JobTrace {
         for r in 0..n {
             let partner = r ^ (1 << d);
             let sends = if partner < n {
-                vec![SendOp { peer: partner, bytes: 8 * 1024 }]
+                vec![SendOp {
+                    peer: partner,
+                    bytes: 8 * 1024,
+                }]
             } else {
                 vec![]
             };

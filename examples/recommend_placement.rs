@@ -26,7 +26,11 @@ fn main() {
             intensity.avg_load_per_rank / 1e6,
             intensity.sends_per_rank_per_phase
         );
-        println!("recommended: {}-{}", rec.placement.label(), rec.routing.label());
+        println!(
+            "recommended: {}-{}",
+            rec.placement.label(),
+            rec.routing.label()
+        );
         println!("why: {}", rec.rationale);
 
         // Brute force the ten-config grid to grade the recommendation.

@@ -68,7 +68,12 @@ fn sweep_csv(cfg: &ExperimentConfig) -> Vec<u8> {
     let grid = run_config_grid(cfg, &ConfigLabel::all_ten());
     let mut w = CsvWriter::from_writer(
         Vec::new(),
-        &["config", "max_comm_ns", "total_traffic_bytes", "rank_comm_ns"],
+        &[
+            "config",
+            "max_comm_ns",
+            "total_traffic_bytes",
+            "rank_comm_ns",
+        ],
     )
     .unwrap();
     for cell in &grid {
@@ -79,7 +84,12 @@ fn sweep_csv(cfg: &ExperimentConfig) -> Vec<u8> {
             .map(|t| t.0.to_string())
             .collect::<Vec<_>>()
             .join(";");
-        let traffic: u64 = cell.result.metrics.channels().map(|c| c.traffic_bytes).sum();
+        let traffic: u64 = cell
+            .result
+            .metrics
+            .channels()
+            .map(|c| c.traffic_bytes)
+            .sum();
         w.row(&[
             cell.label.to_string(),
             cell.result.max_comm_time().0.to_string(),

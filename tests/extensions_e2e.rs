@@ -32,7 +32,8 @@ fn run_pattern(pattern: Pattern, placement: PlacementPolicy, routing: Routing) -
     let mut rng = Xoshiro256::seed_from(9);
     let nodes = placement.allocate(&t, &mut pool, 32, &mut rng).unwrap();
     let mut net = Network::new(t, NetworkParams::default(), routing, 3);
-    let result = dragonfly_tradeoff::core::mpi::MpiDriver::new(&mut net, &trace, &nodes, None).run();
+    let result =
+        dragonfly_tradeoff::core::mpi::MpiDriver::new(&mut net, &trace, &nodes, None).run();
     let g = gini(&net.metrics().global_traffic(&MetricsFilter::All));
     (result.job_end, g)
 }
@@ -52,8 +53,16 @@ fn valiant_balances_shift_traffic_better_than_minimal() {
     // Shift is the adversarial pattern for minimal routing: with
     // contiguous placement all traffic targets one group pair. Valiant
     // spreads it over intermediates — its raison d'etre.
-    let (_, g_min) = run_pattern(Pattern::Shift, PlacementPolicy::Contiguous, Routing::Minimal);
-    let (_, g_val) = run_pattern(Pattern::Shift, PlacementPolicy::Contiguous, Routing::Valiant);
+    let (_, g_min) = run_pattern(
+        Pattern::Shift,
+        PlacementPolicy::Contiguous,
+        Routing::Minimal,
+    );
+    let (_, g_val) = run_pattern(
+        Pattern::Shift,
+        PlacementPolicy::Contiguous,
+        Routing::Valiant,
+    );
     assert!(
         g_val < g_min,
         "valiant global-traffic gini {g_val:.3} !< minimal {g_min:.3}"
@@ -113,7 +122,11 @@ fn load_sampler_tracks_a_run() {
 
 #[test]
 fn pingpong_validation_within_codes_bar_on_theta_shape() {
-    let r = run_pingpong(&TopologyConfig::quick(), NetworkParams::default(), 190 * 1024);
+    let r = run_pingpong(
+        &TopologyConfig::quick(),
+        NetworkParams::default(),
+        190 * 1024,
+    );
     assert!(
         r.relative_error < 0.08,
         "ping-pong error {:.2}%",

@@ -1,0 +1,86 @@
+//! The shared-topology sweep path must be a pure optimization: running a
+//! grid through `run_config_grid` (one `Arc<Topology>` shared by every
+//! cell and worker) must produce bit-identical results to building a
+//! fresh topology per cell, the way the runner did before the refactor.
+
+use dragonfly_tradeoff::core::config::ExperimentConfig;
+use dragonfly_tradeoff::core::report::ConfigLabel;
+use dragonfly_tradeoff::core::runner::{execute_experiment, prepare_topology, ExperimentResult};
+use dragonfly_tradeoff::core::sweep::run_config_grid;
+use dragonfly_tradeoff::topology::Topology;
+use std::sync::Arc;
+
+fn grid_base() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.msg_scale = 0.1;
+    cfg
+}
+
+/// The pre-refactor per-cell path: a fresh `Topology::build` for every
+/// experiment, run strictly sequentially.
+fn run_fresh_per_cell(base: &ExperimentConfig, labels: &[ConfigLabel]) -> Vec<ExperimentResult> {
+    labels
+        .iter()
+        .map(|l| {
+            let mut cfg = base.clone();
+            cfg.placement = l.placement;
+            cfg.routing = l.routing;
+            let topo = Arc::new(Topology::build(cfg.topology.clone()));
+            execute_experiment(&cfg, topo)
+        })
+        .collect()
+}
+
+#[test]
+fn shared_topology_grid_matches_fresh_per_cell() {
+    let base = grid_base();
+    let labels = ConfigLabel::all_ten();
+
+    let fresh = run_fresh_per_cell(&base, &labels);
+    let shared = run_config_grid(&base, &labels);
+
+    assert_eq!(fresh.len(), shared.len());
+    for (f, g) in fresh.iter().zip(&shared) {
+        assert_eq!(f.config.placement, g.label.placement);
+        assert_eq!(f.config.routing, g.label.routing);
+        let s = &g.result;
+        assert_eq!(f.placement, s.placement, "{}", g.label);
+        assert_eq!(f.rank_comm_times, s.rank_comm_times, "{}", g.label);
+        assert_eq!(f.rank_avg_hops, s.rank_avg_hops, "{}", g.label);
+        assert_eq!(f.job_end, s.job_end, "{}", g.label);
+        assert_eq!(f.events, s.events, "{}", g.label);
+        assert_eq!(f.app_routers, s.app_routers, "{}", g.label);
+        // Full per-channel metrics snapshots, channel by channel.
+        let fm: Vec<_> = f.metrics.channels().collect();
+        let sm: Vec<_> = s.metrics.channels().collect();
+        assert_eq!(fm, sm, "metrics diverge under {}", g.label);
+    }
+}
+
+#[test]
+fn one_shared_arc_serves_every_cell() {
+    // All ten cells share the same machine, so run_many must build the
+    // topology exactly once; preparing any one cell yields an equal (but
+    // separately built) topology.
+    let base = grid_base();
+    let topo = prepare_topology(&base);
+    let mut cfg = base.clone();
+    cfg.placement = ConfigLabel::all_ten()[3].placement;
+    cfg.routing = ConfigLabel::all_ten()[3].routing;
+    // Sharing the base topology across a different placement/routing cell
+    // is exactly what the sweep does.
+    let via_shared = execute_experiment(&cfg, topo.clone());
+    let via_fresh = execute_experiment(&cfg, prepare_topology(&cfg));
+    assert_eq!(via_shared.placement, via_fresh.placement);
+    assert_eq!(via_shared.rank_comm_times, via_fresh.rank_comm_times);
+}
+
+#[test]
+#[should_panic(expected = "different TopologyConfig")]
+fn execute_rejects_mismatched_topology() {
+    let base = grid_base();
+    let topo = prepare_topology(&base);
+    let mut other = base.clone();
+    other.topology.nodes_per_router += 1;
+    let _ = execute_experiment(&other, topo);
+}

@@ -25,8 +25,16 @@ fn contiguous_reduces_hops_for_every_app() {
         AppSelection::FillBoundary { ranks: 27 },
         AppSelection::Amg { ranks: 27 },
     ] {
-        let cont = run_experiment(&cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal));
-        let rand = run_experiment(&cfg(app, PlacementPolicy::RandomNode, RoutingPolicy::Minimal));
+        let cont = run_experiment(&cfg(
+            app,
+            PlacementPolicy::Contiguous,
+            RoutingPolicy::Minimal,
+        ));
+        let rand = run_experiment(&cfg(
+            app,
+            PlacementPolicy::RandomNode,
+            RoutingPolicy::Minimal,
+        ));
         assert!(
             cont.mean_hops() < rand.mean_hops(),
             "{app:?}: cont {:.2} !< rand {:.2}",
@@ -41,8 +49,16 @@ fn contiguous_reduces_hops_for_every_app() {
 #[test]
 fn contiguous_concentrates_local_traffic() {
     let app = AppSelection::FillBoundary { ranks: 27 };
-    let cont = run_experiment(&cfg(app, PlacementPolicy::Contiguous, RoutingPolicy::Minimal));
-    let rand = run_experiment(&cfg(app, PlacementPolicy::RandomNode, RoutingPolicy::Minimal));
+    let cont = run_experiment(&cfg(
+        app,
+        PlacementPolicy::Contiguous,
+        RoutingPolicy::Minimal,
+    ));
+    let rand = run_experiment(&cfg(
+        app,
+        PlacementPolicy::RandomNode,
+        RoutingPolicy::Minimal,
+    ));
     let all = MetricsFilter::All;
     // The busiest local channel under contiguous beats random's busiest.
     let peak = |r: &dragonfly_tradeoff::core::runner::ExperimentResult| {
