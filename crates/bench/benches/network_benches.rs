@@ -3,6 +3,7 @@
 
 use dfly_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use dfly_engine::{Ns, Xoshiro256};
+use dfly_network::routing::RouteComputer;
 use dfly_network::{Network, NetworkParams, Routing};
 use dfly_topology::{NodeId, Topology, TopologyConfig};
 use std::hint::black_box;
@@ -61,5 +62,50 @@ fn bench_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_throughput);
+fn bench_routing(c: &mut Criterion) {
+    // Route computation in isolation (no event loop): the per-packet cost
+    // of `RouteComputer::compute` under each policy, with a synthetic
+    // occupancy signal so adaptive scoring exercises its full path.
+    let topo = Topology::build(TopologyConfig::small_test());
+    let params = NetworkParams::default();
+    let nodes = topo.config().total_nodes() as u64;
+    let mut pairs = Vec::new();
+    let mut rng = Xoshiro256::seed_from(5);
+    for _ in 0..200 {
+        let s = NodeId(rng.next_below(nodes) as u32);
+        let d = NodeId(rng.next_below(nodes) as u32);
+        pairs.push((s, d));
+    }
+
+    let mut g = c.benchmark_group("routing_compute");
+    for (name, routing) in [
+        ("minimal_200pairs", Routing::Minimal),
+        ("adaptive_200pairs", Routing::Adaptive),
+        ("valiant_200pairs", Routing::Valiant),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rc = RouteComputer::new(routing, Xoshiro256::seed_from(99));
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut hops = 0usize;
+                for &(s, d) in &pairs {
+                    out.clear();
+                    rc.compute(
+                        &topo,
+                        &params,
+                        s,
+                        d,
+                        |ch| (ch.0 as u64 * 37) % 5000,
+                        &mut out,
+                    );
+                    hops += out.len();
+                }
+                black_box(hops)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_routing);
 criterion_main!(benches);

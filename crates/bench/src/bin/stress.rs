@@ -1,0 +1,64 @@
+//! Adversarial audit fuzzer: random small experiments with the packet
+//! engine's conservation audits enabled (see `dfly_bench::stress`).
+//!
+//! ```text
+//! stress [--quick] [--cases N] [--seed S]
+//! ```
+//!
+//! * `--quick` — 25 scenarios (the CI budget).
+//! * `--cases N` — explicit scenario count (default 100).
+//! * `--seed S` — master seed, decimal or `0x`-hex.
+//!
+//! Exits 1 with the shrunk minimal failing scenario if any run violates
+//! a conservation invariant.
+
+use dfly_bench::stress::run_stress;
+use std::process::exit;
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn main() {
+    let mut cases: u32 = 100;
+    let mut seed: u64 = 0x5712_E55_5EED;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cases = 25,
+            "--cases" => {
+                let v = args.next().unwrap_or_default();
+                cases = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cases needs a number, got {v:?}");
+                    exit(2);
+                });
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = parse_seed(&v).unwrap_or_else(|| {
+                    eprintln!("--seed needs a decimal or 0x-hex number, got {v:?}");
+                    exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --quick, --cases N, --seed S)");
+                exit(2);
+            }
+        }
+    }
+    println!("stress: running {cases} audited scenarios (seed {seed:#x})");
+    match run_stress(cases, seed) {
+        Ok(s) => println!(
+            "stress: OK — {} scenarios clean, {} simulator events audited",
+            s.cases, s.events
+        ),
+        Err(f) => {
+            eprintln!("stress: FAILED — {f}");
+            exit(1);
+        }
+    }
+}

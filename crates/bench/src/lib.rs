@@ -16,6 +16,7 @@
 
 pub mod harness;
 pub mod microbench;
+pub mod stress;
 
 pub mod figures;
 pub use harness::{

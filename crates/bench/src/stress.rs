@@ -1,0 +1,280 @@
+//! Adversarial stress fuzzer for the packet engine's conservation audits.
+//!
+//! Drives randomized small experiments — topology shape x routing x
+//! placement x mapping x app x optional background traffic — with the
+//! [`dfly_network::audit`] shadow accounting enabled, and fails (with a
+//! shrunk minimal scenario, courtesy of the in-tree
+//! [`dfly_engine::proptest`] harness) if any run violates a conservation
+//! invariant or produces a nonsensical result.
+//!
+//! The `stress` binary is the CLI entry point (`--quick` for the CI
+//! budget); `tests/stress_smoke.rs` runs a handful of seeds in the normal
+//! test suite.
+
+use dfly_core::config::{AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy};
+use dfly_core::run_experiment;
+use dfly_engine::proptest::{run_with_shrink, Config as PropConfig, Failure};
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_network::NetworkParams;
+use dfly_placement::{PlacementPolicy, TaskMapping};
+use dfly_topology::TopologyConfig;
+use dfly_workloads::{AppKind, BackgroundKind, BackgroundSpec};
+use std::cell::Cell;
+
+/// The machine shapes the fuzzer draws from: the standard test machine
+/// plus three deliberately awkward-but-valid small dragonflies (minimum
+/// group count, single-row groups, odd node counts). All validate.
+pub fn topologies() -> Vec<TopologyConfig> {
+    let base = TopologyConfig::small_test();
+    vec![
+        // 4 groups x (2x4) x 2 nodes = 64 nodes.
+        base.clone(),
+        // Smallest interesting machine: 2 groups x (2x2) x 2 = 16 nodes.
+        TopologyConfig {
+            groups: 2,
+            rows: 2,
+            cols: 2,
+            nodes_per_router: 2,
+            global_links_per_router: 1,
+            chassis_per_cabinet: 2,
+            ..base.clone()
+        },
+        // Single-row groups: 3 groups x (1x4) x 2 = 24 nodes.
+        TopologyConfig {
+            groups: 3,
+            rows: 1,
+            cols: 4,
+            nodes_per_router: 2,
+            global_links_per_router: 1,
+            chassis_per_cabinet: 1,
+            ..base.clone()
+        },
+        // Odd node count: 5 groups x (2x2) x 3 = 60 nodes.
+        TopologyConfig {
+            groups: 5,
+            rows: 2,
+            cols: 2,
+            nodes_per_router: 3,
+            global_links_per_router: 1,
+            chassis_per_cabinet: 2,
+            ..base
+        },
+    ]
+}
+
+/// Background traffic of a stress scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressBackground {
+    /// Uniform-random or bursty.
+    pub kind: BackgroundKind,
+    /// Burst width (1 for uniform).
+    pub fanout: u32,
+}
+
+/// One randomly generated experiment for the fuzzer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressScenario {
+    /// Index into [`topologies`].
+    pub topo_idx: usize,
+    /// Routing policy.
+    pub routing: RoutingPolicy,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Rank-to-node mapping.
+    pub mapping: TaskMapping,
+    /// Application kind.
+    pub app: AppKind,
+    /// Application ranks.
+    pub ranks: u32,
+    /// Message scale in percent (the fuzzer stays small: 2–20%).
+    pub msg_scale_pct: u32,
+    /// Optional interfering background job on the free nodes.
+    pub background: Option<StressBackground>,
+    /// Experiment master seed.
+    pub seed: u64,
+}
+
+impl StressScenario {
+    /// The experiment this scenario describes, with audits force-enabled.
+    pub fn config(&self) -> ExperimentConfig {
+        let network = NetworkParams {
+            audit: true,
+            ..NetworkParams::default()
+        };
+        let app = match self.app {
+            AppKind::CrystalRouter => AppSelection::CrystalRouter { ranks: self.ranks },
+            AppKind::FillBoundary => AppSelection::FillBoundary { ranks: self.ranks },
+            AppKind::Amg => AppSelection::Amg { ranks: self.ranks },
+        };
+        let background = self.background.map(|bg| BackgroundConfig {
+            spec: match bg.kind {
+                BackgroundKind::UniformRandom => {
+                    BackgroundSpec::uniform(16 * 1024, Ns::from_us(2), 0)
+                }
+                BackgroundKind::Bursty => {
+                    BackgroundSpec::bursty(128 * 1024, Ns::from_us(60), bg.fanout, 0)
+                }
+            },
+        });
+        ExperimentConfig {
+            topology: topologies()[self.topo_idx].clone(),
+            network,
+            app,
+            placement: self.placement,
+            mapping: self.mapping,
+            routing: self.routing,
+            msg_scale: self.msg_scale_pct as f64 / 100.0,
+            background,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Draw a random (always-valid) scenario.
+pub fn generate(rng: &mut Xoshiro256) -> StressScenario {
+    let topos = topologies();
+    let topo_idx = rng.index(topos.len());
+    let nodes = topos[topo_idx].total_nodes();
+    // Keep at least half the machine free so every background spec the
+    // generator can produce passes the fanout-vs-free-nodes validation.
+    let ranks = 4 + rng.next_below((nodes / 2 - 4 + 1) as u64) as u32;
+    let free = nodes - ranks;
+    let routing = [
+        RoutingPolicy::Minimal,
+        RoutingPolicy::Adaptive,
+        RoutingPolicy::Valiant,
+    ][rng.index(3)];
+    let placement = PlacementPolicy::ALL[rng.index(PlacementPolicy::ALL.len())];
+    let mapping = TaskMapping::ALL[rng.index(TaskMapping::ALL.len())];
+    let app = [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg][rng.index(3)];
+    let msg_scale_pct = 2 + rng.next_below(19) as u32;
+    let background = if rng.chance(0.6) {
+        let kind = if rng.chance(0.5) {
+            BackgroundKind::UniformRandom
+        } else {
+            BackgroundKind::Bursty
+        };
+        let fanout = match kind {
+            BackgroundKind::UniformRandom => 1,
+            BackgroundKind::Bursty => 2 + rng.next_below(6.min(free as u64 - 1) - 1) as u32,
+        };
+        Some(StressBackground { kind, fanout })
+    } else {
+        None
+    };
+    StressScenario {
+        topo_idx,
+        routing,
+        placement,
+        mapping,
+        app,
+        ranks,
+        msg_scale_pct,
+        background,
+        seed: rng.next_u64(),
+    }
+}
+
+/// Shrink candidates, simplest-first: the greedy shrinker walks toward
+/// no-background, minimal routing, contiguous placement, the default
+/// machine, and the smallest app that still fails.
+pub fn shrink_candidates(s: &StressScenario) -> Vec<StressScenario> {
+    let mut out = Vec::new();
+    let mut push = |c: StressScenario| {
+        if c != *s {
+            out.push(c);
+        }
+    };
+    push(StressScenario {
+        background: None,
+        ..*s
+    });
+    push(StressScenario { ranks: 4, ..*s });
+    push(StressScenario {
+        msg_scale_pct: 2,
+        ..*s
+    });
+    push(StressScenario {
+        routing: RoutingPolicy::Minimal,
+        ..*s
+    });
+    push(StressScenario {
+        placement: PlacementPolicy::Contiguous,
+        ..*s
+    });
+    push(StressScenario {
+        mapping: TaskMapping::Linear,
+        ..*s
+    });
+    push(StressScenario {
+        app: AppKind::CrystalRouter,
+        ..*s
+    });
+    push(StressScenario { topo_idx: 0, ..*s });
+    out
+}
+
+/// Run one scenario with audits on. Returns the number of simulator
+/// events on success; a structured error message on any audit violation
+/// or sanity failure.
+pub fn run_scenario(s: &StressScenario) -> Result<u64, String> {
+    let cfg = s.config();
+    cfg.validate()
+        .map_err(|e| format!("generator produced an invalid config: {e}"))?;
+    let r = run_experiment(&cfg);
+    let report = r
+        .audit
+        .ok_or("network dropped the audit report despite audit=true")?;
+    if !report.is_clean() {
+        return Err(format!("conservation audit failed:\n{report}"));
+    }
+    if report.events_audited == 0 {
+        return Err("audit observed zero events".into());
+    }
+    if r.job_end == Ns::ZERO || r.events == 0 {
+        return Err(format!(
+            "degenerate run: job_end {:?}, {} events",
+            r.job_end, r.events
+        ));
+    }
+    if r.rank_comm_times.len() != s.ranks as usize {
+        return Err(format!(
+            "expected {} rank times, got {}",
+            s.ranks,
+            r.rank_comm_times.len()
+        ));
+    }
+    Ok(r.events)
+}
+
+/// What a clean stress run covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressSummary {
+    /// Scenarios executed (all clean).
+    pub cases: u32,
+    /// Total simulator events across all scenarios, every one audited.
+    pub events: u64,
+}
+
+/// Run `cases` random audited scenarios from `seed`. On failure the
+/// returned [`Failure`] carries the shrunk minimal scenario and the seed
+/// to reproduce it.
+pub fn run_stress(cases: u32, seed: u64) -> Result<StressSummary, Failure> {
+    let events = Cell::new(0u64);
+    let ran = Cell::new(0u32);
+    let cfg = PropConfig {
+        cases,
+        seed,
+        max_shrink_steps: 200,
+    };
+    run_with_shrink(&cfg, generate, shrink_candidates, |s| {
+        let e = run_scenario(s)?;
+        events.set(events.get() + e);
+        ran.set(ran.get() + 1);
+        Ok(())
+    })?;
+    Ok(StressSummary {
+        cases: ran.get(),
+        events: events.get(),
+    })
+}

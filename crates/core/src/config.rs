@@ -173,8 +173,16 @@ impl ExperimentConfig {
         }
         if let Some(bg) = &self.background {
             bg.spec.validate()?;
-            if nodes - self.app.ranks() < 2 {
+            let free = nodes - self.app.ranks();
+            if free < 2 {
                 return Err("background job needs at least 2 free nodes".into());
+            }
+            if bg.spec.fanout >= free {
+                return Err(format!(
+                    "background fanout {} needs that many distinct peers but only {} \
+                     nodes are free for the background job",
+                    bg.spec.fanout, free
+                ));
             }
         }
         Ok(())
@@ -298,6 +306,22 @@ mod tests {
         });
         assert!(cfg.validate().is_err());
         cfg.app = AppSelection::CrystalRouter { ranks: 32 };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_background_fanout_budget() {
+        use dfly_engine::Ns;
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.app = AppSelection::CrystalRouter { ranks: 60 };
+        // 4 free nodes: a burst to 4 distinct peers is impossible.
+        cfg.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::bursty(1024, Ns::from_us(10), 4, 0),
+        });
+        assert!(cfg.validate().unwrap_err().contains("fanout"));
+        cfg.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::bursty(1024, Ns::from_us(10), 3, 0),
+        });
         assert!(cfg.validate().is_ok());
     }
 }

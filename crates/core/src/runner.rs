@@ -3,7 +3,7 @@
 use crate::config::ExperimentConfig;
 use crate::mpi::{BackgroundRunner, MpiDriver};
 use dfly_engine::{Ns, Xoshiro256};
-use dfly_network::{MetricsFilter, Network, NetworkMetrics};
+use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics};
 use dfly_placement::NodePool;
 use dfly_stats::{BoxStats, Cdf};
 use dfly_topology::{NodeId, RouterId, Topology};
@@ -32,6 +32,11 @@ pub struct ExperimentResult {
     pub events: u64,
     /// Background messages injected (0 without background).
     pub background_messages: u64,
+    /// Conservation-audit report, when the network ran with
+    /// [`NetworkParams::audit`](dfly_network::NetworkParams) enabled
+    /// (`None` with audits off). A non-clean report means the packet
+    /// engine corrupted its own invariants — see [`dfly_network::audit`].
+    pub audit: Option<AuditReport>,
 }
 
 impl ExperimentResult {
@@ -168,6 +173,7 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
 
     let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
     let metrics = net.metrics();
+    let audit = net.audit_report();
     let app_routers: HashSet<RouterId> = placement.iter().map(|&n| topo.node_router(n)).collect();
 
     ExperimentResult {
@@ -180,6 +186,7 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
         job_end: result.job_end,
         events: net.events_processed(),
         background_messages: result.background_messages,
+        audit,
     }
 }
 
@@ -229,6 +236,13 @@ mod tests {
         assert!(!r.app_routers.is_empty());
         let stats = r.comm_time_stats();
         assert!(stats.max >= stats.median && stats.median >= stats.min);
+        // Audits default on in debug builds (off in release); when they
+        // ran, the engine must have kept every conservation invariant.
+        assert_eq!(r.audit.is_some(), cfg!(debug_assertions));
+        if let Some(rep) = &r.audit {
+            assert!(rep.is_clean(), "audit violations:\n{rep}");
+            assert!(rep.events_audited > 0);
+        }
     }
 
     #[test]

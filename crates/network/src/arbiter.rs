@@ -54,6 +54,19 @@ pub(crate) fn take_waiters(channels: &mut [ChannelState], ch: ChannelId) -> Vec<
     waiters
 }
 
+/// How many `waiters` lists each channel currently appears on. The audit
+/// sweep checks this census against the `in_waitlist` bits: a channel is
+/// parked on at most one blocker, exactly when its bit is set.
+pub(crate) fn waitlist_census(channels: &[ChannelState]) -> Vec<u32> {
+    let mut counts = vec![0u32; channels.len()];
+    for ch in channels {
+        for w in &ch.waiters {
+            counts[w.index()] += 1;
+        }
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

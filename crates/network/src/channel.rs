@@ -64,6 +64,45 @@ impl PacketList {
         }
         Some(PacketId(pid))
     }
+
+    /// Iterate front-to-back following the intrusive links. Used by the
+    /// audit layer's structural sweep; callers must bound the walk
+    /// themselves if the links may be corrupted (cycles never terminate).
+    pub(crate) fn iter<'a>(&self, packets: &'a [Packet]) -> PacketListIter<'a> {
+        PacketListIter {
+            packets,
+            cur: self.head,
+        }
+    }
+
+    /// True if the stored tail matches the last packet reached by walking
+    /// from the head (`None` for an empty walk). Audit-only.
+    pub(crate) fn tail_agrees(&self, last: Option<PacketId>) -> bool {
+        match last {
+            None => self.head == NO_PACKET && self.tail == NO_PACKET,
+            Some(pid) => self.tail == pid.0,
+        }
+    }
+}
+
+/// Iterator over a [`PacketList`]'s intrusive links (see
+/// [`PacketList::iter`]).
+pub(crate) struct PacketListIter<'a> {
+    packets: &'a [Packet],
+    cur: u32,
+}
+
+impl Iterator for PacketListIter<'_> {
+    type Item = PacketId;
+
+    fn next(&mut self) -> Option<PacketId> {
+        if self.cur == NO_PACKET {
+            return None;
+        }
+        let pid = self.cur;
+        self.cur = self.packets[pid as usize].next;
+        Some(PacketId(pid))
+    }
 }
 
 /// One virtual-channel buffer: its queued packets, how many bytes they

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+pub mod audit;
 mod channel;
 pub mod metrics;
 pub mod net;
@@ -34,6 +35,7 @@ pub mod packet;
 pub mod params;
 pub mod routing;
 
+pub use audit::{AuditKind, AuditReport, AuditViolation};
 pub use metrics::{class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, TrafficTimeline};
 pub use net::{Delivery, Network, NetworkEvent};
 pub use packet::{MessageId, PacketId};

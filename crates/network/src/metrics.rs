@@ -119,12 +119,27 @@ impl NetworkMetrics {
 
     /// Utilization fraction of each channel of a class over the
     /// observation window `[0, end]`.
+    ///
+    /// The window must cover every recorded transmission: a channel is
+    /// busy at most 100% of real time, so `end < busy_time` means the
+    /// caller passed a stale window (debug builds assert). The released
+    /// value is clamped to 1.0 so a stale window can only flatten the
+    /// figure, never fabricate >100% utilization.
     pub fn utilization(&self, class: ChannelClass, end: Ns) -> Vec<f64> {
         assert!(end > Ns::ZERO, "observation window must be positive");
         self.snapshots
             .iter()
             .filter(|c| c.class == class)
-            .map(|c| c.busy_time.as_nanos() as f64 / end.as_nanos() as f64)
+            .map(|c| {
+                debug_assert!(
+                    c.busy_time <= end,
+                    "observation window end {end:?} predates channel {:?}'s \
+                     busy_time {:?}",
+                    c.id,
+                    c.busy_time
+                );
+                (c.busy_time.as_nanos() as f64 / end.as_nanos() as f64).min(1.0)
+            })
             .collect()
     }
 
@@ -262,6 +277,20 @@ mod tests {
         sample().utilization(ChannelClass::Global, Ns::ZERO);
     }
 
+    /// Regression: a window `end` that predates the last transmission
+    /// used to return fractions > 1.0 silently. Debug builds now assert;
+    /// release builds clamp to 1.0.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "predates channel"))]
+    fn utilization_stale_window_is_loud_or_clamped() {
+        // The fixture's global busy times are 800ns and 1000ns; a 900ns
+        // window covers one channel but predates the other.
+        let u = sample().utilization(ChannelClass::Global, Ns(900));
+        // Only reached in release builds (debug asserts above).
+        assert!(u.iter().all(|&f| f <= 1.0), "clamped: {u:?}");
+        assert!(u.contains(&1.0), "stale channel pinned at 100%: {u:?}");
+    }
+
     #[test]
     fn filter_without_router_info() {
         let mut s = snap(9, ChannelClass::LocalRow, 0, 50, 0);
@@ -296,6 +325,14 @@ pub fn class_index(class: ChannelClass) -> usize {
 }
 
 impl TrafficTimeline {
+    /// Hard cap on bins per class (2^20 bins = 8 MiB of `u64` per class).
+    /// The bin vector grows to whatever index a timestamp implies, so
+    /// without a cap one far-future event — or a tiny bin width on a long
+    /// run — would allocate gigabytes. Events past the cap saturate into
+    /// the last bin; pick `bin_width >= run_length / MAX_BINS` to avoid
+    /// any saturation.
+    pub const MAX_BINS: usize = 1 << 20;
+
     /// Empty timeline with the given bin width.
     pub fn new(bin_width: Ns) -> TrafficTimeline {
         assert!(bin_width > Ns::ZERO, "bin width must be positive");
@@ -305,10 +342,11 @@ impl TrafficTimeline {
         }
     }
 
-    /// Record `bytes` moved on `class` at time `at`.
+    /// Record `bytes` moved on `class` at time `at`. Timestamps past
+    /// [`TrafficTimeline::MAX_BINS`] bins saturate into the last bin.
     #[inline]
     pub fn record(&mut self, class: ChannelClass, at: Ns, bytes: Bytes) {
-        let idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        let idx = ((at.as_nanos() / self.bin_width.as_nanos()) as usize).min(Self::MAX_BINS - 1);
         let series = &mut self.bins[class_index(class)];
         if series.len() <= idx {
             series.resize(idx + 1, 0);
@@ -367,5 +405,35 @@ mod timeline_tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_rejected() {
         let _ = TrafficTimeline::new(Ns::ZERO);
+    }
+
+    /// Regression: `record` used to resize to whatever index the
+    /// timestamp implied — one far-future event (or a tiny bin width on
+    /// a long run) allocated gigabytes. The bin count is now capped and
+    /// overflowing events saturate into the last bin.
+    #[test]
+    fn far_future_events_saturate_into_last_bin() {
+        let mut t = TrafficTimeline::new(Ns(1));
+        t.record(ChannelClass::Global, Ns(5), 2);
+        // u64::MAX ns at 1ns bins implies ~2^64 bins; must stay capped.
+        t.record(ChannelClass::Global, Ns(u64::MAX), 7);
+        t.record(ChannelClass::Global, Ns(u64::MAX - 1), 3);
+        let s = t.series(ChannelClass::Global);
+        assert_eq!(s.len(), TrafficTimeline::MAX_BINS);
+        assert_eq!(s[5], 2);
+        assert_eq!(s[TrafficTimeline::MAX_BINS - 1], 10, "saturated bin");
+        // Totals are preserved — saturation shifts time, never drops bytes.
+        assert_eq!(s.iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn last_in_range_bin_is_not_saturation() {
+        let mut t = TrafficTimeline::new(Ns(100));
+        let last_start = (TrafficTimeline::MAX_BINS as u64 - 1) * 100;
+        t.record(ChannelClass::LocalRow, Ns(last_start), 4);
+        t.record(ChannelClass::LocalRow, Ns(last_start + 99), 6);
+        let s = t.series(ChannelClass::LocalRow);
+        assert_eq!(s.len(), TrafficTimeline::MAX_BINS);
+        assert_eq!(s[TrafficTimeline::MAX_BINS - 1], 10);
     }
 }

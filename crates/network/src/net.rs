@@ -16,6 +16,7 @@
 //!   accumulated exactly once per packet / full interval.
 
 use crate::arbiter;
+use crate::audit::{AuditReport, Auditor};
 use crate::channel::{ChannelState, PacketList};
 use crate::metrics::{ChannelSnapshot, NetworkMetrics, TrafficTimeline};
 use crate::packet::{MessageId, MessageState, Packet, PacketId, Route, MAX_ROUTE_LEN};
@@ -98,6 +99,9 @@ pub struct Network {
     wakeup_fired: bool,
     total_queued: Bytes,
     traffic_timeline: Option<TrafficTimeline>,
+    /// Shadow-accounting audit ledger (see [`crate::audit`]); `None`
+    /// when auditing is off — the hot path then pays one branch per hook.
+    audit: Option<Box<Auditor>>,
 }
 
 impl Network {
@@ -123,6 +127,9 @@ impl Network {
             })
             .collect();
         let nodes = topo.config().total_nodes() as usize;
+        let audit = params
+            .audit
+            .then(|| Box::new(Auditor::new(topo.channel_count())));
         Network {
             params,
             router_latency,
@@ -141,8 +148,46 @@ impl Network {
             wakeup_fired: false,
             total_queued: 0,
             traffic_timeline: None,
+            audit,
             topo,
         }
+    }
+
+    /// Turn the audit layer on or off. Only valid on a fresh network —
+    /// the shadow ledger must observe every event from the first
+    /// injection, or its books cannot balance.
+    ///
+    /// Auditing never perturbs the simulation: audited and unaudited runs
+    /// are bit-identical (enforced by `tests/determinism.rs`).
+    pub fn set_audit(&mut self, enabled: bool) {
+        assert!(
+            self.events_processed == 0 && self.messages.is_empty(),
+            "audit can only be toggled on a fresh network"
+        );
+        self.params.audit = enabled;
+        if enabled {
+            if self.audit.is_none() {
+                self.audit = Some(Box::new(Auditor::new(self.topo.channel_count())));
+            }
+        } else {
+            self.audit = None;
+        }
+    }
+
+    /// True if the shadow-accounting audit layer is active.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Run a full audit sweep at the current state and return the
+    /// accumulated report, or `None` if auditing is off. If the network
+    /// is idle the sweep also enforces the fully-drained postconditions.
+    pub fn audit_report(&mut self) -> Option<AuditReport> {
+        if self.audit.is_some() {
+            let drained = self.queue.is_empty();
+            self.audit_full_sweep(drained);
+        }
+        self.audit.as_ref().map(|a| a.report().clone())
     }
 
     /// Current simulated time.
@@ -282,6 +327,10 @@ impl Network {
     /// Process a single event. Returns false if the queue was empty.
     fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
+            // Queue empty means fully drained: any queued packet implies
+            // a pending TxDone. The audit drain sweep therefore doubles
+            // as a leak/deadlock detector.
+            self.audit_drain_sweep();
             return false;
         };
         self.events_processed += 1;
@@ -291,7 +340,64 @@ impl Network {
             NetEvent::Arrive(pkt) => self.handle_arrive(pkt),
             NetEvent::Wakeup => self.wakeup_fired = true,
         }
+        self.audit_after_event();
         true
+    }
+
+    // ----- audit plumbing --------------------------------------------------
+
+    /// Incremental consistency check of one channel the last event
+    /// touched (no-op with auditing off).
+    #[inline]
+    fn audit_check_channel(&mut self, ch: ChannelId, context: &'static str) {
+        if let Some(a) = self.audit.as_mut() {
+            a.check_channel(
+                ch,
+                &self.channels[ch.index()],
+                self.total_queued,
+                self.queue.now(),
+                context,
+            );
+        }
+    }
+
+    /// Count the event against the periodic full-sweep schedule.
+    #[inline]
+    fn audit_after_event(&mut self) {
+        let due = match self.audit.as_mut() {
+            Some(a) => a.note_event(),
+            None => return,
+        };
+        if due {
+            self.audit_full_sweep(false);
+        }
+    }
+
+    /// Full structural sweep of every list, counter, and wait list.
+    fn audit_full_sweep(&mut self, drained: bool) {
+        if let Some(a) = self.audit.as_mut() {
+            a.full_sweep(
+                &self.channels,
+                &self.nic,
+                &self.packets,
+                &self.free_packets,
+                self.total_queued,
+                self.queue.now(),
+                drained,
+            );
+        }
+    }
+
+    /// Drain-time sweep, at most once per processed-event count (polling
+    /// an idle network repeatedly must not re-sweep).
+    fn audit_drain_sweep(&mut self) {
+        let pending = match self.audit.as_mut() {
+            Some(a) => a.drain_pending(self.events_processed),
+            None => return,
+        };
+        if pending {
+            self.audit_full_sweep(true);
+        }
     }
 
     // ----- event handlers --------------------------------------------------
@@ -301,6 +407,9 @@ impl Network {
             let m = &self.messages[msg.0 as usize];
             (m.src, m.dst, m.bytes, m.total_packets)
         };
+        if let Some(a) = self.audit.as_mut() {
+            a.on_message_injected(msg, bytes, self.queue.now());
+        }
         let pkt_size = self.params.packet_size as u64;
         let mut remaining = bytes.max(1); // zero-byte messages carry a header byte
                                           // Placeholder route until the source router fixes the real one at
@@ -331,6 +440,9 @@ impl Network {
                 }
             };
             self.nic[src.index()].push_back(&mut self.packets, pid);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_packet_injected(pid, msg, size, src.0, self.queue.now());
+            }
         }
         self.nic_push(src);
     }
@@ -350,6 +462,7 @@ impl Network {
             if ch.vcs[0].occupancy + size > cap {
                 // NIC blocked: the injection buffer is full.
                 ch.mark_full(0, now);
+                self.audit_check_channel(ch_id, "nic blocked");
                 return;
             }
             ch.vcs[0].occupancy += size;
@@ -359,6 +472,10 @@ impl Network {
             self.channels[ch_id.index()].vcs[0]
                 .queue
                 .push_back(&mut self.packets, pid);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_nic_to_vc(pid, node.0, ch_id, now);
+            }
+            self.audit_check_channel(ch_id, "nic push");
             self.try_start(ch_id);
         }
     }
@@ -424,12 +541,20 @@ impl Network {
                 let cap = self.params.vc_capacity(ncs.class);
                 if ncs.vcs[next_vc].occupancy + size > cap {
                     ncs.mark_full(next_vc, now);
-                    arbiter::park_waiter(&mut self.channels, nc, ch_id);
+                    let registered = arbiter::park_waiter(&mut self.channels, nc, ch_id);
+                    if let Some(a) = self.audit.as_mut() {
+                        a.on_park(ch_id, nc, registered, now);
+                    }
+                    self.audit_check_channel(nc, "reserve refused");
                     continue;
                 }
                 ncs.vcs[next_vc].occupancy += size;
                 ncs.total_occupancy += size;
                 self.total_queued += size;
+                if let Some(a) = self.audit.as_mut() {
+                    a.on_reserve(pid, nc, next_vc, now);
+                }
+                self.audit_check_channel(nc, "reserve");
             }
             // Start transmission.
             let ch = &mut self.channels[ch_id.index()];
@@ -443,6 +568,10 @@ impl Network {
             if let Some(tl) = &mut self.traffic_timeline {
                 tl.record(ch.class, self.queue.now(), size);
             }
+            if let Some(a) = self.audit.as_mut() {
+                a.on_tx_start(pid, ch_id, v, self.queue.now());
+            }
+            self.audit_check_channel(ch_id, "tx start");
             self.queue.schedule_after(ser, NetEvent::TxDone(ch_id));
             self.queue
                 .schedule_after(ser + extra, NetEvent::Arrive(pid));
@@ -452,7 +581,7 @@ impl Network {
 
     fn handle_tx_done(&mut self, ch_id: ChannelId) {
         let now = self.queue.now();
-        let node_to_push: Option<NodeId> = {
+        let (pid, v, node_to_push) = {
             let ch = &mut self.channels[ch_id.index()];
             debug_assert!(ch.busy);
             let v = ch.tx_vc as usize;
@@ -466,17 +595,26 @@ impl Network {
             self.total_queued -= size;
             ch.busy = false;
             ch.clear_full(v, now);
-            if ch.class == ChannelClass::TerminalUp {
+            let node = if ch.class == ChannelClass::TerminalUp {
                 // terminal-up channel id == node id by construction
                 Some(NodeId(ch_id.0))
             } else {
                 None
-            }
+            };
+            (pid, v, node)
         };
+        if let Some(a) = self.audit.as_mut() {
+            a.on_tx_done(pid, ch_id, v, now);
+        }
+        self.audit_check_channel(ch_id, "tx done");
         if let Some(node) = node_to_push {
             self.nic_push(node);
         }
-        for w in arbiter::take_waiters(&mut self.channels, ch_id) {
+        let waiters = arbiter::take_waiters(&mut self.channels, ch_id);
+        if let Some(a) = self.audit.as_mut() {
+            a.on_wake(ch_id, &waiters, now);
+        }
+        for w in waiters {
             self.try_start(w);
         }
         self.try_start(ch_id);
@@ -503,6 +641,10 @@ impl Network {
             self.channels[ch_id.index()].vcs[v]
                 .queue
                 .push_back(&mut self.packets, pid);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_enqueue(pid, ch_id, v, self.queue.now());
+            }
+            self.audit_check_channel(ch_id, "arrive enqueue");
             self.try_start(ch_id);
             return;
         }
@@ -510,6 +652,9 @@ impl Network {
         self.packets_delivered += 1;
         let hops = self.packets[pid.0 as usize].route.router_hops() as u64;
         self.free_packets.push(pid);
+        if let Some(a) = self.audit.as_mut() {
+            a.on_delivered(pid, msg, self.queue.now());
+        }
         let m = &mut self.messages[msg.0 as usize];
         m.hops_accum += hops;
         m.remaining_packets -= 1;
@@ -526,6 +671,9 @@ impl Network {
             };
             self.deliveries.push_back(delivery);
             self.free_messages.push(msg);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_message_complete(msg, self.queue.now());
+            }
         }
     }
 
@@ -969,6 +1117,155 @@ mod tests {
         assert_eq!(seq[0].0, "d"); // sub-millisecond delivery first
         assert_eq!(seq[1], ("w", Ns::from_ms(1)));
         assert_eq!(seq[2], ("w", Ns::from_ms(2)));
+    }
+
+    // ----- audit layer -----------------------------------------------------
+
+    use crate::audit::AuditKind;
+
+    /// A network with audits forced on (not just debug-default), mid-run
+    /// under enough load that queues, waitlists, and full flags are live.
+    fn audited_congested_net() -> Network {
+        let mut n = net(Routing::Minimal);
+        n.set_audit(true);
+        for src in 1..24u32 {
+            n.send(Ns::ZERO, NodeId(src), NodeId(0), 64 * 1024, src as u64);
+        }
+        n.run_until(Ns(20_000));
+        assert!(n.packets_in_flight() > 0, "want a mid-run state");
+        n
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_covers_events() {
+        let mut n = audited_congested_net();
+        assert!(n.audit_enabled());
+        n.run_to_idle();
+        let report = n.audit_report().expect("audit on");
+        assert!(report.is_clean(), "{report}");
+        assert!(report.events_audited > 100, "{report}");
+        // At least the drain sweep plus the on-demand one ran.
+        assert!(report.full_sweeps >= 2, "{report}");
+    }
+
+    #[test]
+    fn audit_off_reports_none_and_skips_shadow() {
+        let mut n = net(Routing::Minimal);
+        n.set_audit(false);
+        n.send(Ns::ZERO, NodeId(0), NodeId(9), 4096, 0);
+        n.run_to_idle();
+        assert!(!n.audit_enabled());
+        assert!(n.audit_report().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh network")]
+    fn audit_toggle_after_traffic_is_rejected() {
+        let mut n = net(Routing::Minimal);
+        n.send(Ns::ZERO, NodeId(0), NodeId(1), 100, 0);
+        n.set_audit(true);
+    }
+
+    #[test]
+    fn audit_detects_occupancy_corruption() {
+        let mut n = audited_congested_net();
+        // Corrupt one channel's credit counter behind the auditor's back.
+        let up = n.topology().terminal_up(NodeId(1));
+        n.channels[up.index()].total_occupancy += 64;
+        let report = n.audit_report().unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == AuditKind::VcOccupancy && v.channel == Some(up)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_saturation_miscount() {
+        let mut n = audited_congested_net();
+        let up = n.topology().terminal_up(NodeId(2));
+        n.channels[up.index()].full_vcs += 1;
+        let report = n.audit_report().unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == AuditKind::Saturation && v.channel == Some(up)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_waitlist_corruption() {
+        let mut n = audited_congested_net();
+        // Flip a waitlist bit with no matching waiters-list membership.
+        let victim = n
+            .channels
+            .iter()
+            .position(|c| !c.in_waitlist)
+            .expect("some channel not parked");
+        n.channels[victim].in_waitlist = true;
+        let report = n.audit_report().unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == AuditKind::Waitlist
+                    && v.channel == Some(ChannelId(victim as u32))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_leaked_packet() {
+        let mut n = audited_congested_net();
+        // Drop a queued packet on the floor: pop it from its list without
+        // releasing occupancy or telling the auditor.
+        let victim = (0..n.channels.len())
+            .find(|&i| {
+                // Skip the busy head (TxDone would then pop a packet the
+                // engine no longer has) — take a queue with depth >= 2.
+                n.channels[i].vcs[0].queue.iter(&n.packets).count() >= 2
+            })
+            .expect("some deep VC queue");
+        n.channels[victim].vcs[0].queue.pop_front(&n.packets);
+        let report = n.audit_report().unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == AuditKind::ListIntegrity),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_traffic_miscount() {
+        let mut n = audited_congested_net();
+        let up = n.topology().terminal_up(NodeId(3));
+        n.channels[up.index()].traffic += 1;
+        let report = n.audit_report().unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == AuditKind::VcOccupancy && v.channel == Some(up)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn audit_report_is_displayable() {
+        let mut n = audited_congested_net();
+        n.channels[0].total_occupancy += 1;
+        let report = n.audit_report().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("violation"), "{text}");
+        assert!(text.contains("vc-occupancy"), "{text}");
     }
 
     #[test]

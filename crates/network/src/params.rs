@@ -22,6 +22,14 @@ pub struct NetworkParams {
     /// up (default 32 KiB ~ a full local VC x 4 hops). Larger values make
     /// adaptive routing behave more minimally.
     pub adaptive_bias_bytes: u64,
+    /// Enable the shadow-accounting audit layer (see
+    /// [`crate::audit`]): every event cross-checks the engine's
+    /// occupancy/list/waitlist/saturation counters against an independent
+    /// ledger. Auditing observes only — results are bit-identical either
+    /// way — but costs time, so it defaults to on in debug builds and off
+    /// in release builds. [`Network::set_audit`](crate::Network::set_audit)
+    /// overrides it on a fresh network.
+    pub audit: bool,
 }
 
 impl Default for NetworkParams {
@@ -34,6 +42,7 @@ impl Default for NetworkParams {
             local_vc_bytes: 8 * 1024,
             global_vc_bytes: 16 * 1024,
             adaptive_bias_bytes: 32768,
+            audit: cfg!(debug_assertions),
         }
     }
 }
@@ -88,6 +97,7 @@ impl ToKv for NetworkParams {
         kv(&mut out, "local_vc_bytes", self.local_vc_bytes);
         kv(&mut out, "global_vc_bytes", self.global_vc_bytes);
         kv(&mut out, "adaptive_bias_bytes", self.adaptive_bias_bytes);
+        kv(&mut out, "audit", self.audit);
         out
     }
 }
@@ -104,6 +114,7 @@ mod tests {
         assert_eq!(p.vc_capacity(ChannelClass::LocalRow), 8 * 1024);
         assert_eq!(p.vc_capacity(ChannelClass::LocalCol), 8 * 1024);
         assert_eq!(p.vc_capacity(ChannelClass::Global), 16 * 1024);
+        assert_eq!(p.audit, cfg!(debug_assertions));
         p.validate().unwrap();
     }
 

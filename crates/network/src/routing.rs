@@ -48,6 +48,10 @@ pub struct RouteComputer {
     routing: Routing,
     rng: Xoshiro256,
     scratch: Vec<ChannelId>,
+    /// Second persistent buffer holding the best candidate seen so far
+    /// during adaptive selection. Swapped with `scratch` when a candidate
+    /// wins, so the per-packet hot path allocates nothing.
+    best: Vec<ChannelId>,
 }
 
 impl RouteComputer {
@@ -57,6 +61,7 @@ impl RouteComputer {
             routing,
             rng,
             scratch: Vec::with_capacity(paths::MAX_ROUTER_HOPS),
+            best: Vec::with_capacity(paths::MAX_ROUTER_HOPS),
         }
     }
 
@@ -129,25 +134,22 @@ impl RouteComputer {
         // Lower wins; ties go to the earliest candidate, and minimal
         // candidates are generated first, so an idle network stays on
         // minimal paths.
+        // The winner lives in `self.best` (a persistent buffer — this is
+        // the per-packet hot path, so no allocation): a winning candidate
+        // is swapped in from `scratch` rather than copied.
         let mut best_score = u64::MAX;
-        let mut best: Vec<ChannelId> = Vec::new();
-        let mut consider = |candidate: &[ChannelId], bias: u64| {
-            let hops = candidate.len() as u64;
-            let first: u64 = candidate.first().map(|&c| occupancy(c)).unwrap_or(0);
-            let score = first.saturating_mul(hops).saturating_add(bias);
-            if score < best_score {
-                best_score = score;
-                best.clear();
-                best.extend_from_slice(candidate);
-            }
-        };
+        self.best.clear();
 
         // Two minimal candidates (different random gateway / intermediate
         // choices).
         for _ in 0..2 {
             self.scratch.clear();
             paths::push_minimal(topo, src_r, dst_r, &mut self.rng, &mut self.scratch);
-            consider(&self.scratch, 0);
+            let score = Self::ugal_score(&self.scratch, 0, &occupancy);
+            if score < best_score {
+                best_score = score;
+                std::mem::swap(&mut self.best, &mut self.scratch);
+            }
         }
         // Two non-minimal candidates through random intermediate routers.
         for _ in 0..2 {
@@ -156,10 +158,28 @@ impl RouteComputer {
             paths::push_minimal(topo, src_r, inter, &mut self.rng, &mut self.scratch);
             paths::push_minimal(topo, inter, dst_r, &mut self.rng, &mut self.scratch);
             if self.scratch.len() <= paths::MAX_ROUTER_HOPS {
-                consider(&self.scratch, params.adaptive_bias_bytes);
+                let score = Self::ugal_score(&self.scratch, params.adaptive_bias_bytes, &occupancy);
+                if score < best_score {
+                    best_score = score;
+                    std::mem::swap(&mut self.best, &mut self.scratch);
+                }
             }
         }
-        out.extend_from_slice(&best);
+        out.extend_from_slice(&self.best);
+    }
+
+    /// UGAL candidate score: first-hop queued bytes x path hops, plus the
+    /// minimal-path `bias` for non-minimal candidates. Lower wins; ties
+    /// go to the earliest candidate.
+    #[inline]
+    fn ugal_score(
+        candidate: &[ChannelId],
+        bias: u64,
+        occupancy: &impl Fn(ChannelId) -> Bytes,
+    ) -> u64 {
+        let hops = candidate.len() as u64;
+        let first: u64 = candidate.first().map(|&c| occupancy(c)).unwrap_or(0);
+        first.saturating_mul(hops).saturating_add(bias)
     }
 }
 
@@ -180,6 +200,7 @@ mod tests {
     fn labels() {
         assert_eq!(Routing::Minimal.label(), "min");
         assert_eq!(Routing::Adaptive.label(), "adp");
+        assert_eq!(Routing::Valiant.label(), "val");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! * **Uniform random** — each node sends a message to a random peer at a
 //!   short interval: balanced external traffic.
 //! * **Bursty** — at a long interval each node emits a burst of huge
-//!   messages spread over `fanout` random peers (the paper sends to *all*
+//!   messages spread over `fanout` *distinct* random peers (the paper sends to *all*
 //!   peers; fanning out to a subset with the same total volume preserves
 //!   the burst's load while keeping packet counts simulable — see
 //!   `DESIGN.md`).
@@ -127,6 +127,13 @@ impl BackgroundTraffic {
     pub fn new(spec: BackgroundSpec, nodes: u32) -> BackgroundTraffic {
         spec.validate().expect("invalid background spec");
         assert!(nodes >= 2, "background job needs at least 2 nodes");
+        assert!(
+            spec.fanout < nodes,
+            "burst fanout {} needs {} distinct peers but the job only has {}",
+            spec.fanout,
+            spec.fanout,
+            nodes - 1
+        );
         BackgroundTraffic {
             spec,
             nodes,
@@ -156,8 +163,9 @@ impl BackgroundTraffic {
             }
             let emit = t >= from;
             for src in 0..self.nodes {
-                for _ in 0..self.spec.fanout {
-                    // Random destination other than self.
+                if self.spec.fanout == 1 {
+                    // Single draw, no distinctness to enforce — keep the
+                    // historical one-call-per-message RNG stream.
                     let mut dst = self.rng.next_below(self.nodes as u64 - 1) as u32;
                     if dst >= src {
                         dst += 1;
@@ -169,6 +177,29 @@ impl BackgroundTraffic {
                             dst_index: dst,
                             bytes: self.spec.message_bytes,
                         });
+                    }
+                } else {
+                    // A burst goes to `fanout` *distinct* peers: sampling
+                    // with replacement would silently collapse a burst's
+                    // width (and its peak load) whenever two draws
+                    // collide. Sample without replacement from the
+                    // `nodes - 1` non-self indices and shift around self.
+                    let picks = self
+                        .rng
+                        .sample_indices(self.nodes as usize - 1, self.spec.fanout as usize);
+                    for v in picks {
+                        let mut dst = v as u32;
+                        if dst >= src {
+                            dst += 1;
+                        }
+                        if emit {
+                            out.push(BgMessage {
+                                at: t,
+                                src_index: src,
+                                dst_index: dst,
+                                bytes: self.spec.message_bytes,
+                            });
+                        }
                     }
                 }
             }
@@ -224,6 +255,64 @@ mod tests {
         // One tick at t=0: 10 nodes x 4 destinations.
         assert_eq!(out.len(), 40);
         assert!(out.iter().all(|m| m.bytes == 1 << 20));
+    }
+
+    #[test]
+    fn bursty_destinations_are_distinct_within_a_burst() {
+        // Regression: destinations used to be drawn with replacement, so
+        // a wide burst could silently collapse onto fewer peers than
+        // `fanout` (under-delivering the paper's Table II peak load).
+        let spec = BackgroundSpec::bursty(1 << 20, Ns::from_ms(5), 6, 3);
+        let mut bg = BackgroundTraffic::new(spec, 8);
+        let mut out = Vec::new();
+        bg.batch(Ns::ZERO, Ns::from_ms(20), &mut out);
+        assert_eq!(out.len(), 4 * 8 * 6); // 4 ticks x 8 nodes x fanout 6
+        for tick in 0..4u64 {
+            let at = Ns(tick * Ns::from_ms(5).as_nanos());
+            for src in 0..8u32 {
+                let dsts: Vec<u32> = out
+                    .iter()
+                    .filter(|m| m.at == at && m.src_index == src)
+                    .map(|m| m.dst_index)
+                    .collect();
+                assert_eq!(dsts.len(), 6);
+                let unique: std::collections::HashSet<_> = dsts.iter().collect();
+                assert_eq!(
+                    unique.len(),
+                    6,
+                    "burst from {src} at {at:?} repeated a peer"
+                );
+                assert!(dsts.iter().all(|&d| d != src && d < 8));
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_windows_stay_rng_aligned() {
+        // A caller that fast-forwards past early ticks must see the same
+        // messages for later ticks as a caller that asked for every
+        // window: skipped ticks still consume the RNG.
+        let spec = BackgroundSpec::bursty(4096, Ns::from_us(10), 3, 11);
+        let mut contiguous = BackgroundTraffic::new(spec, 9);
+        let mut all = Vec::new();
+        contiguous.batch(Ns::ZERO, Ns::from_us(30), &mut all);
+        let tail: Vec<BgMessage> = all
+            .iter()
+            .copied()
+            .filter(|m| m.at >= Ns::from_us(20))
+            .collect();
+
+        let mut skipping = BackgroundTraffic::new(spec, 9);
+        let mut got = Vec::new();
+        skipping.batch(Ns::from_us(20), Ns::from_us(30), &mut got);
+        assert_eq!(got, tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct peers")]
+    fn fanout_wider_than_job_rejected() {
+        let spec = BackgroundSpec::bursty(1, Ns(1), 8, 0);
+        let _ = BackgroundTraffic::new(spec, 8);
     }
 
     #[test]

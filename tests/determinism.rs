@@ -118,6 +118,33 @@ fn sweep_runs_produce_byte_identical_csv() {
 }
 
 #[test]
+fn audited_runs_are_bit_identical_to_unaudited() {
+    // The conservation auditor only *observes*: turning it on must not
+    // perturb a single event, timestamp, or byte of the simulation.
+    let mut audited = cfg();
+    audited.network.audit = true;
+    audited.background = Some(BackgroundConfig {
+        spec: BackgroundSpec::bursty(128 * 1024, Ns::from_us(60), 4, 0),
+    });
+    let mut plain = audited.clone();
+    plain.network.audit = false;
+
+    let a = run_experiment(&audited);
+    let p = run_experiment(&plain);
+    assert!(a.audit.as_ref().expect("audit enabled").is_clean());
+    assert!(p.audit.is_none());
+    assert_eq!(a.rank_comm_times, p.rank_comm_times);
+    assert_eq!(a.rank_avg_hops, p.rank_avg_hops);
+    assert_eq!(a.placement, p.placement);
+    assert_eq!(a.job_end, p.job_end);
+    assert_eq!(a.events, p.events);
+    assert_eq!(a.background_messages, p.background_messages);
+    let ta: Vec<_> = a.metrics.channels().collect();
+    let tp: Vec<_> = p.metrics.channels().collect();
+    assert_eq!(ta, tp, "audited run perturbed channel metrics");
+}
+
+#[test]
 fn seed_streams_are_independent() {
     // Changing only the routing policy must not change the placement
     // (each subsystem derives its own RNG stream from the master seed).

@@ -76,6 +76,23 @@ fn one_shared_arc_serves_every_cell() {
 }
 
 #[test]
+fn full_grid_is_audit_clean() {
+    // The conservation auditor across the whole 10-cell placement x
+    // routing grid: force audits on (they default off in release) and
+    // require every cell to come back violation-free.
+    let mut base = grid_base();
+    base.network.audit = true;
+    let results = run_config_grid(&base, &ConfigLabel::all_ten());
+    assert_eq!(results.len(), 10);
+    for g in &results {
+        let rep = g.result.audit.as_ref().expect("audit was enabled");
+        assert!(rep.is_clean(), "audit violations under {}:\n{rep}", g.label);
+        assert!(rep.events_audited > 0, "{} audited nothing", g.label);
+        assert!(rep.full_sweeps > 0, "{} never swept", g.label);
+    }
+}
+
+#[test]
 #[should_panic(expected = "different TopologyConfig")]
 fn execute_rejects_mismatched_topology() {
     let base = grid_base();

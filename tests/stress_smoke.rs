@@ -1,0 +1,37 @@
+//! A handful of audited stress-fuzzer scenarios in the normal test suite
+//! (the `stress` binary runs many more; see `dfly_bench::stress`).
+
+use dfly_bench::stress::{generate, run_stress, shrink_candidates, topologies};
+use dragonfly_tradeoff::engine::Xoshiro256;
+
+#[test]
+fn stress_seeds_run_clean() {
+    let summary = run_stress(6, 0xC0FFEE).expect("audited stress scenarios must be clean");
+    assert_eq!(summary.cases, 6);
+    assert!(summary.events > 0);
+}
+
+#[test]
+fn every_stress_topology_validates() {
+    for t in topologies() {
+        t.validate().expect("stress topology must be valid");
+        assert!(t.total_nodes() >= 16);
+    }
+}
+
+#[test]
+fn generated_scenarios_are_valid_and_shrinkable() {
+    let mut rng = Xoshiro256::seed_from(99);
+    for _ in 0..50 {
+        let s = generate(&mut rng);
+        s.config()
+            .validate()
+            .expect("generator must emit valid configs");
+        // Shrinking strictly simplifies: every candidate differs from the
+        // scenario it came from.
+        for c in shrink_candidates(&s) {
+            assert_ne!(c, s);
+            c.config().validate().expect("shrunk configs stay valid");
+        }
+    }
+}
