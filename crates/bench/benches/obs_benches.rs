@@ -1,0 +1,57 @@
+//! Telemetry overhead benchmarks: the same end-to-end scenarios as
+//! `network_benches`, run with the `dfly-obs` layer off and on.
+//!
+//! The obs-off numbers here vs the matching `network_benches` baselines
+//! quantify the cost of carrying the (disabled) instrumentation hooks —
+//! the ISSUE-5 acceptance bound is <2% — while the obs-on numbers show
+//! the full price of profiling + periodic sampling when requested.
+
+use dfly_bench::{criterion_group, criterion_main, Criterion};
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_network::{Network, NetworkParams, Routing};
+use dfly_topology::{NodeId, Topology, TopologyConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn run_uniform(
+    topo: &Arc<Topology>,
+    params: NetworkParams,
+    routing: Routing,
+    msgs: u64,
+    bytes: u64,
+) -> u64 {
+    let mut net = Network::new(topo.clone(), params, routing, 11);
+    let nodes = topo.config().total_nodes() as u64;
+    let mut rng = Xoshiro256::seed_from(13);
+    for i in 0..msgs {
+        let s = NodeId(rng.next_below(nodes) as u32);
+        let d = NodeId(rng.next_below(nodes) as u32);
+        net.send(Ns(i * 20), s, d, bytes, i);
+    }
+    net.run_to_idle();
+    net.events_processed()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(20);
+    for (name, obs) in [("obs_off", false), ("obs_on", true)] {
+        for (policy_name, routing) in [
+            ("minimal", Routing::Minimal),
+            ("adaptive", Routing::Adaptive),
+        ] {
+            let params = NetworkParams {
+                obs,
+                ..NetworkParams::default()
+            };
+            g.bench_function(&format!("uniform_{policy_name}_500msgs_{name}"), |b| {
+                b.iter(|| black_box(run_uniform(&topo, params.clone(), routing, 500, 16 * 1024)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

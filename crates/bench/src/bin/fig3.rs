@@ -1,76 +1,12 @@
 //! Figure 3: communication-time distributions for CR, FB, and AMG under
 //! all ten placement x routing configurations.
 //!
-//! Paper's qualitative result: CR best near rand-min, FB best at
-//! rand-adp, AMG best at cont-adp; cont-min is the worst for FB.
+//! Thin wrapper over [`dfly_bench::figures::fig3`], which the golden-run
+//! regression suite (`tests/golden_figures.rs`) drives in-process. Pass
+//! `--obs` to also emit the `obs_*.csv` telemetry ledgers per app.
 
-use dfly_bench::{label_of, parse_args, print_boxplot_table};
-use dfly_core::report::ConfigLabel;
-use dfly_core::sweep::run_config_grid;
-use dfly_workloads::AppKind;
+use dfly_bench::{figures, parse_args};
 
 fn main() {
-    let args = parse_args();
-    println!("Figure 3 reproduction — mode: {}", args.mode_label());
-    let mut csv = args.csv(
-        "fig3_comm_time.csv",
-        &[
-            "app",
-            "config",
-            "min_ms",
-            "q1_ms",
-            "median_ms",
-            "q3_ms",
-            "max_ms",
-            "mean_ms",
-        ],
-    );
-    for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
-        let base = args.base_config(app);
-        let t0 = std::time::Instant::now();
-        let grid = run_config_grid(&base, &ConfigLabel::all_ten());
-        let rows: Vec<(String, dfly_stats::BoxStats)> = grid
-            .iter()
-            .map(|g| (label_of(&g.label), g.result.comm_time_stats()))
-            .collect();
-        for (label, s) in &rows {
-            csv.row(&[
-                app.label().to_string(),
-                label.clone(),
-                format!("{:.6}", s.min),
-                format!("{:.6}", s.q1),
-                format!("{:.6}", s.median),
-                format!("{:.6}", s.q3),
-                format!("{:.6}", s.max),
-                format!("{:.6}", s.mean),
-            ])
-            .expect("csv");
-        }
-        print_boxplot_table(
-            &format!("Fig 3: {} communication time (ms)", app.label()),
-            &rows,
-        );
-        let best = rows
-            .iter()
-            .min_by(|a, b| a.1.median.partial_cmp(&b.1.median).unwrap())
-            .unwrap();
-        let worst = rows
-            .iter()
-            .max_by(|a, b| a.1.median.partial_cmp(&b.1.median).unwrap())
-            .unwrap();
-        println!(
-            "{}: best {} ({:.3} ms), worst {} ({:.3} ms)  [{:.0}s wall]",
-            app.label(),
-            best.0,
-            best.1.median,
-            worst.0,
-            worst.1.median,
-            t0.elapsed().as_secs_f64()
-        );
-    }
-    csv.finish().expect("csv");
-    println!(
-        "\nWrote {}",
-        args.out_dir.join("fig3_comm_time.csv").display()
-    );
+    figures::fig3(&parse_args());
 }

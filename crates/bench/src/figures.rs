@@ -8,13 +8,100 @@
 //! Shared implementation used by the `fig456`, `fig4`, `fig5` and
 //! `fig6` binaries.
 
-use crate::harness::{emit_cdf_family, label_of, RunArgs};
+use crate::harness::{emit_cdf_family, emit_obs_family, label_of, RunArgs};
 use dfly_core::report::ConfigLabel;
 use dfly_core::sweep::run_config_grid;
 use dfly_engine::ToKv;
 use dfly_network::MetricsFilter;
+use dfly_obs::ObsReport;
 use dfly_stats::Cdf;
 use dfly_workloads::AppKind;
+
+/// Collect the telemetry reports of a configuration grid for
+/// [`emit_obs_family`]. Empty unless the runs were made with
+/// `--obs` (i.e. `NetworkParams::obs` set on the base config).
+fn grid_obs_reports(grid: &[dfly_core::sweep::GridResult]) -> Vec<(String, &ObsReport)> {
+    grid.iter()
+        .filter_map(|g| g.result.obs.as_ref().map(|o| (label_of(&g.label), o)))
+        .collect()
+}
+
+/// Figure 3: communication-time distributions for CR, FB, and AMG under
+/// all ten placement x routing configurations.
+///
+/// Paper's qualitative result: CR best near rand-min, FB best at
+/// rand-adp, AMG best at cont-adp; cont-min is the worst for FB.
+/// Shared implementation of the `fig3` binary and the golden-run
+/// regression suite (`tests/golden_figures.rs`).
+pub fn fig3(args: &RunArgs) {
+    println!("Figure 3 reproduction — mode: {}", args.mode_label());
+    let mut csv = args.csv(
+        "fig3_comm_time.csv",
+        &[
+            "app",
+            "config",
+            "min_ms",
+            "q1_ms",
+            "median_ms",
+            "q3_ms",
+            "max_ms",
+            "mean_ms",
+        ],
+    );
+    for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
+        let base = args.base_config(app);
+        let t0 = std::time::Instant::now();
+        let grid = run_config_grid(&base, &ConfigLabel::all_ten());
+        let rows: Vec<(String, dfly_stats::BoxStats)> = grid
+            .iter()
+            .map(|g| (label_of(&g.label), g.result.comm_time_stats()))
+            .collect();
+        for (label, s) in &rows {
+            csv.row(&[
+                app.label().to_string(),
+                label.clone(),
+                format!("{:.6}", s.min),
+                format!("{:.6}", s.q1),
+                format!("{:.6}", s.median),
+                format!("{:.6}", s.q3),
+                format!("{:.6}", s.max),
+                format!("{:.6}", s.mean),
+            ])
+            .expect("csv");
+        }
+        print_boxplot_table(
+            &format!("Fig 3: {} communication time (ms)", app.label()),
+            &rows,
+        );
+        emit_obs_family(
+            args,
+            &format!("fig3_{}", app.label().to_lowercase()),
+            &grid_obs_reports(&grid),
+        );
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.1.median.partial_cmp(&b.1.median).unwrap())
+            .unwrap();
+        let worst = rows
+            .iter()
+            .max_by(|a, b| a.1.median.partial_cmp(&b.1.median).unwrap())
+            .unwrap();
+        println!(
+            "{}: best {} ({:.3} ms), worst {} ({:.3} ms)  [{:.0}s wall]",
+            app.label(),
+            best.0,
+            best.1.median,
+            worst.0,
+            worst.1.median,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    csv.finish().expect("csv");
+    println!(
+        "\nWrote {}",
+        args.out_dir.join("fig3_comm_time.csv").display()
+    );
+}
 
 /// Shared implementation for fig4/fig5/fig6 binaries.
 pub fn fig456(args: &RunArgs, apps: &[AppKind]) {
@@ -307,6 +394,21 @@ pub fn table2(args: &RunArgs) {
         cfg.placement = PlacementPolicy::RandomNode;
         cfg.routing = RoutingPolicy::Adaptive;
         let solo = run_experiment(&cfg);
+        // Under `--obs` the solo calibration runs double as the full
+        // per-app telemetry dumps (only three tags, so the complete
+        // time-series sinks stay manageable here).
+        if let Some(obs) = &solo.obs {
+            let files = obs
+                .write_csvs(
+                    &args.out_dir,
+                    &format!("table2_{}", app.label().to_lowercase()),
+                )
+                .expect("obs csv");
+            println!("{}", obs.render_summary());
+            for f in files {
+                println!("wrote {}", f.display());
+            }
+        }
         let bg_nodes = cfg.topology.total_nodes() - cfg.app.ranks();
         let uni = background_for(app, BackgroundKind::UniformRandom, solo.job_end)
             .peak_load_bytes(bg_nodes) as f64
@@ -526,10 +628,7 @@ mod tests {
     #[test]
     fn mode_base_configs_validate() {
         for mode in [Mode::Quick, Mode::Full] {
-            let args = RunArgs {
-                mode,
-                out_dir: std::path::PathBuf::from("/tmp"),
-            };
+            let args = RunArgs::new(mode, "/tmp");
             for app in [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg] {
                 args.base_config(app).validate().unwrap();
             }

@@ -3,7 +3,8 @@
 use dfly_core::config::ExperimentConfig;
 use dfly_core::report::ConfigLabel;
 use dfly_core::runner::ExperimentResult;
-use dfly_stats::{render_boxplot_row, AsciiTable, BoxStats, Cdf, CsvWriter};
+use dfly_obs::{EventKind, ObsReport};
+use dfly_stats::{render_boxplot_row, sparkline, AsciiTable, BoxStats, Cdf, CsvWriter};
 use dfly_workloads::AppKind;
 use std::path::PathBuf;
 
@@ -23,15 +24,36 @@ pub struct RunArgs {
     pub mode: Mode,
     /// Output directory for CSV artifacts.
     pub out_dir: PathBuf,
+    /// Enable the telemetry layer (`--obs`): every run collects an
+    /// [`ObsReport`] and the binary writes `obs_*.csv` sinks.
+    pub obs: bool,
+    /// Extra message-size multiplier on top of the mode's workload
+    /// (`--scale X`). 1.0 reproduces the mode unchanged; the golden
+    /// regression suite runs the figure pipelines at a small fraction.
+    pub scale: f64,
 }
 
 impl RunArgs {
-    /// Base experiment config for an app under this mode.
+    /// Arguments for a mode and output directory, telemetry off, scale 1.
+    pub fn new(mode: Mode, out_dir: impl Into<PathBuf>) -> RunArgs {
+        RunArgs {
+            mode,
+            out_dir: out_dir.into(),
+            obs: false,
+            scale: 1.0,
+        }
+    }
+
+    /// Base experiment config for an app under this mode, with the
+    /// `--obs` and `--scale` overrides applied.
     pub fn base_config(&self, app: AppKind) -> ExperimentConfig {
-        match self.mode {
+        let mut cfg = match self.mode {
             Mode::Quick => ExperimentConfig::quick(app),
             Mode::Full => ExperimentConfig::theta(app),
-        }
+        };
+        cfg.network.obs = self.obs;
+        cfg.msg_scale *= self.scale;
+        cfg
     }
 
     /// Mode label for report headers.
@@ -49,26 +71,32 @@ impl RunArgs {
     }
 }
 
-/// Parse `--quick` / `--full` / `--out DIR` from `std::env::args`.
+/// Parse `--quick` / `--full` / `--out DIR` / `--obs` / `--scale X`
+/// from `std::env::args`.
 pub fn parse_args() -> RunArgs {
-    let mut mode = Mode::Quick;
-    let mut out_dir = PathBuf::from("results");
+    let mut parsed = RunArgs::new(Mode::Quick, "results");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => mode = Mode::Quick,
-            "--full" => mode = Mode::Full,
+            "--quick" => parsed.mode = Mode::Quick,
+            "--full" => parsed.mode = Mode::Full,
             "--out" => {
-                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+                parsed.out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--obs" => parsed.obs = true,
+            "--scale" => {
+                let v = args.next().expect("--scale needs a factor");
+                parsed.scale = v.parse().expect("--scale needs a number");
+                assert!(parsed.scale > 0.0, "--scale must be positive");
             }
             "--help" | "-h" => {
-                eprintln!("usage: [--quick|--full] [--out DIR]");
+                eprintln!("usage: [--quick|--full] [--out DIR] [--obs] [--scale X]");
                 std::process::exit(0);
             }
             other => panic!("unknown argument: {other}"),
         }
     }
-    RunArgs { mode, out_dir }
+    parsed
 }
 
 /// Print a box-plot table (one row per configuration) with an ASCII
@@ -143,6 +171,82 @@ pub fn emit_cdf_family(
     println!("({x_label}; full series in {csv_name})");
 }
 
+/// Emit the aggregate telemetry sinks for a family of runs (one grid of
+/// configurations under a common `tag`, e.g. `fig3_cr`): a UGAL routing
+/// ledger CSV, an event-loop profile CSV, and a one-line-per-config
+/// stdout summary with a sparkline of global-link utilization over time.
+///
+/// Does nothing when `reports` is empty, so callers can pass the
+/// (filtered) grid results unconditionally and let `--obs` decide.
+pub fn emit_obs_family(args: &RunArgs, tag: &str, reports: &[(String, &ObsReport)]) {
+    if reports.is_empty() {
+        return;
+    }
+
+    let mut ugal = args.csv(
+        &format!("obs_ugal_{tag}.csv"),
+        &[
+            "config",
+            "minimal_taken",
+            "nonminimal_taken",
+            "nonminimal_fraction",
+            "mean_margin",
+        ],
+    );
+    for (label, r) in reports {
+        ugal.row(&[
+            label.clone(),
+            r.route.minimal_taken.to_string(),
+            r.route.nonminimal_taken.to_string(),
+            format!("{:.6}", r.route.nonminimal_fraction()),
+            format!("{:.2}", r.route.mean_margin()),
+        ])
+        .expect("csv write");
+    }
+    ugal.finish().expect("csv flush");
+
+    let mut prof = args.csv(
+        &format!("obs_profile_{tag}.csv"),
+        &[
+            "config",
+            "inject",
+            "tx_done",
+            "arrive",
+            "wakeup",
+            "events_per_sec",
+            "queue_high_water",
+        ],
+    );
+    for (label, r) in reports {
+        let p = &r.profile;
+        prof.row(&[
+            label.clone(),
+            p.counts[EventKind::Inject.index()].to_string(),
+            p.counts[EventKind::TxDone.index()].to_string(),
+            p.counts[EventKind::Arrive.index()].to_string(),
+            p.counts[EventKind::Wakeup.index()].to_string(),
+            format!("{:.0}", p.events_per_sec()),
+            p.queue_high_water.to_string(),
+        ])
+        .expect("csv write");
+    }
+    prof.finish().expect("csv flush");
+
+    println!("\n== telemetry: {tag} ==");
+    let global = dfly_obs::OBS_CLASSES.len() - 1; // Global is the last class
+    for (label, r) in reports {
+        let util = r.series.util_series(global);
+        println!(
+            "{label:>10}: {:>5.1}% nonminimal, {:>4.1} Mev/s, queue peak {:>6}, global util {}",
+            r.route.nonminimal_fraction() * 100.0,
+            r.profile.events_per_sec() / 1e6,
+            r.profile.queue_high_water,
+            sparkline(&util),
+        );
+    }
+    println!("(full per-config ledgers in obs_ugal_{tag}.csv / obs_profile_{tag}.csv)");
+}
+
 /// Format a grid result row label.
 pub fn label_of(label: &ConfigLabel) -> String {
     label.to_string()
@@ -190,10 +294,7 @@ mod tests {
     fn emit_cdf_family_writes_full_series() {
         let dir = std::env::temp_dir().join("dfly_bench_harness_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let args = RunArgs {
-            mode: Mode::Quick,
-            out_dir: dir.clone(),
-        };
+        let args = RunArgs::new(Mode::Quick, dir.clone());
         let series = vec![
             ("a".to_string(), Cdf::from_samples([1.0, 2.0, 3.0])),
             ("b".to_string(), Cdf::from_samples([])),
@@ -208,13 +309,53 @@ mod tests {
     }
 
     #[test]
+    fn base_config_applies_obs_and_scale() {
+        let mut args = RunArgs::new(Mode::Quick, "unused");
+        let base = args.base_config(AppKind::CrystalRouter);
+        assert!(!base.network.obs);
+        args.obs = true;
+        args.scale = 0.25;
+        let cfg = args.base_config(AppKind::CrystalRouter);
+        assert!(cfg.network.obs);
+        assert!((cfg.msg_scale - base.msg_scale * 0.25).abs() < 1e-12);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn emit_obs_family_writes_both_sinks() {
+        let dir = std::env::temp_dir().join("dfly_bench_obs_family_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = RunArgs::new(Mode::Quick, dir.clone());
+
+        // Empty family: no files at all.
+        emit_obs_family(&args, "empty", &[]);
+        assert!(!dir.exists());
+
+        use dfly_obs::{EventLoopProfile, OccupancyHistogram, RouteStats, SampleSeries};
+        let mut report = ObsReport {
+            profile: EventLoopProfile::new(),
+            series: SampleSeries::new(dfly_engine::Ns(1_000)),
+            vc_occupancy: OccupancyHistogram::new(),
+            route: RouteStats::new(),
+        };
+        report.route.record(false, 0);
+        report.route.record(true, 64);
+        report.profile.counts[EventKind::Arrive.index()] = 2;
+        emit_obs_family(&args, "t", &[("cont-min".to_string(), &report)]);
+
+        let ugal = std::fs::read_to_string(dir.join("obs_ugal_t.csv")).unwrap();
+        assert!(ugal.starts_with("config,minimal_taken,nonminimal_taken"));
+        assert!(ugal.contains("cont-min,1,1,0.500000"));
+        let prof = std::fs::read_to_string(dir.join("obs_profile_t.csv")).unwrap();
+        assert!(prof.contains("cont-min,0,0,2,0,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn run_args_csv_creates_nested_dirs() {
         let dir = std::env::temp_dir().join("dfly_bench_csv_test/nested");
         let _ = std::fs::remove_dir_all(&dir);
-        let args = RunArgs {
-            mode: Mode::Full,
-            out_dir: dir.clone(),
-        };
+        let args = RunArgs::new(Mode::Full, dir.clone());
         let mut w = args.csv("file.csv", &["a"]);
         w.row(&["1"]).unwrap();
         w.finish().unwrap();

@@ -11,6 +11,8 @@
 //!   apps; minutes of wall-clock, same qualitative shapes.
 //! * `--full` — the paper's 3,456-node Theta machine and app sizes.
 //! * `--out DIR` — where CSV artifacts go (default `results/`).
+//! * `--obs` — collect telemetry (`dfly-obs`) and emit `obs_*.csv` sinks.
+//! * `--scale X` — extra message-size multiplier (golden tests use it).
 //!
 //! The shared plumbing lives here; the binaries are thin.
 
@@ -20,6 +22,7 @@ pub mod stress;
 
 pub mod figures;
 pub use harness::{
-    emit_cdf_family, label_of, parse_args, print_boxplot_table, print_run_summary, Mode, RunArgs,
+    emit_cdf_family, emit_obs_family, label_of, parse_args, print_boxplot_table, print_run_summary,
+    Mode, RunArgs,
 };
 pub use microbench::{BatchSize, Bencher, BenchmarkGroup, Criterion};

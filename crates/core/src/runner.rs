@@ -4,6 +4,7 @@ use crate::config::ExperimentConfig;
 use crate::mpi::{BackgroundRunner, MpiDriver};
 use dfly_engine::{Ns, Xoshiro256};
 use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics};
+use dfly_obs::ObsReport;
 use dfly_placement::NodePool;
 use dfly_stats::{BoxStats, Cdf};
 use dfly_topology::{NodeId, RouterId, Topology};
@@ -37,6 +38,11 @@ pub struct ExperimentResult {
     /// (`None` with audits off). A non-clean report means the packet
     /// engine corrupted its own invariants — see [`dfly_network::audit`].
     pub audit: Option<AuditReport>,
+    /// Telemetry report, when the network ran with
+    /// [`NetworkParams::obs`](dfly_network::NetworkParams) enabled
+    /// (`None` with telemetry off): event-loop profile, per-class
+    /// utilization samples, VC occupancy, UGAL decision counters.
+    pub obs: Option<ObsReport>,
 }
 
 impl ExperimentResult {
@@ -174,6 +180,7 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
     let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
     let metrics = net.metrics();
     let audit = net.audit_report();
+    let obs = net.obs_report();
     let app_routers: HashSet<RouterId> = placement.iter().map(|&n| topo.node_router(n)).collect();
 
     ExperimentResult {
@@ -187,6 +194,7 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
         events: net.events_processed(),
         background_messages: result.background_messages,
         audit,
+        obs,
     }
 }
 
@@ -243,6 +251,27 @@ mod tests {
             assert!(rep.is_clean(), "audit violations:\n{rep}");
             assert!(rep.events_audited > 0);
         }
+    }
+
+    #[test]
+    fn obs_report_surfaces_through_result() {
+        let mut cfg = small(
+            PlacementPolicy::Contiguous,
+            crate::config::RoutingPolicy::Adaptive,
+        );
+        assert!(!cfg.network.obs, "telemetry must be opt-in");
+        cfg.network.obs = true;
+        let r = run_experiment(&cfg);
+        let obs = r.obs.as_ref().expect("obs on");
+        assert_eq!(obs.profile.total_events(), r.events);
+        assert!(!obs.series.samples().is_empty());
+        assert!(obs.route.total() > 0, "adaptive run records decisions");
+
+        let off = run_experiment(&small(
+            PlacementPolicy::Contiguous,
+            crate::config::RoutingPolicy::Adaptive,
+        ));
+        assert!(off.obs.is_none(), "no report without opt-in");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: Ns,
     scheduled_total: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -79,6 +80,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: Ns::ZERO,
             scheduled_total: 0,
+            high_water: 0,
         }
     }
 
@@ -89,6 +91,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: Ns::ZERO,
             scheduled_total: 0,
+            high_water: 0,
         }
     }
 
@@ -107,6 +110,9 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(HeapEntry { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Schedule `event` to fire `delay` after the current time.
@@ -149,6 +155,15 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (a cheap progress metric).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Deepest the queue has ever been (pending events at any instant).
+    ///
+    /// A memory and churn diagnostic: a dragonfly run's event population
+    /// tracks in-flight packets, so the high-water mark exposes injection
+    /// bursts that `scheduled_total` averages away.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -237,6 +252,25 @@ mod tests {
         }
         while q.pop().is_some() {}
         assert_eq!(q.scheduled_total(), 10);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.schedule(Ns(1), ());
+        q.schedule(Ns(2), ());
+        q.schedule(Ns(3), ());
+        q.pop();
+        q.pop();
+        // Draining does not lower the mark...
+        assert_eq!(q.high_water(), 3);
+        q.schedule(Ns(4), ());
+        assert_eq!(q.high_water(), 3);
+        // ...and only a deeper peak raises it.
+        q.schedule(Ns(5), ());
+        q.schedule(Ns(6), ());
+        assert_eq!(q.high_water(), 4);
     }
 
     #[test]

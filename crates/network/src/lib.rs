@@ -31,11 +31,13 @@ pub mod audit;
 mod channel;
 pub mod metrics;
 pub mod net;
+mod obs;
 pub mod packet;
 pub mod params;
 pub mod routing;
 
 pub use audit::{AuditKind, AuditReport, AuditViolation};
+pub use dfly_obs::ObsReport;
 pub use metrics::{class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, TrafficTimeline};
 pub use net::{Delivery, Network, NetworkEvent};
 pub use packet::{MessageId, PacketId};

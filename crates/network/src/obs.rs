@@ -1,0 +1,242 @@
+//! The telemetry collector: the mutating half of the `dfly-obs` layer.
+//!
+//! `dfly-obs` holds the passive data structures (profiles, sample series,
+//! histograms, reports); this module owns the periodic sweep that fills
+//! them from live [`ChannelState`], the same privileged view the audit
+//! layer uses. Collection is strictly read-only with respect to the
+//! simulation: no event is scheduled, no counter of the engine is
+//! touched, so obs-on and obs-off runs are bit-identical
+//! (`tests/determinism.rs` enforces it).
+
+use crate::channel::ChannelState;
+use crate::metrics::class_index;
+use crate::params::NetworkParams;
+use dfly_engine::Ns;
+use dfly_obs::{
+    EventKind, EventLoopProfile, NetSample, ObsReport, OccupancyHistogram, RouteStats,
+    SampleSeries, OBS_CLASSES,
+};
+use std::time::Instant;
+
+/// Collects telemetry for one network over its lifetime.
+pub(crate) struct ObsCollector {
+    profile: EventLoopProfile,
+    series: SampleSeries,
+    vc_occupancy: OccupancyHistogram,
+    /// Next simulation time at which a sweep is due.
+    next_sample: Ns,
+    /// Start of the current sampling window.
+    last_sample_at: Ns,
+    /// Cumulative per-class busy time at the last sweep (delta base).
+    prev_busy_ns: [u64; 5],
+    /// Cumulative per-class saturated time at the last sweep.
+    prev_stall_ns: [u64; 5],
+    /// Cumulative UGAL counters at the last sweep.
+    prev_minimal: u64,
+    prev_nonminimal: u64,
+    /// Channels per class, computed on the first sweep (0 = unknown).
+    class_counts: [u64; 5],
+}
+
+impl ObsCollector {
+    /// Default sampling interval: 50 µs of simulation time — fine enough
+    /// to resolve the paper's millisecond-scale communication phases,
+    /// coarse enough that a long run stays within the series cap.
+    pub(crate) const DEFAULT_INTERVAL: Ns = Ns(50_000);
+
+    /// Fresh collector sampling every `interval` of simulation time.
+    pub(crate) fn new(interval: Ns) -> ObsCollector {
+        ObsCollector {
+            profile: EventLoopProfile::new(),
+            series: SampleSeries::new(interval),
+            vc_occupancy: OccupancyHistogram::new(),
+            next_sample: interval,
+            last_sample_at: Ns::ZERO,
+            prev_busy_ns: [0; 5],
+            prev_stall_ns: [0; 5],
+            prev_minimal: 0,
+            prev_nonminimal: 0,
+            class_counts: [0; 5],
+        }
+    }
+
+    /// Record one handled event into the profile.
+    #[inline]
+    pub(crate) fn note_event(&mut self, kind: EventKind, started: Instant, queue_depth: usize) {
+        self.profile.record(kind, started, queue_depth);
+    }
+
+    /// True once simulation time has reached the next sweep.
+    #[inline]
+    pub(crate) fn sample_due(&self, now: Ns) -> bool {
+        now >= self.next_sample
+    }
+
+    /// Sweep the channel state and push one sample covering the window
+    /// since the previous sweep. A zero-width window (two sweeps at the
+    /// same instant) is skipped — there is nothing to attribute to it.
+    pub(crate) fn sample(
+        &mut self,
+        now: Ns,
+        channels: &[ChannelState],
+        params: &NetworkParams,
+        route: Option<&RouteStats>,
+    ) {
+        if now <= self.last_sample_at {
+            return;
+        }
+        if self.class_counts == [0; 5] {
+            for ch in channels {
+                self.class_counts[class_index(ch.class)] += 1;
+            }
+        }
+
+        let mut busy_ns = [0u64; 5];
+        let mut stall_ns = [0u64; 5];
+        let mut queued = [0u64; 5];
+        for ch in channels {
+            let ci = class_index(ch.class);
+            busy_ns[ci] += ch.busy_time.as_nanos();
+            stall_ns[ci] += ch.saturated_until(now).as_nanos();
+            queued[ci] += ch.total_occupancy;
+            let cap = params.vc_capacity(ch.class) as f64;
+            for vc in &ch.vcs {
+                self.vc_occupancy.record(vc.occupancy as f64 / cap);
+            }
+        }
+
+        let window = (now - self.last_sample_at).as_nanos() as f64;
+        let mut sample = NetSample {
+            at: now,
+            ..NetSample::default()
+        };
+        for (i, _) in OBS_CLASSES.iter().enumerate() {
+            // Mean utilization across the class's channels. Transmission
+            // time is credited in full at tx start, so the window quotient
+            // can transiently exceed 1 — clamp.
+            let denom = window * self.class_counts[i].max(1) as f64;
+            let busy_delta = busy_ns[i].saturating_sub(self.prev_busy_ns[i]) as f64;
+            sample.util[i] = (busy_delta / denom).min(1.0);
+            sample.stall_ns[i] = stall_ns[i].saturating_sub(self.prev_stall_ns[i]);
+            sample.queued_bytes[i] = queued[i];
+            self.prev_busy_ns[i] = busy_ns[i];
+            self.prev_stall_ns[i] = stall_ns[i];
+        }
+        if let Some(r) = route {
+            sample.minimal_taken = r.minimal_taken - self.prev_minimal;
+            sample.nonminimal_taken = r.nonminimal_taken - self.prev_nonminimal;
+            self.prev_minimal = r.minimal_taken;
+            self.prev_nonminimal = r.nonminimal_taken;
+        }
+        self.series.push(sample);
+        self.last_sample_at = now;
+        self.next_sample = now + self.series.interval();
+    }
+
+    /// Bundle everything collected into a report. `queue_high_water` comes
+    /// from the event queue (it sees peaks between profiled events);
+    /// `route` is the cumulative UGAL ledger from the route computer.
+    pub(crate) fn report(&self, queue_high_water: usize, route: Option<&RouteStats>) -> ObsReport {
+        let mut profile = self.profile.clone();
+        profile.queue_high_water = profile.queue_high_water.max(queue_high_water);
+        ObsReport {
+            profile,
+            series: self.series.clone(),
+            vc_occupancy: self.vc_occupancy,
+            route: route.copied().unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_engine::Bandwidth;
+    use dfly_topology::ChannelClass;
+
+    fn channels() -> Vec<ChannelState> {
+        let mut out = Vec::new();
+        for class in [
+            ChannelClass::TerminalUp,
+            ChannelClass::LocalRow,
+            ChannelClass::Global,
+        ] {
+            let mut ch = ChannelState::new(class, Bandwidth::from_gib_per_sec(1), Ns(0));
+            ch.busy_time = Ns(10_000);
+            ch.total_occupancy = 512;
+            ch.vcs[0].occupancy = 512;
+            out.push(ch);
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_produces_window_deltas() {
+        let params = NetworkParams::default();
+        let mut c = ObsCollector::new(Ns(50_000));
+        assert!(!c.sample_due(Ns(49_999)));
+        assert!(c.sample_due(Ns(50_000)));
+
+        let chans = channels();
+        c.sample(Ns(50_000), &chans, &params, None);
+        let report = c.report(0, None);
+        let samples = report.series.samples();
+        assert_eq!(samples.len(), 1);
+        // One busy channel per swept class, 10µs busy over a 50µs window.
+        let ci = class_index(ChannelClass::Global);
+        assert!((samples[0].util[ci] - 0.2).abs() < 1e-9);
+        assert_eq!(samples[0].queued_bytes[ci], 512);
+        // Every VC of every channel contributes one occupancy reading.
+        assert_eq!(
+            report.vc_occupancy.readings as usize,
+            chans[0].vcs.len() * 3
+        );
+
+        // Second sweep with unchanged busy time: utilization drops to 0.
+        c.sample(Ns(100_000), &chans, &params, None);
+        let report = c.report(0, None);
+        assert_eq!(report.series.samples()[1].util[ci], 0.0);
+    }
+
+    #[test]
+    fn zero_width_window_is_skipped() {
+        let params = NetworkParams::default();
+        let mut c = ObsCollector::new(Ns(1_000));
+        let chans = channels();
+        c.sample(Ns(1_000), &chans, &params, None);
+        c.sample(Ns(1_000), &chans, &params, None);
+        assert_eq!(c.report(0, None).series.samples().len(), 1);
+    }
+
+    #[test]
+    fn utilization_clamped_even_with_txstart_credit() {
+        // busy_time credited at tx start can exceed the window.
+        let params = NetworkParams::default();
+        let mut c = ObsCollector::new(Ns(100));
+        let mut chans = channels();
+        chans[0].busy_time = Ns(1_000_000);
+        c.sample(Ns(100), &chans, &params, None);
+        let s = c.report(0, None).series.samples()[0];
+        assert!(s.util.iter().all(|&u| u <= 1.0), "unclamped: {:?}", s.util);
+    }
+
+    #[test]
+    fn route_deltas_per_window() {
+        let params = NetworkParams::default();
+        let chans = channels();
+        let mut c = ObsCollector::new(Ns(1_000));
+        let mut route = RouteStats::new();
+        route.record(false, 10);
+        route.record(true, 20);
+        c.sample(Ns(1_000), &chans, &params, Some(&route));
+        route.record(true, 30);
+        c.sample(Ns(2_000), &chans, &params, Some(&route));
+        let report = c.report(7, Some(&route));
+        let s = report.series.samples();
+        assert_eq!((s[0].minimal_taken, s[0].nonminimal_taken), (1, 1));
+        assert_eq!((s[1].minimal_taken, s[1].nonminimal_taken), (0, 1));
+        // The report carries the cumulative ledger and the queue peak.
+        assert_eq!(report.route.total(), 3);
+        assert_eq!(report.profile.queue_high_water, 7);
+    }
+}

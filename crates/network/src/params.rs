@@ -30,6 +30,14 @@ pub struct NetworkParams {
     /// in release builds. [`Network::set_audit`](crate::Network::set_audit)
     /// overrides it on a fresh network.
     pub audit: bool,
+    /// Enable the telemetry layer (see `dfly-obs`): event-loop profiling,
+    /// periodic per-class utilization/occupancy samples, and UGAL decision
+    /// counters. Like auditing, telemetry observes only — obs-on and
+    /// obs-off runs are bit-identical in every simulation output — but it
+    /// costs time per event, so it defaults to off everywhere.
+    /// [`Network::set_obs`](crate::Network::set_obs) overrides it on a
+    /// fresh network.
+    pub obs: bool,
 }
 
 impl Default for NetworkParams {
@@ -43,6 +51,7 @@ impl Default for NetworkParams {
             global_vc_bytes: 16 * 1024,
             adaptive_bias_bytes: 32768,
             audit: cfg!(debug_assertions),
+            obs: false,
         }
     }
 }
@@ -98,6 +107,7 @@ impl ToKv for NetworkParams {
         kv(&mut out, "global_vc_bytes", self.global_vc_bytes);
         kv(&mut out, "adaptive_bias_bytes", self.adaptive_bias_bytes);
         kv(&mut out, "audit", self.audit);
+        kv(&mut out, "obs", self.obs);
         out
     }
 }
@@ -115,6 +125,7 @@ mod tests {
         assert_eq!(p.vc_capacity(ChannelClass::LocalCol), 8 * 1024);
         assert_eq!(p.vc_capacity(ChannelClass::Global), 16 * 1024);
         assert_eq!(p.audit, cfg!(debug_assertions));
+        assert!(!p.obs, "telemetry must be opt-in in every build profile");
         p.validate().unwrap();
     }
 

@@ -14,6 +14,7 @@
 
 use crate::params::NetworkParams;
 use dfly_engine::{Bytes, Xoshiro256};
+use dfly_obs::RouteStats;
 use dfly_topology::paths;
 use dfly_topology::{ChannelId, NodeId, RouterId, Topology};
 
@@ -52,6 +53,9 @@ pub struct RouteComputer {
     /// during adaptive selection. Swapped with `scratch` when a candidate
     /// wins, so the per-packet hot path allocates nothing.
     best: Vec<ChannelId>,
+    /// UGAL decision counters, recorded only when telemetry is on
+    /// (`None` costs one branch per adaptive decision).
+    stats: Option<RouteStats>,
 }
 
 impl RouteComputer {
@@ -62,12 +66,24 @@ impl RouteComputer {
             rng,
             scratch: Vec::with_capacity(paths::MAX_ROUTER_HOPS),
             best: Vec::with_capacity(paths::MAX_ROUTER_HOPS),
+            stats: None,
         }
     }
 
     /// The policy in use.
     pub fn routing(&self) -> Routing {
         self.routing
+    }
+
+    /// Start recording UGAL decision counters (telemetry). Recording does
+    /// not change which routes are chosen.
+    pub fn enable_stats(&mut self) {
+        self.stats = Some(RouteStats::new());
+    }
+
+    /// The recorded UGAL decision counters, if recording was enabled.
+    pub fn stats(&self) -> Option<&RouteStats> {
+        self.stats.as_ref()
     }
 
     /// Compute the router-to-router channel sequence for a packet from
@@ -140,12 +156,18 @@ impl RouteComputer {
         let mut best_score = u64::MAX;
         self.best.clear();
 
+        // Per-family bests, kept so telemetry can report the decision and
+        // its margin. Tracking two integers is free; recording is gated.
+        let mut best_minimal = u64::MAX;
+        let mut best_nonminimal = u64::MAX;
+
         // Two minimal candidates (different random gateway / intermediate
         // choices).
         for _ in 0..2 {
             self.scratch.clear();
             paths::push_minimal(topo, src_r, dst_r, &mut self.rng, &mut self.scratch);
             let score = Self::ugal_score(&self.scratch, 0, &occupancy);
+            best_minimal = best_minimal.min(score);
             if score < best_score {
                 best_score = score;
                 std::mem::swap(&mut self.best, &mut self.scratch);
@@ -159,6 +181,7 @@ impl RouteComputer {
             paths::push_minimal(topo, inter, dst_r, &mut self.rng, &mut self.scratch);
             if self.scratch.len() <= paths::MAX_ROUTER_HOPS {
                 let score = Self::ugal_score(&self.scratch, params.adaptive_bias_bytes, &occupancy);
+                best_nonminimal = best_nonminimal.min(score);
                 if score < best_score {
                     best_score = score;
                     std::mem::swap(&mut self.best, &mut self.scratch);
@@ -166,6 +189,19 @@ impl RouteComputer {
             }
         }
         out.extend_from_slice(&self.best);
+        if let Some(stats) = &mut self.stats {
+            // Ties go to the earliest candidate and minimal candidates run
+            // first, so a tie is a minimal decision.
+            let took_nonminimal = best_nonminimal < best_minimal;
+            let margin = if best_nonminimal == u64::MAX {
+                0 // no valid non-minimal candidate: a walkover, not a win
+            } else if took_nonminimal {
+                best_minimal - best_nonminimal
+            } else {
+                best_nonminimal - best_minimal
+            };
+            stats.record(took_nonminimal, margin);
+        }
     }
 
     /// UGAL candidate score: first-hop queued bytes x path hops, plus the
@@ -372,6 +408,76 @@ mod tests {
             m_hops += rm.len();
         }
         assert!(v_hops > m_hops, "valiant {v_hops} !> minimal {m_hops}");
+    }
+
+    #[test]
+    fn stats_recording_never_changes_routes() {
+        let t = topo();
+        let params = NetworkParams::default();
+        let mut plain = mk(Routing::Adaptive);
+        let mut recorded = mk(Routing::Adaptive);
+        recorded.enable_stats();
+        let occ = |c: ChannelId| (c.0 as u64 * 131) % 9000;
+        for i in 0..200u32 {
+            let s = NodeId(i % t.config().total_nodes());
+            let d = NodeId((i * 29 + 3) % t.config().total_nodes());
+            let mut ra = Vec::new();
+            let mut rb = Vec::new();
+            plain.compute(&t, &params, s, d, occ, &mut ra);
+            recorded.compute(&t, &params, s, d, occ, &mut rb);
+            assert_eq!(ra, rb, "stats recording perturbed a route");
+        }
+        let stats = recorded.stats().unwrap();
+        assert_eq!(stats.total(), 200, "every adaptive decision recorded");
+        assert!(plain.stats().is_none());
+    }
+
+    #[test]
+    fn stats_see_forced_detours_as_nonminimal() {
+        // Congest everything 5-hops-cheap; with all first hops equally
+        // loaded the bias keeps decisions minimal. Then congest only the
+        // minimal first hops: recorded decisions must flip non-minimal.
+        let t = topo();
+        let params = NetworkParams::default();
+        let src = NodeId(0);
+        let dst_router = t.router_at(dfly_topology::GroupId(0), 1, 3);
+        let dst = t.router_nodes(dst_router).next().unwrap();
+
+        let mut rc = mk(Routing::Adaptive);
+        let mut minimal_first = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let mut route = Vec::new();
+            rc.compute(&t, &params, src, dst, |_| 0, &mut route);
+            minimal_first.insert(route[0]);
+        }
+
+        let mut rc = mk(Routing::Adaptive);
+        rc.enable_stats();
+        for _ in 0..60 {
+            let mut route = Vec::new();
+            rc.compute(
+                &t,
+                &params,
+                src,
+                dst,
+                |c| {
+                    if minimal_first.contains(&c) {
+                        8 << 20
+                    } else {
+                        0
+                    }
+                },
+                &mut route,
+            );
+        }
+        let stats = rc.stats().unwrap();
+        assert_eq!(stats.total(), 60);
+        assert!(
+            stats.nonminimal_taken > 30,
+            "only {}/60 decisions non-minimal under forced congestion",
+            stats.nonminimal_taken
+        );
+        assert!(stats.mean_margin() > 0.0);
     }
 
     #[test]

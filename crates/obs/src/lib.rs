@@ -1,0 +1,40 @@
+//! # dfly-obs
+//!
+//! Telemetry data model for the dragonfly simulator — the continuous
+//! counter view that production congestion studies (Jha et al.'s
+//! interconnect congestion study, Kang et al.'s Dragonfly+ interference
+//! model) are built on, and that the paper's own figures *read*:
+//! per-link-class utilization over time, credit-stall time, VC occupancy,
+//! and adaptive-vs-minimal routing decisions.
+//!
+//! This crate holds the passive data structures and their sinks:
+//!
+//! * [`EventLoopProfile`] — per-event-type counts and wall-clock time,
+//!   event-queue depth high-water mark, events/sec;
+//! * [`SampleSeries`] / [`NetSample`] — the periodic in-simulation sample
+//!   stream (per-class utilization, queued bytes, credit-stall time,
+//!   UGAL decision deltas);
+//! * [`OccupancyHistogram`] — VC buffer occupancy distribution across
+//!   samples;
+//! * [`RouteStats`] — UGAL decision counters (minimal vs non-minimal
+//!   winners and the margin distribution between the two families);
+//! * [`ObsReport`] — everything above bundled per run, with
+//!   `results/obs_*.csv` sinks (via [`dfly_stats::CsvWriter`]) and an
+//!   ASCII sparkline summary.
+//!
+//! The *hooks* that feed these structures live in `dfly-network` (the
+//! collector walks channel state the same way the audit layer does) and
+//! are opt-in via `NetworkParams::obs`: telemetry observes, it never
+//! perturbs — obs-on and obs-off runs are bit-identical in every
+//! simulation output, and the obs-off hot path pays one branch per hook
+//! (proved <2% by `bench/benches/obs_benches.rs`).
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod report;
+pub mod sampler;
+
+pub use profile::{EventKind, EventLoopProfile};
+pub use report::ObsReport;
+pub use sampler::{NetSample, OccupancyHistogram, RouteStats, SampleSeries, OBS_CLASSES};

@@ -1,0 +1,159 @@
+//! Event-loop profiling: what the simulator spends its wall-clock on.
+//!
+//! The event loop dispatches four kinds of events; knowing their counts,
+//! their wall-clock shares, and how deep the event queue gets is the
+//! first question of every performance investigation ("is this run
+//! arbitration-bound or arrival-bound?"). The profile is fed by the
+//! network's `step()` when telemetry is on; wall-clock time is measured
+//! with `std::time::Instant` around each handler, which is fine for an
+//! opt-in diagnostic but is exactly why telemetry is off by default.
+
+use std::time::Instant;
+
+/// The event types of the packet engine's loop, as a dense index.
+///
+/// Mirrors `dfly-network`'s internal `NetEvent` discriminants; kept here
+/// so the profile can be rendered without depending on the network crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A message's packets entered the source NIC queue.
+    Inject,
+    /// A channel finished serializing a packet.
+    TxDone,
+    /// A packet landed at its next buffer (or its destination).
+    Arrive,
+    /// A caller-requested wakeup fired.
+    Wakeup,
+}
+
+impl EventKind {
+    /// All kinds, in dense-index order.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::Inject,
+        EventKind::TxDone,
+        EventKind::Arrive,
+        EventKind::Wakeup,
+    ];
+
+    /// Dense index of this kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::Inject => 0,
+            EventKind::TxDone => 1,
+            EventKind::Arrive => 2,
+            EventKind::Wakeup => 3,
+        }
+    }
+
+    /// Stable label for CSV and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Inject => "inject",
+            EventKind::TxDone => "tx_done",
+            EventKind::Arrive => "arrive",
+            EventKind::Wakeup => "wakeup",
+        }
+    }
+}
+
+/// Wall-clock profile of an event loop: per-kind counts and time, queue
+/// depth high-water mark, and overall event throughput.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLoopProfile {
+    /// Events handled, by [`EventKind::index`].
+    pub counts: [u64; 4],
+    /// Wall-clock nanoseconds spent in each kind's handler.
+    pub wall_ns: [u64; 4],
+    /// Deepest the event queue ever got (pending events).
+    pub queue_high_water: usize,
+    /// Wall-clock nanoseconds from profile start to the last event.
+    pub total_wall_ns: u64,
+}
+
+impl EventLoopProfile {
+    /// Fresh, empty profile.
+    pub fn new() -> EventLoopProfile {
+        EventLoopProfile::default()
+    }
+
+    /// Record one handled event: its kind, the `Instant` taken just
+    /// before its handler ran, and the queue depth observed after it.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, started: Instant, queue_depth: usize) {
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let i = kind.index();
+        self.counts[i] += 1;
+        self.wall_ns[i] += elapsed;
+        self.total_wall_ns += elapsed;
+        if queue_depth > self.queue_high_water {
+            self.queue_high_water = queue_depth;
+        }
+    }
+
+    /// Total events profiled.
+    pub fn total_events(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events handled per wall-clock second (0 if nothing was profiled).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.total_wall_ns == 0 {
+            return 0.0;
+        }
+        self.total_events() as f64 / (self.total_wall_ns as f64 / 1e9)
+    }
+
+    /// Wall-clock share of one event kind, as a fraction of the profiled
+    /// total (0 if nothing was profiled).
+    pub fn wall_share(&self, kind: EventKind) -> f64 {
+        if self.total_wall_ns == 0 {
+            return 0.0;
+        }
+        self.wall_ns[kind.index()] as f64 / self.total_wall_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_index_densely_and_label() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn record_accumulates_counts_and_high_water() {
+        let mut p = EventLoopProfile::new();
+        let t = Instant::now();
+        p.record(EventKind::Inject, t, 3);
+        p.record(EventKind::Arrive, t, 10);
+        p.record(EventKind::Arrive, t, 7);
+        assert_eq!(p.counts[EventKind::Inject.index()], 1);
+        assert_eq!(p.counts[EventKind::Arrive.index()], 2);
+        assert_eq!(p.total_events(), 3);
+        assert_eq!(p.queue_high_water, 10);
+    }
+
+    #[test]
+    fn empty_profile_rates_are_zero() {
+        let p = EventLoopProfile::new();
+        assert_eq!(p.events_per_sec(), 0.0);
+        assert_eq!(p.wall_share(EventKind::TxDone), 0.0);
+    }
+
+    #[test]
+    fn wall_shares_sum_to_one_when_nonzero() {
+        let mut p = EventLoopProfile::new();
+        p.counts = [1, 1, 1, 1];
+        p.wall_ns = [10, 20, 30, 40];
+        p.total_wall_ns = 100;
+        let sum: f64 = EventKind::ALL.iter().map(|&k| p.wall_share(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.events_per_sec() > 0.0);
+    }
+}

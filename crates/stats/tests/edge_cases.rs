@@ -1,0 +1,295 @@
+//! Edge-case and property tests for the statistics layer.
+//!
+//! The telemetry sinks (`dfly-obs`) and the golden-run regression suite
+//! both stand on `dfly-stats`: a wrong quantile or a silently-truncated
+//! CSV corrupts every figure downstream. This suite pins the behavior on
+//! degenerate inputs (empty, single-sample, all-equal), the `CsvWriter`
+//! failure paths, and — via the in-tree `dfly_engine::proptest` harness —
+//! the order/consistency invariants of the summaries on random data.
+
+use dfly_engine::proptest::{check, gen, Config};
+use dfly_stats::{mean, percentile, sparkline, stddev, BoxStats, Cdf, CsvWriter};
+use std::io::{self, Write};
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_inputs_are_explicit_not_garbage() {
+    // Empty data must yield an explicit "nothing" (None / 0.0 / empty),
+    // never a NaN that would propagate into a CSV.
+    assert!(BoxStats::from_samples(&[]).is_none());
+    assert_eq!(mean(&[]), 0.0);
+    assert_eq!(stddev(&[]), 0.0);
+    let c = Cdf::from_samples([]);
+    assert!(c.is_empty());
+    assert_eq!(c.len(), 0);
+    assert_eq!(c.fraction_at_or_below(f64::MAX), 0.0);
+    assert_eq!(c.min(), None);
+    assert_eq!(c.max(), None);
+    assert!(c.steps().is_empty());
+    assert!(c.sampled_points(2).is_empty());
+    assert_eq!(sparkline(&[]), "");
+}
+
+#[test]
+#[should_panic(expected = "quantile of empty CDF")]
+fn empty_cdf_quantile_panics() {
+    let _ = Cdf::from_samples([]).quantile(0.5);
+}
+
+#[test]
+fn single_sample_summaries_collapse_to_it() {
+    let s = BoxStats::from_samples(&[3.25]).unwrap();
+    assert_eq!(
+        (s.min, s.q1, s.median, s.q3, s.max, s.mean, s.n),
+        (3.25, 3.25, 3.25, 3.25, 3.25, 3.25, 1)
+    );
+    assert_eq!(s.iqr(), 0.0);
+    assert_eq!(s.range(), 0.0);
+    let c = Cdf::from_samples([3.25]);
+    for p in [0.0, 0.3, 1.0] {
+        assert_eq!(c.quantile(p), 3.25);
+    }
+    assert_eq!(c.steps(), vec![(3.25, 100.0)]);
+    assert_eq!(percentile(&[3.25], 99.0), 3.25);
+}
+
+#[test]
+fn all_equal_samples_have_zero_spread() {
+    let data = [7.0; 64];
+    let s = BoxStats::from_samples(&data).unwrap();
+    assert_eq!((s.min, s.median, s.max, s.mean), (7.0, 7.0, 7.0, 7.0));
+    assert_eq!(s.iqr(), 0.0);
+    assert_eq!(s.variability_percent(), 0.0);
+    assert_eq!(stddev(&data), 0.0);
+    let c = Cdf::from_samples(data);
+    assert_eq!(c.percent_at_or_below(7.0), 100.0);
+    assert_eq!(c.percent_at_or_below(6.999), 0.0);
+    // A flat series renders as a flat sparkline, one glyph per point.
+    let line = sparkline(&[7.0, 7.0, 7.0]);
+    assert_eq!(line.chars().count(), 3);
+    assert_eq!(
+        line.chars().collect::<std::collections::HashSet<_>>().len(),
+        1
+    );
+}
+
+#[test]
+fn zero_median_variability_is_defined() {
+    // All-zero comm times (a degenerate run) must not divide by zero.
+    let s = BoxStats::from_samples(&[0.0, 0.0, 0.0]).unwrap();
+    assert_eq!(s.variability_percent(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CsvWriter failure paths
+// ---------------------------------------------------------------------------
+
+/// A writer that fails after `ok_writes` successful calls.
+#[derive(Debug)]
+struct FailingWriter {
+    ok_writes: usize,
+}
+
+impl Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.ok_writes == 0 {
+            return Err(io::Error::new(io::ErrorKind::Other, "disk full"));
+        }
+        self.ok_writes -= 1;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::Other, "flush failed"))
+    }
+}
+
+#[test]
+fn csv_io_errors_are_propagated_not_swallowed() {
+    // Header write fails immediately.
+    let err = CsvWriter::from_writer(FailingWriter { ok_writes: 0 }, &["a"])
+        .map(|_| ())
+        .unwrap_err();
+    assert_eq!(err.to_string(), "disk full");
+
+    // Row write fails after a good header (header = several small writes;
+    // give it plenty, then exhaust).
+    let mut w = CsvWriter::from_writer(FailingWriter { ok_writes: 2 }, &["a"]).unwrap();
+    assert!(w.row(&["x"]).and_then(|_| w.row(&["y"])).is_err());
+
+    // finish() surfaces flush errors.
+    let w = CsvWriter::from_writer(FailingWriter { ok_writes: 100 }, &["a"]).unwrap();
+    assert_eq!(w.finish().unwrap_err().to_string(), "flush failed");
+}
+
+#[test]
+fn csv_create_fails_when_parent_is_a_file() {
+    let dir = std::env::temp_dir().join("dfly_stats_edge_create_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("not_a_dir");
+    std::fs::write(&blocker, b"file").unwrap();
+    // Parent path exists but is a regular file: create_dir_all must fail
+    // and CsvWriter::create must report it rather than panic.
+    assert!(CsvWriter::create(blocker.join("x.csv"), &["a"]).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[should_panic(expected = "arity")]
+fn csv_row_arity_is_enforced_on_every_row() {
+    let mut w = CsvWriter::from_writer(Vec::new(), &["a", "b", "c"]).unwrap();
+    w.row(&["1", "2", "3"]).unwrap();
+    let _ = w.row(&["1", "2"]);
+}
+
+#[test]
+#[should_panic(expected = "at least one column")]
+fn csv_empty_header_rejected() {
+    let _ = CsvWriter::from_writer(Vec::new(), &[]);
+}
+
+// ---------------------------------------------------------------------------
+// Properties on random data (in-tree harness, no external crates)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn box_stats_ordered_and_bounded_property() {
+    check(
+        "box_stats_ordered_and_bounded",
+        &Config::with_cases(128),
+        |rng| gen::vec_f64(rng, 1, 200, -1e6, 1e6),
+        |data| {
+            let s = BoxStats::from_samples(data).expect("non-empty");
+            if !(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max) {
+                return Err(format!("five-number summary out of order: {s:?}"));
+            }
+            if s.mean < s.min || s.mean > s.max {
+                return Err(format!("mean {} outside [min, max]", s.mean));
+            }
+            if s.n != data.len() {
+                return Err(format!("n {} != len {}", s.n, data.len()));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cdf_quantile_and_fraction_are_inverse_property() {
+    check(
+        "cdf_quantile_fraction_inverse",
+        &Config::with_cases(128),
+        |rng| {
+            (
+                gen::vec_f64(rng, 1, 200, 0.0, 1e3),
+                rng.next_f64(), // fraction in [0, 1)
+            )
+        },
+        |(data, frac)| {
+            let c = Cdf::from_samples(data.iter().copied());
+            let q = c.quantile(*frac);
+            // The mass at or below quantile(frac) approximates frac to
+            // within one sample's weight (rank interpolation lands q
+            // between the two samples bracketing rank frac*(n-1)).
+            let covered = c.fraction_at_or_below(q);
+            let slack = 1.0 / data.len() as f64 + 1e-9;
+            if covered + slack < *frac {
+                return Err(format!(
+                    "quantile({frac}) = {q} but only {covered} of mass <= it"
+                ));
+            }
+            if q < c.min().unwrap() || q > c.max().unwrap() {
+                return Err(format!("quantile {q} outside sample range"));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cdf_steps_monotone_property() {
+    check(
+        "cdf_steps_monotone",
+        &Config::with_cases(64),
+        |rng| gen::vec_f64(rng, 1, 300, -50.0, 50.0),
+        |data| {
+            let steps = Cdf::from_samples(data.iter().copied()).steps();
+            for w in steps.windows(2) {
+                if w[1].0 < w[0].0 || w[1].1 <= w[0].1 {
+                    return Err(format!("non-monotone steps: {:?} -> {:?}", w[0], w[1]));
+                }
+            }
+            if (steps.last().unwrap().1 - 100.0).abs() > 1e-9 {
+                return Err("last step != 100%".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn csv_roundtrip_field_count_property() {
+    // Whatever the field contents (commas, quotes, newlines), a reader
+    // honoring RFC-4180 quoting sees exactly `columns` fields per row.
+    check(
+        "csv_roundtrip_field_count",
+        &Config::with_cases(64),
+        |rng| {
+            let alphabet = [",", "\"", "\n", "a", "1", " "];
+            gen::vec_with(rng, 1, 5, |r| {
+                let len = r.range_inclusive(0, 8) as usize;
+                (0..len)
+                    .map(|_| alphabet[r.index(alphabet.len())])
+                    .collect::<String>()
+            })
+        },
+        |fields| {
+            let mut w = CsvWriter::from_writer(Vec::new(), &vec!["h"; fields.len()]).unwrap();
+            w.row(fields).unwrap();
+            let bytes = w.finish().unwrap();
+            let text = String::from_utf8(bytes).unwrap();
+            // Minimal RFC-4180 parse of the second record.
+            let mut rows = Vec::new();
+            let mut field = String::new();
+            let mut row = Vec::new();
+            let mut in_quotes = false;
+            let mut chars = text.chars().peekable();
+            while let Some(ch) = chars.next() {
+                match ch {
+                    '"' if in_quotes => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    '"' => in_quotes = true,
+                    ',' if !in_quotes => row.push(std::mem::take(&mut field)),
+                    '\n' if !in_quotes => {
+                        row.push(std::mem::take(&mut field));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    other => field.push(other),
+                }
+            }
+            if rows.len() != 2 {
+                return Err(format!("expected header + 1 row, parsed {}", rows.len()));
+            }
+            if rows[1].len() != fields.len() {
+                return Err(format!(
+                    "wrote {} fields, parsed {}",
+                    fields.len(),
+                    rows[1].len()
+                ));
+            }
+            if rows[1] != *fields {
+                return Err(format!("roundtrip mismatch: {:?} != {:?}", rows[1], fields));
+            }
+            Ok(())
+        },
+    );
+}

@@ -7,7 +7,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+cargo build --offline --workspace --examples
 cargo test -q --offline --workspace
 cargo bench --no-run --offline --workspace
 
-echo "verify.sh: offline build + tests + bench compile all passed."
+echo "verify.sh: offline build + examples + tests + bench compile all passed."

@@ -14,6 +14,8 @@
 //! * [`placement`] — the paper's five job placement policies
 //! * [`workloads`] — synthetic CR / FB / AMG traces and background traffic
 //! * [`stats`] — boxplot summaries, CDFs, tables, CSV
+//! * [`obs`] — opt-in telemetry: event-loop profile, periodic link/VC/
+//!   UGAL samplers, `obs_*.csv` sinks (collection lives in `network`)
 //! * [`core`] — experiment configs, the MPI-like rank engine, runners,
 //!   sweeps, and interference studies
 //!
@@ -35,6 +37,7 @@
 pub use dfly_core as core;
 pub use dfly_engine as engine;
 pub use dfly_network as network;
+pub use dfly_obs as obs;
 pub use dfly_placement as placement;
 pub use dfly_stats as stats;
 pub use dfly_topology as topology;

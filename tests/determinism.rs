@@ -145,6 +145,79 @@ fn audited_runs_are_bit_identical_to_unaudited() {
 }
 
 #[test]
+fn observed_runs_are_bit_identical_to_unobserved() {
+    // The telemetry layer (dfly-obs) must be a pure observer, exactly like
+    // the auditor: profiling wall-clock, sweeping channel state, and
+    // counting UGAL decisions may not perturb a single event, timestamp,
+    // or byte of the simulation.
+    let mut observed = cfg();
+    observed.network.obs = true;
+    observed.background = Some(BackgroundConfig {
+        spec: BackgroundSpec::bursty(128 * 1024, Ns::from_us(60), 4, 0),
+    });
+    let mut plain = observed.clone();
+    plain.network.obs = false;
+
+    let o = run_experiment(&observed);
+    let p = run_experiment(&plain);
+    let report = o.obs.as_ref().expect("obs enabled");
+    assert!(p.obs.is_none());
+    // The samplers really ran (tamper check: an accidentally-disabled
+    // collector would also pass the identity assertions below).
+    assert_eq!(report.profile.total_events(), o.events);
+    assert!(!report.series.samples().is_empty());
+    assert!(report.vc_occupancy.readings > 0);
+    for w in report.series.samples().windows(2) {
+        assert!(w[1].at > w[0].at, "sample timestamps must be monotone");
+    }
+    assert!(report
+        .series
+        .samples()
+        .iter()
+        .all(|s| s.util.iter().all(|&u| (0.0..=1.0).contains(&u))));
+
+    assert_eq!(o.rank_comm_times, p.rank_comm_times);
+    assert_eq!(o.rank_avg_hops, p.rank_avg_hops);
+    assert_eq!(o.placement, p.placement);
+    assert_eq!(o.job_end, p.job_end);
+    assert_eq!(o.events, p.events);
+    assert_eq!(o.background_messages, p.background_messages);
+    let to: Vec<_> = o.metrics.channels().collect();
+    let tp: Vec<_> = p.metrics.channels().collect();
+    assert_eq!(to, tp, "observed run perturbed channel metrics");
+}
+
+#[test]
+fn observed_sweep_is_bit_identical_across_all_ten_configs() {
+    // Whole-grid identity guard, obs-on vs obs-off: every placement x
+    // routing cell must produce the identical simulation. (The config
+    // *echo* legitimately differs — it records the obs flag — so this
+    // compares the results, not `sweep_csv` bytes.)
+    let mut with_obs = cfg();
+    with_obs.msg_scale = 0.05;
+    let mut without = with_obs.clone();
+    with_obs.network.obs = true;
+    without.network.obs = false;
+    let go = run_config_grid(&with_obs, &ConfigLabel::all_ten());
+    let gp = run_config_grid(&without, &ConfigLabel::all_ten());
+    assert_eq!(go.len(), gp.len());
+    for (o, p) in go.iter().zip(&gp) {
+        assert_eq!(o.label, p.label);
+        assert!(o.result.obs.is_some() && p.result.obs.is_none());
+        assert_eq!(
+            o.result.rank_comm_times, p.result.rank_comm_times,
+            "telemetry perturbed cell {}",
+            o.label
+        );
+        assert_eq!(o.result.events, p.result.events);
+        assert_eq!(o.result.job_end, p.result.job_end);
+        let to: Vec<_> = o.result.metrics.channels().collect();
+        let tp: Vec<_> = p.result.metrics.channels().collect();
+        assert_eq!(to, tp, "telemetry perturbed channels of {}", o.label);
+    }
+}
+
+#[test]
 fn seed_streams_are_independent() {
     // Changing only the routing policy must not change the placement
     // (each subsystem derives its own RNG stream from the master seed).
