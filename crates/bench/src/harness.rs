@@ -31,6 +31,13 @@ pub struct RunArgs {
     /// (`--scale X`). 1.0 reproduces the mode unchanged; the golden
     /// regression suite runs the figure pipelines at a small fraction.
     pub scale: f64,
+    /// Profiling stride under `--obs` (`--obs-stride N`): every event is
+    /// counted, every Nth per kind is wall-clock timed. `None` keeps the
+    /// [`NetworkParams`](dfly_core::config::ExperimentConfig) default.
+    pub obs_stride: Option<u32>,
+    /// Use the coarse monotonic clock for handler timing
+    /// (`--obs-coarse`): ~4x cheaper reads, millisecond granularity.
+    pub obs_coarse: bool,
 }
 
 impl RunArgs {
@@ -41,6 +48,8 @@ impl RunArgs {
             out_dir: out_dir.into(),
             obs: false,
             scale: 1.0,
+            obs_stride: None,
+            obs_coarse: false,
         }
     }
 
@@ -52,6 +61,10 @@ impl RunArgs {
             Mode::Full => ExperimentConfig::theta(app),
         };
         cfg.network.obs = self.obs;
+        if let Some(stride) = self.obs_stride {
+            cfg.network.obs_stride = stride;
+        }
+        cfg.network.obs_coarse_clock = self.obs_coarse;
         cfg.msg_scale *= self.scale;
         cfg
     }
@@ -71,8 +84,8 @@ impl RunArgs {
     }
 }
 
-/// Parse `--quick` / `--full` / `--out DIR` / `--obs` / `--scale X`
-/// from `std::env::args`.
+/// Parse `--quick` / `--full` / `--out DIR` / `--obs` / `--scale X` /
+/// `--obs-stride N` / `--obs-coarse` from `std::env::args`.
 pub fn parse_args() -> RunArgs {
     let mut parsed = RunArgs::new(Mode::Quick, "results");
     let mut args = std::env::args().skip(1);
@@ -84,13 +97,21 @@ pub fn parse_args() -> RunArgs {
                 parsed.out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--obs" => parsed.obs = true,
+            "--obs-stride" => {
+                let v = args.next().expect("--obs-stride needs a count");
+                parsed.obs_stride = Some(v.parse().expect("--obs-stride needs an integer"));
+                assert!(parsed.obs_stride != Some(0), "--obs-stride must be >= 1");
+            }
+            "--obs-coarse" => parsed.obs_coarse = true,
             "--scale" => {
                 let v = args.next().expect("--scale needs a factor");
                 parsed.scale = v.parse().expect("--scale needs a number");
                 assert!(parsed.scale > 0.0, "--scale must be positive");
             }
             "--help" | "-h" => {
-                eprintln!("usage: [--quick|--full] [--out DIR] [--obs] [--scale X]");
+                eprintln!(
+                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown argument: {other}"),
@@ -318,6 +339,16 @@ mod tests {
         let cfg = args.base_config(AppKind::CrystalRouter);
         assert!(cfg.network.obs);
         assert!((cfg.msg_scale - base.msg_scale * 0.25).abs() < 1e-12);
+        // No override: the NetworkParams defaults stand.
+        assert_eq!(cfg.network.obs_stride, base.network.obs_stride);
+        assert!(!cfg.network.obs_coarse_clock);
+        cfg.validate().unwrap();
+
+        args.obs_stride = Some(16);
+        args.obs_coarse = true;
+        let cfg = args.base_config(AppKind::CrystalRouter);
+        assert_eq!(cfg.network.obs_stride, 16);
+        assert!(cfg.network.obs_coarse_clock);
         cfg.validate().unwrap();
     }
 

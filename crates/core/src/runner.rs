@@ -3,7 +3,7 @@
 use crate::config::ExperimentConfig;
 use crate::mpi::{BackgroundRunner, MpiDriver};
 use dfly_engine::{Ns, Xoshiro256};
-use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics};
+use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics, SimArena};
 use dfly_obs::ObsReport;
 use dfly_placement::NodePool;
 use dfly_stats::{BoxStats, Cdf};
@@ -135,6 +135,21 @@ pub fn prepare_topology(config: &ExperimentConfig) -> Arc<Topology> {
 /// equivalence test in `tests/refactor_equivalence.rs` holds this path to
 /// bit-identical output against a fresh per-cell build.
 pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> ExperimentResult {
+    execute_experiment_with_arena(config, topo, &mut SimArena::new())
+}
+
+/// [`execute_experiment`] with buffer recycling: the network is built
+/// over `arena`'s warm allocations and donates them back when the run
+/// finishes. Sweeps keep one arena per worker thread so consecutive grid
+/// cells skip re-growing packet/message/telemetry buffers from zero.
+///
+/// Recycling is capacity-only, so results are bit-identical to the
+/// fresh-arena path (`tests/determinism.rs` covers both).
+pub fn execute_experiment_with_arena(
+    config: &ExperimentConfig,
+    topo: Arc<Topology>,
+    arena: &mut SimArena,
+) -> ExperimentResult {
     config.validate().expect("invalid experiment config");
     assert_eq!(
         topo.config(),
@@ -163,8 +178,14 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
     // Workload.
     let trace = generate(&config.app.spec(config.msg_scale, workload_seed));
 
-    // Network.
-    let mut net = Network::new(topo.clone(), config.network, config.routing, routing_seed);
+    // Network, over the arena's recycled buffers (cold on the first run).
+    let mut net = Network::with_arena(
+        topo.clone(),
+        config.network,
+        config.routing,
+        routing_seed,
+        arena,
+    );
 
     // Background job on the complement nodes.
     let background = config.background.as_ref().map(|bg| {
@@ -182,6 +203,8 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
     let audit = net.audit_report();
     let obs = net.obs_report();
     let app_routers: HashSet<RouterId> = placement.iter().map(|&n| topo.node_router(n)).collect();
+    let events = net.events_processed();
+    net.recycle(arena);
 
     ExperimentResult {
         config: config.clone(),
@@ -191,7 +214,7 @@ pub fn execute_experiment(config: &ExperimentConfig, topo: Arc<Topology>) -> Exp
         metrics,
         app_routers,
         job_end: result.job_end,
-        events: net.events_processed(),
+        events,
         background_messages: result.background_messages,
         audit,
         obs,

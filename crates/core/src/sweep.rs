@@ -12,7 +12,8 @@
 
 use crate::config::ExperimentConfig;
 use crate::report::ConfigLabel;
-use crate::runner::{execute_experiment, prepare_topology, ExperimentResult};
+use crate::runner::{execute_experiment_with_arena, prepare_topology, ExperimentResult};
+use dfly_network::SimArena;
 use dfly_topology::Topology;
 use std::sync::{Arc, Mutex};
 
@@ -87,10 +88,13 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
         .unwrap_or(1)
         .min(configs.len().max(1));
     if workers <= 1 || configs.len() <= 1 {
+        // One arena carried across the whole batch: cell N+1 reuses the
+        // buffer capacities cell N grew.
+        let mut arena = SimArena::new();
         return configs
             .iter()
             .zip(&topos)
-            .map(|(cfg, topo)| execute_experiment(cfg, topo.clone()))
+            .map(|(cfg, topo)| execute_experiment_with_arena(cfg, topo.clone(), &mut arena))
             .collect();
     }
     let next = Mutex::new(0usize);
@@ -98,18 +102,24 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
         configs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = {
-                    let mut n = next.lock().expect("claim lock never poisoned");
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                if i >= configs.len() {
-                    break;
+            scope.spawn(|| {
+                // Arenas are per-worker (SimArena is deliberately not
+                // shared): each thread warms its own buffer set.
+                let mut arena = SimArena::new();
+                loop {
+                    let i = {
+                        let mut n = next.lock().expect("claim lock never poisoned");
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if i >= configs.len() {
+                        break;
+                    }
+                    let r =
+                        execute_experiment_with_arena(&configs[i], topos[i].clone(), &mut arena);
+                    *results[i].lock().expect("slot lock never poisoned") = Some(r);
                 }
-                let r = execute_experiment(&configs[i], topos[i].clone());
-                *results[i].lock().expect("slot lock never poisoned") = Some(r);
             });
         }
     });

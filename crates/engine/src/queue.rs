@@ -120,6 +120,71 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Reserve the next sequence number for an event the caller will keep
+    /// outside the heap and hand back later via
+    /// [`EventQueue::schedule_reserved`] (or process directly after
+    /// [`EventQueue::advance_to`]).
+    ///
+    /// The reservation counts as one scheduled event: the caller is
+    /// promising that the event will eventually be processed in `(time,
+    /// seq)` order, it just does not need a heap entry yet. This is what
+    /// lets per-channel FIFOs hold their tail events out of the heap
+    /// without perturbing the global deterministic order.
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        seq
+    }
+
+    /// Schedule `event` under a sequence number previously obtained from
+    /// [`EventQueue::reserve_seq`].
+    ///
+    /// Unlike [`EventQueue::schedule`] this allocates no new sequence
+    /// number and does not bump the scheduled-event total — the event was
+    /// already accounted for when its number was reserved.
+    pub fn schedule_reserved(&mut self, time: Ns, seq: u64, event: E) {
+        assert!(
+            time >= self.now,
+            "reserved event scheduled in the past: t={time:?} < now={:?}",
+            self.now
+        );
+        debug_assert!(
+            seq < self.next_seq,
+            "sequence number {seq} was never reserved"
+        );
+        self.heap.push(HeapEntry { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
+    }
+
+    /// The `(time, seq)` ordering key of the earliest pending event.
+    ///
+    /// Lets a caller holding a reserved event decide whether that event
+    /// precedes everything in the heap and can be processed directly.
+    pub fn peek_key(&self) -> Option<(Ns, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
+    }
+
+    /// Advance the clock to `time` without popping an event — used when
+    /// the caller processes a reserved event it kept outside the heap.
+    ///
+    /// Panics on a backwards move; debug-asserts that no pending heap
+    /// entry fires earlier (skipping one would break causality).
+    pub fn advance_to(&mut self, time: Ns) {
+        assert!(
+            time >= self.now,
+            "clock moved backwards: t={time:?} < now={:?}",
+            self.now
+        );
+        debug_assert!(
+            self.peek_time().is_none_or(|t| time <= t),
+            "advance_to({time:?}) would skip a pending heap event"
+        );
+        self.now = time;
+    }
+
     /// Pop the earliest event and advance the clock to it.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let entry = self.heap.pop()?;
@@ -271,6 +336,52 @@ mod tests {
         q.schedule(Ns(5), ());
         q.schedule(Ns(6), ());
         assert_eq!(q.high_water(), 4);
+    }
+
+    #[test]
+    fn reserved_events_keep_schedule_order() {
+        // A reserved event interleaved with normal schedules must pop in
+        // reservation order, not heap-insertion order.
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), "a"); // seq 0
+        let seq = q.reserve_seq(); // seq 1
+        q.schedule(Ns(10), "c"); // seq 2
+        q.schedule_reserved(Ns(10), seq, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn reservation_counts_once_toward_scheduled_total() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(1), ());
+        let seq = q.reserve_seq();
+        assert_eq!(q.scheduled_total(), 2);
+        q.schedule_reserved(Ns(2), seq, ());
+        assert_eq!(q.scheduled_total(), 2, "late heap insertion double-counted");
+    }
+
+    #[test]
+    fn peek_key_and_advance_to_support_out_of_heap_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), ());
+        let _held = q.reserve_seq(); // an event the caller keeps at Ns(5)
+        assert_eq!(q.peek_key(), Some((Ns(10), 0)));
+        // The held event (Ns(5), seq 1) precedes the heap top, so the
+        // caller may process it directly after advancing the clock.
+        q.advance_to(Ns(5));
+        assert_eq!(q.now(), Ns(5));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, Ns(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn advance_to_rejects_backwards_moves() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), ());
+        q.pop();
+        q.advance_to(Ns(5));
     }
 
     #[test]

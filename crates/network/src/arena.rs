@@ -1,0 +1,114 @@
+//! Cross-run buffer recycling for parameter sweeps.
+//!
+//! A sweep builds one [`Network`](crate::Network) per grid cell and
+//! tears it down minutes later, which means every cell re-grows the same
+//! packet/message arenas, route scratch, delivery queue, and telemetry
+//! sample buffers from zero. [`SimArena`] extends PR 4's persistent
+//! UGAL-buffer pattern across whole runs: a finished network donates its
+//! buffer *capacities* back (via [`Network::recycle`](crate::Network::recycle)),
+//! and the next [`Network::with_arena`](crate::Network::with_arena) over
+//! the arena starts with warm allocations.
+//!
+//! Recycling is capacity-only — every buffer is cleared before reuse and
+//! arena indices are re-assigned from zero exactly as on a cold start —
+//! so runs with and without an arena are bit-identical (the determinism
+//! suite runs both paths).
+
+use crate::net::Delivery;
+use crate::packet::{MessageId, MessageState, Packet, PacketId};
+use dfly_obs::NetSample;
+use dfly_topology::ChannelId;
+use std::collections::VecDeque;
+
+/// Recycled buffer capacities shared by consecutive simulation runs.
+///
+/// One arena belongs to one thread of a sweep; it is deliberately not
+/// `Sync` — workers each keep their own.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    packets: Vec<Packet>,
+    free_packets: Vec<PacketId>,
+    messages: Vec<MessageState>,
+    free_messages: Vec<MessageId>,
+    route_scratch: Vec<ChannelId>,
+    router_scratch: Vec<ChannelId>,
+    router_best: Vec<ChannelId>,
+    deliveries: VecDeque<Delivery>,
+    samples: Vec<NetSample>,
+    recycled_runs: u64,
+}
+
+impl SimArena {
+    /// An empty arena; the first run over it allocates cold, every run
+    /// after starts warm.
+    pub fn new() -> SimArena {
+        SimArena::default()
+    }
+
+    /// How many networks have donated their buffers back so far.
+    pub fn recycled_runs(&self) -> u64 {
+        self.recycled_runs
+    }
+
+    /// Current packet-arena capacity (diagnostic; shows reuse in tests).
+    pub fn packet_capacity(&self) -> usize {
+        self.packets.capacity()
+    }
+
+    pub(crate) fn take_packets(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.packets)
+    }
+    pub(crate) fn take_free_packets(&mut self) -> Vec<PacketId> {
+        std::mem::take(&mut self.free_packets)
+    }
+    pub(crate) fn take_messages(&mut self) -> Vec<MessageState> {
+        std::mem::take(&mut self.messages)
+    }
+    pub(crate) fn take_free_messages(&mut self) -> Vec<MessageId> {
+        std::mem::take(&mut self.free_messages)
+    }
+    pub(crate) fn take_route_scratch(&mut self) -> Vec<ChannelId> {
+        std::mem::take(&mut self.route_scratch)
+    }
+    pub(crate) fn take_router_buffers(&mut self) -> (Vec<ChannelId>, Vec<ChannelId>) {
+        (
+            std::mem::take(&mut self.router_scratch),
+            std::mem::take(&mut self.router_best),
+        )
+    }
+    pub(crate) fn take_deliveries(&mut self) -> VecDeque<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+    pub(crate) fn take_sample_buffer(&mut self) -> Vec<NetSample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    pub(crate) fn put_packets(&mut self, buf: Vec<Packet>) {
+        self.packets = buf;
+    }
+    pub(crate) fn put_free_packets(&mut self, buf: Vec<PacketId>) {
+        self.free_packets = buf;
+    }
+    pub(crate) fn put_messages(&mut self, buf: Vec<MessageState>) {
+        self.messages = buf;
+    }
+    pub(crate) fn put_free_messages(&mut self, buf: Vec<MessageId>) {
+        self.free_messages = buf;
+    }
+    pub(crate) fn put_route_scratch(&mut self, buf: Vec<ChannelId>) {
+        self.route_scratch = buf;
+    }
+    pub(crate) fn put_router_buffers(&mut self, bufs: (Vec<ChannelId>, Vec<ChannelId>)) {
+        self.router_scratch = bufs.0;
+        self.router_best = bufs.1;
+    }
+    pub(crate) fn put_deliveries(&mut self, buf: VecDeque<Delivery>) {
+        self.deliveries = buf;
+    }
+    pub(crate) fn put_sample_buffer(&mut self, buf: Vec<NetSample>) {
+        self.samples = buf;
+    }
+    pub(crate) fn note_recycled(&mut self) {
+        self.recycled_runs += 1;
+    }
+}

@@ -15,6 +15,24 @@
 use crate::packet::{Packet, PacketId, MAX_ROUTE_LEN, NO_PACKET};
 use dfly_engine::{Bandwidth, Bytes, Ns};
 use dfly_topology::{ChannelClass, ChannelId};
+use std::collections::VecDeque;
+
+/// One packet in flight on a channel's wire: it left the transmitter
+/// earlier and lands in its next buffer (or delivers) at `at`, ordered
+/// globally by the event sequence number reserved at transmission start.
+///
+/// A channel's in-flight packets arrive in strictly increasing `(at,
+/// seq)` order — transmissions are serialized by the `busy` flag and
+/// `arrival_extra` is a per-channel constant — so a plain FIFO holds
+/// them and only the *head* needs a heap entry in the event queue (see
+/// `Network::step`). This keeps the heap population proportional to
+/// active channels rather than in-flight packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InFlight {
+    pub(crate) pid: PacketId,
+    pub(crate) at: Ns,
+    pub(crate) seq: u64,
+}
 
 /// Intrusive FIFO of packets; links live in the packet arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +148,9 @@ pub(crate) struct ChannelState {
     pub(crate) busy: bool,
     pub(crate) tx_vc: u8,
     pub(crate) rr_next: u8,
+    /// Packets transmitted but not yet landed, in arrival order. Only
+    /// the front has an `Arrive` entry in the event heap.
+    pub(crate) inflight: VecDeque<InFlight>,
     /// Channels whose head packet is waiting for space in our buffers.
     pub(crate) waiters: Vec<ChannelId>,
     /// True while this channel sits on some other channel's `waiters`
@@ -161,6 +182,7 @@ impl ChannelState {
             busy: false,
             tx_vc: 0,
             rr_next: 0,
+            inflight: VecDeque::new(),
             waiters: Vec::new(),
             in_waitlist: false,
             full_vcs: 0,
@@ -196,10 +218,14 @@ impl ChannelState {
     }
 
     /// Saturated time including a still-open full interval at `now`.
+    ///
+    /// `now` may precede `full_start` when telemetry back-fills aligned
+    /// sample windows: an interval opened by the current event has not
+    /// started yet at an earlier window boundary and contributes nothing.
     pub(crate) fn saturated_until(&self, now: Ns) -> Ns {
         let mut s = self.saturated;
         if self.full_vcs > 0 {
-            s += now - self.full_start;
+            s += now.saturating_sub(self.full_start);
         }
         s
     }

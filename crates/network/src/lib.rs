@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+pub mod arena;
 pub mod audit;
 mod channel;
 pub mod metrics;
@@ -36,6 +37,7 @@ pub mod packet;
 pub mod params;
 pub mod routing;
 
+pub use arena::SimArena;
 pub use audit::{AuditKind, AuditReport, AuditViolation};
 pub use dfly_obs::ObsReport;
 pub use metrics::{class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, TrafficTimeline};

@@ -16,8 +16,9 @@
 //!   accumulated exactly once per packet / full interval.
 
 use crate::arbiter;
+use crate::arena::SimArena;
 use crate::audit::{AuditReport, Auditor};
-use crate::channel::{ChannelState, PacketList};
+use crate::channel::{ChannelState, InFlight, PacketList};
 use crate::metrics::{ChannelSnapshot, NetworkMetrics, TrafficTimeline};
 use crate::obs::ObsCollector;
 use crate::packet::{MessageId, MessageState, Packet, PacketId, Route, MAX_ROUTE_LEN};
@@ -28,7 +29,6 @@ use dfly_obs::{EventKind, ObsReport};
 use dfly_topology::{ChannelClass, ChannelEnd, ChannelId, NodeId, Topology};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A completed message delivery.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,8 +64,13 @@ enum NetEvent {
     Inject(MessageId),
     /// A channel finished serializing its in-flight packet.
     TxDone(ChannelId),
-    /// A packet landed at the element following `hop - 1`.
-    Arrive(PacketId),
+    /// The *head* of this channel's in-flight FIFO lands at the element
+    /// following `hop - 1`. The packet, its landing time, and its
+    /// reserved sequence number live in the FIFO (see
+    /// [`crate::channel::InFlight`]); the heap holds at most one arrival
+    /// entry per channel, so the event population tracks active channels
+    /// rather than in-flight packets.
+    Arrive(ChannelId),
     /// A caller-requested wakeup (see [`Network::schedule_wakeup`]).
     Wakeup,
 }
@@ -99,6 +104,9 @@ pub struct Network {
     route_scratch: Vec<ChannelId>,
     events_processed: u64,
     packets_delivered: u64,
+    /// Arrivals processed straight off a channel's in-flight FIFO,
+    /// skipping the heap push+pop their `Arrive` entry would have cost.
+    arrivals_coalesced: u64,
     wakeup_fired: bool,
     total_queued: Bytes,
     traffic_timeline: Option<TrafficTimeline>,
@@ -114,6 +122,21 @@ impl Network {
     /// Build a network over `topo` with the given parameters, routing
     /// policy, and RNG seed (used only for routing decisions).
     pub fn new(topo: Arc<Topology>, params: NetworkParams, routing: Routing, seed: u64) -> Network {
+        Network::with_arena(topo, params, routing, seed, &mut SimArena::new())
+    }
+
+    /// Like [`Network::new`], but reusing the buffer capacities a
+    /// previous run donated to `arena` (see [`Network::recycle`]). A
+    /// fresh arena is equivalent to [`Network::new`]: recycling reuses
+    /// only *capacity*, never content, so results are bit-identical
+    /// either way.
+    pub fn with_arena(
+        topo: Arc<Topology>,
+        params: NetworkParams,
+        routing: Routing,
+        seed: u64,
+        arena: &mut SimArena,
+    ) -> Network {
         params.validate().expect("invalid network params");
         let router_latency = topo.config().router_latency;
         let channels = topo
@@ -137,27 +160,47 @@ impl Network {
             .audit
             .then(|| Box::new(Auditor::new(topo.channel_count())));
         let mut router = RouteComputer::new(routing, Xoshiro256::seed_from(seed));
-        let obs = params
-            .obs
-            .then(|| Box::new(ObsCollector::new(ObsCollector::DEFAULT_INTERVAL)));
+        router.adopt_buffers(arena.take_router_buffers());
+        let obs = params.obs.then(|| {
+            Box::new(ObsCollector::new(
+                ObsCollector::DEFAULT_INTERVAL,
+                params.obs_stride,
+                params.obs_coarse_clock,
+                arena.take_sample_buffer(),
+            ))
+        });
         if obs.is_some() {
             router.enable_stats();
         }
+        let mut packets = arena.take_packets();
+        packets.clear();
+        let mut free_packets = arena.take_free_packets();
+        free_packets.clear();
+        let mut messages = arena.take_messages();
+        messages.clear();
+        let mut free_messages = arena.take_free_messages();
+        free_messages.clear();
+        let mut deliveries = arena.take_deliveries();
+        deliveries.clear();
+        let mut route_scratch = arena.take_route_scratch();
+        route_scratch.clear();
+        route_scratch.reserve(MAX_ROUTE_LEN);
         Network {
             params,
             router_latency,
             channels,
-            packets: Vec::new(),
-            free_packets: Vec::new(),
-            messages: Vec::new(),
-            free_messages: Vec::new(),
+            packets,
+            free_packets,
+            messages,
+            free_messages,
             nic: vec![PacketList::default(); nodes],
             queue: EventQueue::with_capacity(1024),
-            deliveries: VecDeque::new(),
+            deliveries,
             router,
-            route_scratch: Vec::with_capacity(MAX_ROUTE_LEN),
+            route_scratch,
             events_processed: 0,
             packets_delivered: 0,
+            arrivals_coalesced: 0,
             wakeup_fired: false,
             total_queued: 0,
             traffic_timeline: None,
@@ -165,6 +208,24 @@ impl Network {
             obs,
             topo,
         }
+    }
+
+    /// Donate this network's buffer capacities back to `arena` for the
+    /// next [`Network::with_arena`] over the same (or a similar)
+    /// topology. Consumes the network: call it after the final metrics /
+    /// report reads.
+    pub fn recycle(mut self, arena: &mut SimArena) {
+        arena.put_packets(std::mem::take(&mut self.packets));
+        arena.put_free_packets(std::mem::take(&mut self.free_packets));
+        arena.put_messages(std::mem::take(&mut self.messages));
+        arena.put_free_messages(std::mem::take(&mut self.free_messages));
+        arena.put_deliveries(std::mem::take(&mut self.deliveries));
+        arena.put_route_scratch(std::mem::take(&mut self.route_scratch));
+        arena.put_router_buffers(self.router.release_buffers());
+        if let Some(obs) = self.obs.as_mut() {
+            arena.put_sample_buffer(obs.take_sample_buffer());
+        }
+        arena.note_recycled();
     }
 
     /// Turn the audit layer on or off. Only valid on a fresh network —
@@ -219,7 +280,7 @@ impl Network {
         self.params.obs = enabled;
         if enabled {
             if self.obs.is_none() {
-                self.obs = Some(Box::new(ObsCollector::new(ObsCollector::DEFAULT_INTERVAL)));
+                self.rebuild_obs(ObsCollector::DEFAULT_INTERVAL);
             }
             self.router.enable_stats();
         } else {
@@ -235,8 +296,53 @@ impl Network {
             "telemetry can only be toggled on a fresh network"
         );
         self.params.obs = true;
-        self.obs = Some(Box::new(ObsCollector::new(interval)));
+        self.rebuild_obs(interval);
         self.router.enable_stats();
+    }
+
+    /// Set the telemetry timing stride (see `NetworkParams::obs_stride`).
+    /// Same fresh-network restriction as [`Network::set_obs`]; takes
+    /// effect on the active collector immediately.
+    pub fn set_obs_stride(&mut self, stride: u32) {
+        assert!(
+            self.events_processed == 0 && self.messages.is_empty(),
+            "telemetry can only be toggled on a fresh network"
+        );
+        assert!(stride >= 1, "obs_stride must be at least 1");
+        self.params.obs_stride = stride;
+        if let Some(interval) = self.obs.as_ref().map(|o| o.interval()) {
+            self.rebuild_obs(interval);
+        }
+    }
+
+    /// Switch telemetry timing to the coarse monotonic clock (see
+    /// `NetworkParams::obs_coarse_clock`). Same fresh-network restriction
+    /// as [`Network::set_obs`].
+    pub fn set_obs_coarse_clock(&mut self, coarse: bool) {
+        assert!(
+            self.events_processed == 0 && self.messages.is_empty(),
+            "telemetry can only be toggled on a fresh network"
+        );
+        self.params.obs_coarse_clock = coarse;
+        if let Some(interval) = self.obs.as_ref().map(|o| o.interval()) {
+            self.rebuild_obs(interval);
+        }
+    }
+
+    /// (Re)build the collector from the current params, keeping any
+    /// sample-buffer capacity the old collector held.
+    fn rebuild_obs(&mut self, interval: Ns) {
+        let buf = self
+            .obs
+            .as_mut()
+            .map(|o| o.take_sample_buffer())
+            .unwrap_or_default();
+        self.obs = Some(Box::new(ObsCollector::new(
+            interval,
+            self.params.obs_stride,
+            self.params.obs_coarse_clock,
+            buf,
+        )));
     }
 
     /// True if the telemetry layer is active.
@@ -249,7 +355,7 @@ impl Network {
     pub fn obs_report(&mut self) -> Option<ObsReport> {
         let now = self.queue.now();
         if let Some(obs) = self.obs.as_mut() {
-            obs.sample(now, &self.channels, &self.params, self.router.stats());
+            obs.close(now, &self.channels, &self.params, self.router.stats());
         }
         let high_water = self.queue.high_water();
         self.obs
@@ -285,6 +391,12 @@ impl Network {
     /// Total packets delivered so far.
     pub fn packets_delivered(&self) -> u64 {
         self.packets_delivered
+    }
+
+    /// Arrivals processed straight off a channel's in-flight FIFO without
+    /// a heap round-trip (a churn diagnostic; see `NetEvent::Arrive`).
+    pub fn arrivals_coalesced(&self) -> u64 {
+        self.arrivals_coalesced
     }
 
     /// Queue a message for injection at absolute time `at`. Injection
@@ -372,7 +484,7 @@ impl Network {
             if next > t {
                 break;
             }
-            self.step();
+            self.step_bounded(t);
         }
     }
 
@@ -388,11 +500,19 @@ impl Network {
 
     /// Take all accumulated deliveries.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
-        self.deliveries.drain(..).collect()
+        Vec::from(std::mem::take(&mut self.deliveries))
     }
 
     /// Process a single event. Returns false if the queue was empty.
     fn step(&mut self) -> bool {
+        self.step_bounded(Ns::MAX)
+    }
+
+    /// Process the next pending event; consecutive same-channel arrivals
+    /// drain inline while they stay the globally next event and fire no
+    /// later than `limit` (so [`Network::run_until`]'s time bound holds).
+    /// Returns false if the queue was empty.
+    fn step_bounded(&mut self, limit: Ns) -> bool {
         let Some(ev) = self.queue.pop() else {
             // Queue empty means fully drained: any queued packet implies
             // a pending TxDone. The audit drain sweep therefore doubles
@@ -400,28 +520,79 @@ impl Network {
             self.audit_drain_sweep();
             return false;
         };
-        self.events_processed += 1;
-        // `Instant::now` is a syscall-adjacent cost: only taken with
-        // telemetry on. The obs-off path pays this one branch (plus the
-        // trailing `if`) per event.
-        let obs_started = self.obs.as_ref().map(|_| Instant::now());
-        let kind = match ev.event {
-            NetEvent::Inject(_) => EventKind::Inject,
-            NetEvent::TxDone(_) => EventKind::TxDone,
-            NetEvent::Arrive(_) => EventKind::Arrive,
-            NetEvent::Wakeup => EventKind::Wakeup,
-        };
         match ev.event {
-            NetEvent::Inject(msg) => self.handle_inject(msg),
-            NetEvent::TxDone(ch) => self.handle_tx_done(ch),
-            NetEvent::Arrive(pkt) => self.handle_arrive(pkt),
-            NetEvent::Wakeup => self.wakeup_fired = true,
-        }
-        self.audit_after_event();
-        if let Some(started) = obs_started {
-            self.obs_after_event(kind, started);
+            NetEvent::Inject(msg) => {
+                let started = self.event_begin(EventKind::Inject);
+                self.handle_inject(msg);
+                self.event_end(EventKind::Inject, started);
+            }
+            NetEvent::TxDone(ch) => {
+                let started = self.event_begin(EventKind::TxDone);
+                self.handle_tx_done(ch);
+                self.event_end(EventKind::TxDone, started);
+            }
+            NetEvent::Wakeup => {
+                let started = self.event_begin(EventKind::Wakeup);
+                self.wakeup_fired = true;
+                self.event_end(EventKind::Wakeup, started);
+            }
+            NetEvent::Arrive(ch_id) => loop {
+                let rec = self.channels[ch_id.index()]
+                    .inflight
+                    .pop_front()
+                    .expect("Arrive fired for a channel with no packets in flight");
+                debug_assert_eq!(rec.at, self.queue.now());
+                let deliveries_before = self.deliveries.len();
+                let started = self.event_begin(EventKind::Arrive);
+                self.handle_arrive(rec.pid);
+                self.event_end(EventKind::Arrive, started);
+                // The channel's next arrival is the globally next event
+                // exactly when its (time, seq) key precedes everything in
+                // the heap — then the heap round-trip is pure churn and
+                // the record drains inline. A delivery hands control back
+                // to the driver first (it may react by injecting), and
+                // `limit` keeps `run_until`'s contract.
+                let Some(&next) = self.channels[ch_id.index()].inflight.front() else {
+                    break;
+                };
+                let precedes_heap = match self.queue.peek_key() {
+                    Some(key) => (next.at, next.seq) < key,
+                    None => true,
+                };
+                if precedes_heap && next.at <= limit && self.deliveries.len() == deliveries_before {
+                    self.queue.advance_to(next.at);
+                    self.arrivals_coalesced += 1;
+                } else {
+                    self.queue
+                        .schedule_reserved(next.at, next.seq, NetEvent::Arrive(ch_id));
+                    break;
+                }
+            },
         }
         true
+    }
+
+    /// Per-event prologue: count it, and decide via the per-kind stride
+    /// whether this one's handler gets timed, taking the start timestamp
+    /// if so. The obs-off path pays one branch.
+    #[inline]
+    fn event_begin(&mut self, kind: EventKind) -> Option<u64> {
+        self.events_processed += 1;
+        match self.obs.as_mut() {
+            Some(obs) => obs.timing_due(kind).then(|| obs.clock_now()),
+            None => None,
+        }
+    }
+
+    /// Per-event epilogue: audit bookkeeping, then telemetry (profile
+    /// the event, sweep a sample window when due). The obs-off path pays
+    /// one branch.
+    #[inline]
+    fn event_end(&mut self, kind: EventKind, started: Option<u64>) {
+        self.audit_after_event();
+        if self.obs.is_some() {
+            self.obs_after_event(kind, started);
+        }
     }
 
     // ----- telemetry plumbing ----------------------------------------------
@@ -429,7 +600,7 @@ impl Network {
     /// Profile the event just handled and run a periodic sample sweep when
     /// one is due. Read-only with respect to the simulation: nothing here
     /// schedules events or touches engine counters.
-    fn obs_after_event(&mut self, kind: EventKind, started: Instant) {
+    fn obs_after_event(&mut self, kind: EventKind, started: Option<u64>) {
         let depth = self.queue.len();
         let now = self.queue.now();
         let Some(obs) = self.obs.as_mut() else {
@@ -670,8 +841,23 @@ impl Network {
             }
             self.audit_check_channel(ch_id, "tx start");
             self.queue.schedule_after(ser, NetEvent::TxDone(ch_id));
-            self.queue
-                .schedule_after(ser + extra, NetEvent::Arrive(pid));
+            // The arrival joins the channel's in-flight FIFO instead of
+            // the heap; its sequence number is reserved *here* so the
+            // global event order is exactly as if it had been scheduled
+            // (same program point, same seq). Only the FIFO head keeps a
+            // heap entry.
+            let at = self.queue.now() + ser + extra;
+            let seq = self.queue.reserve_seq();
+            let inflight = &mut self.channels[ch_id.index()].inflight;
+            debug_assert!(inflight
+                .back()
+                .is_none_or(|prev| (prev.at, prev.seq) < (at, seq)));
+            let was_empty = inflight.is_empty();
+            inflight.push_back(InFlight { pid, at, seq });
+            if was_empty {
+                self.queue
+                    .schedule_reserved(at, seq, NetEvent::Arrive(ch_id));
+            }
             return;
         }
     }
@@ -1449,6 +1635,120 @@ mod tests {
         n.send(Ns::ZERO, NodeId(0), NodeId(1), 512, 0);
         n.poll_delivery();
         n.set_obs(true);
+    }
+
+    #[test]
+    fn sparse_traffic_emits_uniform_catchup_windows() {
+        // Regression: a burst, a long quiet gap, another burst. The old
+        // collector emitted one oversized window at the first event after
+        // the gap; the aligned grid must keep every boundary window.
+        let mut n = net(Routing::Minimal);
+        n.set_obs_interval(Ns(1_000));
+        n.send(Ns::ZERO, NodeId(0), NodeId(40), 4096, 0);
+        n.send(Ns(40_000), NodeId(1), NodeId(41), 4096, 1);
+        n.run_to_idle();
+        let report = n.obs_report().expect("obs on");
+        let samples = report.series.samples();
+        assert!(
+            samples.len() >= 40,
+            "gap skipped: {} windows",
+            samples.len()
+        );
+        // Every window but the close() tail sits on the aligned grid.
+        for (i, s) in samples[..samples.len() - 1].iter().enumerate() {
+            assert_eq!(s.at, Ns(1_000 * (i as u64 + 1)), "window off the grid");
+        }
+        let tail = samples.last().unwrap();
+        assert_eq!(tail.at, n.now(), "tail window closes at the final event");
+    }
+
+    #[test]
+    fn arena_recycling_is_bit_identical_and_warm() {
+        let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+        let mut run = |arena: &mut SimArena| {
+            let mut n = Network::with_arena(
+                topo.clone(),
+                NetworkParams::default(),
+                Routing::Adaptive,
+                42,
+                arena,
+            );
+            let mut rng = Xoshiro256::seed_from(99);
+            for i in 0..60u64 {
+                let s = NodeId(rng.next_below(64) as u32);
+                let d = NodeId(rng.next_below(64) as u32);
+                n.send(Ns(i * 100), s, d, 20_000, i);
+            }
+            n.run_to_idle();
+            let out: Vec<(u64, Ns)> = n
+                .drain_deliveries()
+                .iter()
+                .map(|d| (d.tag, d.completed_at))
+                .collect();
+            n.recycle(arena);
+            out
+        };
+        let mut arena = SimArena::new();
+        let first = run(&mut arena);
+        assert_eq!(arena.recycled_runs(), 1);
+        let warm_cap = arena.packet_capacity();
+        assert!(warm_cap > 0, "finished run must donate packet capacity");
+        let second = run(&mut arena);
+        assert_eq!(first, second, "recycled buffers changed results");
+        assert_eq!(arena.recycled_runs(), 2);
+        assert!(
+            arena.packet_capacity() >= warm_cap,
+            "identical rerun must not shrink the arena"
+        );
+    }
+
+    #[test]
+    fn small_packet_streams_coalesce_arrivals() {
+        // Tiny packets serialize in ~1 ns but cross a global link with
+        // 1.6 µs of latency, so a stream keeps many packets in flight on
+        // one channel and consecutive arrivals land on adjacent ticks.
+        // Those drain inline from the channel FIFO instead of round-
+        // tripping through the heap; the counter proves the path is live.
+        let mut n = net(Routing::Minimal);
+        let last = NodeId(n.topology().config().total_nodes() - 1);
+        for i in 0..40u64 {
+            n.send(Ns::ZERO, NodeId(0), last, 8, i);
+        }
+        n.run_to_idle();
+        assert_eq!(n.drain_deliveries().len(), 40);
+        assert!(
+            n.arrivals_coalesced() > 0,
+            "no inline arrival drains on a cross-group small-packet stream"
+        );
+    }
+
+    #[test]
+    fn obs_stride_changes_timing_cost_not_results() {
+        let run = |stride: u32| {
+            let mut n = net(Routing::Adaptive);
+            n.set_obs_interval(Ns(1_000));
+            n.set_obs_stride(stride);
+            for src in 1..24u32 {
+                n.send(Ns::ZERO, NodeId(src), NodeId(0), 64 * 1024, src as u64);
+            }
+            n.run_to_idle();
+            let deliveries: Vec<(u64, Ns)> = n
+                .drain_deliveries()
+                .iter()
+                .map(|d| (d.tag, d.completed_at))
+                .collect();
+            let report = n.obs_report().expect("obs on");
+            (deliveries, n.events_processed(), report.profile)
+        };
+        let (d1, e1, exhaustive) = run(1);
+        let (d64, e64, sampled) = run(64);
+        assert_eq!(d1, d64, "stride changed simulation results");
+        assert_eq!(e1, e64);
+        // Counts are exact regardless of stride; timing is the subset.
+        assert_eq!(exhaustive.counts, sampled.counts);
+        assert_eq!(exhaustive.timed_events(), exhaustive.total_events());
+        assert!(sampled.timed_events() < sampled.total_events());
+        assert!(sampled.timed_events() > 0);
     }
 
     #[test]

@@ -7,23 +7,36 @@
 //! simulation: no event is scheduled, no counter of the engine is
 //! touched, so obs-on and obs-off runs are bit-identical
 //! (`tests/determinism.rs` enforces it).
+//!
+//! Event timing is stride-sampled (see [`ObsCollector::timing_due`]):
+//! every event is counted, every Nth per kind is timed, so the obs-on
+//! path pays O(1/N) clock reads. Sample windows land on the aligned grid
+//! `interval, 2*interval, ...` of simulation time: when events are
+//! sparse and time jumps over several boundaries at once, the collector
+//! emits one catch-up window per crossed boundary instead of a single
+//! oversized one, so `SampleSeries` spacing stays uniform.
 
 use crate::channel::ChannelState;
 use crate::metrics::class_index;
 use crate::params::NetworkParams;
 use dfly_engine::Ns;
 use dfly_obs::{
-    EventKind, EventLoopProfile, NetSample, ObsReport, OccupancyHistogram, RouteStats,
+    EventKind, EventLoopProfile, NetSample, ObsClock, ObsReport, OccupancyHistogram, RouteStats,
     SampleSeries, OBS_CLASSES,
 };
-use std::time::Instant;
 
 /// Collects telemetry for one network over its lifetime.
 pub(crate) struct ObsCollector {
     profile: EventLoopProfile,
     series: SampleSeries,
     vc_occupancy: OccupancyHistogram,
-    /// Next simulation time at which a sweep is due.
+    /// The wall-clock source for handler timing.
+    clock: ObsClock,
+    /// Time every Nth event per kind (1 = exhaustive).
+    stride: u32,
+    /// Per-kind countdown until the next timed event.
+    until_timed: [u32; 4],
+    /// Next aligned simulation time at which a sweep is due.
     next_sample: Ns,
     /// Start of the current sampling window.
     last_sample_at: Ns,
@@ -44,12 +57,25 @@ impl ObsCollector {
     /// coarse enough that a long run stays within the series cap.
     pub(crate) const DEFAULT_INTERVAL: Ns = Ns(50_000);
 
-    /// Fresh collector sampling every `interval` of simulation time.
-    pub(crate) fn new(interval: Ns) -> ObsCollector {
+    /// Fresh collector sampling every `interval` of simulation time,
+    /// timing every `stride`th event per kind with a precise or `coarse`
+    /// clock, reusing `sample_buf`'s capacity for the series.
+    pub(crate) fn new(
+        interval: Ns,
+        stride: u32,
+        coarse_clock: bool,
+        sample_buf: Vec<NetSample>,
+    ) -> ObsCollector {
+        assert!(stride >= 1, "obs stride must be at least 1");
         ObsCollector {
             profile: EventLoopProfile::new(),
-            series: SampleSeries::new(interval),
+            series: SampleSeries::with_buffer(interval, sample_buf),
             vc_occupancy: OccupancyHistogram::new(),
+            clock: ObsClock::new(coarse_clock),
+            stride,
+            // Zero countdowns: the first event of each kind is timed, so
+            // short runs still get a cost estimate for every kind.
+            until_timed: [0; 4],
             next_sample: interval,
             last_sample_at: Ns::ZERO,
             prev_busy_ns: [0; 5],
@@ -60,21 +86,60 @@ impl ObsCollector {
         }
     }
 
-    /// Record one handled event into the profile.
-    #[inline]
-    pub(crate) fn note_event(&mut self, kind: EventKind, started: Instant, queue_depth: usize) {
-        self.profile.record(kind, started, queue_depth);
+    /// The sampling interval.
+    pub(crate) fn interval(&self) -> Ns {
+        self.series.interval()
     }
 
-    /// True once simulation time has reached the next sweep.
+    /// Take the sample storage back out for arena recycling.
+    pub(crate) fn take_sample_buffer(&mut self) -> Vec<NetSample> {
+        self.series.take_buffer()
+    }
+
+    /// Decide whether the upcoming event of `kind` gets its handler
+    /// timed, advancing the per-kind stride countdown.
+    #[inline]
+    pub(crate) fn timing_due(&mut self, kind: EventKind) -> bool {
+        let slot = &mut self.until_timed[kind.index()];
+        if *slot == 0 {
+            *slot = self.stride - 1;
+            true
+        } else {
+            *slot -= 1;
+            false
+        }
+    }
+
+    /// Read the profiling clock (only meaningful around a timed event).
+    #[inline]
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Record one handled event into the profile: timed when
+    /// [`ObsCollector::timing_due`] picked it (then `started` carries the
+    /// pre-handler clock read), counted otherwise.
+    #[inline]
+    pub(crate) fn note_event(&mut self, kind: EventKind, started: Option<u64>, queue_depth: usize) {
+        match started {
+            Some(t0) => {
+                let elapsed = self.clock.now_ns().saturating_sub(t0);
+                self.profile.record_timed(kind, elapsed, queue_depth);
+            }
+            None => self.profile.record_counted(kind, queue_depth),
+        }
+    }
+
+    /// True once simulation time has reached the next sweep boundary.
     #[inline]
     pub(crate) fn sample_due(&self, now: Ns) -> bool {
         now >= self.next_sample
     }
 
-    /// Sweep the channel state and push one sample covering the window
-    /// since the previous sweep. A zero-width window (two sweeps at the
-    /// same instant) is skipped — there is nothing to attribute to it.
+    /// Emit one window per aligned boundary crossed by `now`. Sparse
+    /// traffic that jumps several intervals between events gets uniform
+    /// catch-up windows (saturation interpolates via its interval
+    /// bookkeeping; busy/queued state cannot change without events).
     pub(crate) fn sample(
         &mut self,
         now: Ns,
@@ -82,7 +147,38 @@ impl ObsCollector {
         params: &NetworkParams,
         route: Option<&RouteStats>,
     ) {
-        if now <= self.last_sample_at {
+        while self.next_sample <= now {
+            let at = self.next_sample;
+            self.push_window(at, channels, params, route);
+            self.next_sample = at + self.series.interval();
+        }
+    }
+
+    /// Emit every due aligned window, then close the partial tail window
+    /// at `now`. Called once when a report is taken; safe to repeat (a
+    /// zero-width tail is skipped).
+    pub(crate) fn close(
+        &mut self,
+        now: Ns,
+        channels: &[ChannelState],
+        params: &NetworkParams,
+        route: Option<&RouteStats>,
+    ) {
+        self.sample(now, channels, params, route);
+        self.push_window(now, channels, params, route);
+    }
+
+    /// Sweep the channel state and push one sample covering the window
+    /// `(last_sample_at, at]`. A zero-width window is skipped — there is
+    /// nothing to attribute to it.
+    fn push_window(
+        &mut self,
+        at: Ns,
+        channels: &[ChannelState],
+        params: &NetworkParams,
+        route: Option<&RouteStats>,
+    ) {
+        if at <= self.last_sample_at {
             return;
         }
         if self.class_counts == [0; 5] {
@@ -97,7 +193,7 @@ impl ObsCollector {
         for ch in channels {
             let ci = class_index(ch.class);
             busy_ns[ci] += ch.busy_time.as_nanos();
-            stall_ns[ci] += ch.saturated_until(now).as_nanos();
+            stall_ns[ci] += ch.saturated_until(at).as_nanos();
             queued[ci] += ch.total_occupancy;
             let cap = params.vc_capacity(ch.class) as f64;
             for vc in &ch.vcs {
@@ -105,9 +201,9 @@ impl ObsCollector {
             }
         }
 
-        let window = (now - self.last_sample_at).as_nanos() as f64;
+        let window = (at - self.last_sample_at).as_nanos() as f64;
         let mut sample = NetSample {
-            at: now,
+            at,
             ..NetSample::default()
         };
         for (i, _) in OBS_CLASSES.iter().enumerate() {
@@ -129,8 +225,7 @@ impl ObsCollector {
             self.prev_nonminimal = r.nonminimal_taken;
         }
         self.series.push(sample);
-        self.last_sample_at = now;
-        self.next_sample = now + self.series.interval();
+        self.last_sample_at = at;
     }
 
     /// Bundle everything collected into a report. `queue_high_water` comes
@@ -154,6 +249,10 @@ mod tests {
     use dfly_engine::Bandwidth;
     use dfly_topology::ChannelClass;
 
+    fn collector(interval: Ns) -> ObsCollector {
+        ObsCollector::new(interval, 1, false, Vec::new())
+    }
+
     fn channels() -> Vec<ChannelState> {
         let mut out = Vec::new();
         for class in [
@@ -173,7 +272,7 @@ mod tests {
     #[test]
     fn sweep_produces_window_deltas() {
         let params = NetworkParams::default();
-        let mut c = ObsCollector::new(Ns(50_000));
+        let mut c = collector(Ns(50_000));
         assert!(!c.sample_due(Ns(49_999)));
         assert!(c.sample_due(Ns(50_000)));
 
@@ -201,7 +300,7 @@ mod tests {
     #[test]
     fn zero_width_window_is_skipped() {
         let params = NetworkParams::default();
-        let mut c = ObsCollector::new(Ns(1_000));
+        let mut c = collector(Ns(1_000));
         let chans = channels();
         c.sample(Ns(1_000), &chans, &params, None);
         c.sample(Ns(1_000), &chans, &params, None);
@@ -209,10 +308,50 @@ mod tests {
     }
 
     #[test]
+    fn time_jump_emits_aligned_catchup_windows() {
+        // A jump over five boundaries yields five uniformly spaced
+        // windows, not one oversized window at the jump's end.
+        let params = NetworkParams::default();
+        let mut c = collector(Ns(1_000));
+        let mut chans = channels();
+        chans[2].mark_full(0, Ns(500)); // global channel saturates mid-gap
+        c.sample(Ns(5_200), &chans, &params, None);
+        let report = c.report(0, None);
+        let samples = report.series.samples();
+        assert_eq!(samples.len(), 5, "one window per crossed boundary");
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.at, Ns(1_000 * (i as u64 + 1)), "windows off the grid");
+        }
+        // The open saturation interval interpolates across the catch-up
+        // windows: 500 ns in the first (opened at 500), then full
+        // 1000 ns windows — not everything lumped into the last.
+        let ci = class_index(ChannelClass::Global);
+        assert_eq!(samples[0].stall_ns[ci], 500);
+        assert!(samples[1..].iter().all(|s| s.stall_ns[ci] == 1_000));
+        // The 200 ns remainder stays open for the next window.
+        assert!(!c.sample_due(Ns(5_900)));
+        assert!(c.sample_due(Ns(6_000)));
+    }
+
+    #[test]
+    fn close_emits_partial_tail_window_once() {
+        let params = NetworkParams::default();
+        let mut c = collector(Ns(1_000));
+        let chans = channels();
+        c.close(Ns(2_500), &chans, &params, None);
+        let report = c.report(0, None);
+        let at: Vec<Ns> = report.series.samples().iter().map(|s| s.at).collect();
+        assert_eq!(at, vec![Ns(1_000), Ns(2_000), Ns(2_500)]);
+        // Closing again at the same instant adds nothing.
+        c.close(Ns(2_500), &chans, &params, None);
+        assert_eq!(c.report(0, None).series.samples().len(), 3);
+    }
+
+    #[test]
     fn utilization_clamped_even_with_txstart_credit() {
         // busy_time credited at tx start can exceed the window.
         let params = NetworkParams::default();
-        let mut c = ObsCollector::new(Ns(100));
+        let mut c = collector(Ns(100));
         let mut chans = channels();
         chans[0].busy_time = Ns(1_000_000);
         c.sample(Ns(100), &chans, &params, None);
@@ -224,7 +363,7 @@ mod tests {
     fn route_deltas_per_window() {
         let params = NetworkParams::default();
         let chans = channels();
-        let mut c = ObsCollector::new(Ns(1_000));
+        let mut c = collector(Ns(1_000));
         let mut route = RouteStats::new();
         route.record(false, 10);
         route.record(true, 20);
@@ -238,5 +377,30 @@ mod tests {
         // The report carries the cumulative ledger and the queue peak.
         assert_eq!(report.route.total(), 3);
         assert_eq!(report.profile.queue_high_water, 7);
+    }
+
+    #[test]
+    fn stride_times_first_then_every_nth_per_kind() {
+        let mut c = ObsCollector::new(Ns(1_000), 4, false, Vec::new());
+        let timed: Vec<bool> = (0..9).map(|_| c.timing_due(EventKind::Arrive)).collect();
+        assert_eq!(
+            timed,
+            [true, false, false, false, true, false, false, false, true]
+        );
+        // Kinds count down independently.
+        assert!(c.timing_due(EventKind::Inject));
+        assert!(!c.timing_due(EventKind::Inject));
+    }
+
+    #[test]
+    fn sampled_profile_counts_all_events_but_times_a_subset() {
+        let mut c = ObsCollector::new(Ns(1_000), 8, false, Vec::new());
+        for _ in 0..100 {
+            let started = c.timing_due(EventKind::TxDone).then(|| c.clock_now());
+            c.note_event(EventKind::TxDone, started, 3);
+        }
+        let report = c.report(0, None);
+        assert_eq!(report.profile.counts[EventKind::TxDone.index()], 100);
+        assert_eq!(report.profile.timed[EventKind::TxDone.index()], 13);
     }
 }

@@ -38,6 +38,21 @@ pub struct NetworkParams {
     /// [`Network::set_obs`](crate::Network::set_obs) overrides it on a
     /// fresh network.
     pub obs: bool,
+    /// Telemetry timing stride: with obs on, every event is counted but
+    /// only every Nth event per kind has its handler wall-clock measured,
+    /// so the obs-on path does O(1/N) timestamp reads. Stride 1 restores
+    /// exhaustive timing; the default (64) keeps per-kind means within a
+    /// few percent of exhaustive on quick-scale runs while cutting the
+    /// timing cost to noise. Must be at least 1. Ignored when `obs` is
+    /// off.
+    pub obs_stride: u32,
+    /// Use Linux's `CLOCK_MONOTONIC_COARSE` for telemetry timing instead
+    /// of the precise monotonic clock. Reads cost a few ns but resolve
+    /// only to the kernel tick (1–4 ms), so this is for aggregate timing
+    /// over very long instrumented runs; per-kind means need event counts
+    /// far above the tick/handler-cost ratio to converge. Falls back to
+    /// the precise clock off Linux. Ignored when `obs` is off.
+    pub obs_coarse_clock: bool,
 }
 
 impl Default for NetworkParams {
@@ -52,6 +67,8 @@ impl Default for NetworkParams {
             adaptive_bias_bytes: 32768,
             audit: cfg!(debug_assertions),
             obs: false,
+            obs_stride: 64,
+            obs_coarse_clock: false,
         }
     }
 }
@@ -82,6 +99,9 @@ impl NetworkParams {
         if self.packet_size == 0 {
             return Err("packet_size must be positive".into());
         }
+        if self.obs_stride == 0 {
+            return Err("obs_stride must be at least 1 (1 = exhaustive timing)".into());
+        }
         for (name, cap) in [
             ("terminal", self.terminal_vc_bytes),
             ("local", self.local_vc_bytes),
@@ -108,6 +128,8 @@ impl ToKv for NetworkParams {
         kv(&mut out, "adaptive_bias_bytes", self.adaptive_bias_bytes);
         kv(&mut out, "audit", self.audit);
         kv(&mut out, "obs", self.obs);
+        kv(&mut out, "obs_stride", self.obs_stride);
+        kv(&mut out, "obs_coarse_clock", self.obs_coarse_clock);
         out
     }
 }
@@ -126,6 +148,8 @@ mod tests {
         assert_eq!(p.vc_capacity(ChannelClass::Global), 16 * 1024);
         assert_eq!(p.audit, cfg!(debug_assertions));
         assert!(!p.obs, "telemetry must be opt-in in every build profile");
+        assert_eq!(p.obs_stride, 64);
+        assert!(!p.obs_coarse_clock);
         p.validate().unwrap();
     }
 
@@ -147,5 +171,14 @@ mod tests {
         let mut p = NetworkParams::default();
         p.packet_size = 0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_stride() {
+        let mut p = NetworkParams::default();
+        p.obs_stride = 0;
+        assert!(p.validate().is_err());
+        p.obs_stride = 1;
+        p.validate().unwrap();
     }
 }

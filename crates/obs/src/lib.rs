@@ -9,8 +9,14 @@
 //!
 //! This crate holds the passive data structures and their sinks:
 //!
-//! * [`EventLoopProfile`] — per-event-type counts and wall-clock time,
-//!   event-queue depth high-water mark, events/sec;
+//! * [`EventLoopProfile`] — exact per-event-type counts plus a
+//!   stride-sampled timing subset (every Nth event per kind is measured,
+//!   the rest only counted), event-queue depth high-water mark, and
+//!   estimated wall shares / events per second extrapolated from the
+//!   timed subset;
+//! * [`ObsClock`] — the timestamp source for that sampling: a precise
+//!   `Instant`-based monotonic clock, or Linux's `CLOCK_MONOTONIC_COARSE`
+//!   when a few-ns read matters more than per-read resolution;
 //! * [`SampleSeries`] / [`NetSample`] — the periodic in-simulation sample
 //!   stream (per-class utilization, queued bytes, credit-stall time,
 //!   UGAL decision deltas);
@@ -26,15 +32,19 @@
 //! collector walks channel state the same way the audit layer does) and
 //! are opt-in via `NetworkParams::obs`: telemetry observes, it never
 //! perturbs — obs-on and obs-off runs are bit-identical in every
-//! simulation output, and the obs-off hot path pays one branch per hook
-//! (proved <2% by `bench/benches/obs_benches.rs`).
+//! simulation output at every stride, the obs-off hot path pays one
+//! branch per hook (proved <2% by `bench/benches/obs_benches.rs`), and
+//! the obs-on path does O(1/stride) timestamp reads (gated ≤1.25x by the
+//! `event_rate` bench in CI).
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod profile;
 pub mod report;
 pub mod sampler;
 
+pub use clock::ObsClock;
 pub use profile::{EventKind, EventLoopProfile};
 pub use report::ObsReport;
 pub use sampler::{NetSample, OccupancyHistogram, RouteStats, SampleSeries, OBS_CLASSES};

@@ -32,12 +32,24 @@ impl ObsReport {
         let mut written = Vec::new();
 
         let path = dir.join(format!("obs_profile_{tag}.csv"));
-        let mut w = CsvWriter::create(&path, &["event", "count", "wall_ns", "wall_share"])?;
+        let mut w = CsvWriter::create(
+            &path,
+            &[
+                "event",
+                "count",
+                "timed",
+                "mean_ns",
+                "est_wall_ns",
+                "wall_share",
+            ],
+        )?;
         for kind in EventKind::ALL {
             w.row(&[
                 kind.label().to_string(),
                 self.profile.counts[kind.index()].to_string(),
-                self.profile.wall_ns[kind.index()].to_string(),
+                self.profile.timed[kind.index()].to_string(),
+                format!("{:.1}", self.profile.mean_ns(kind)),
+                self.profile.estimated_wall_ns(kind).to_string(),
                 format!("{:.4}", self.profile.wall_share(kind)),
             ])?;
         }
@@ -46,10 +58,14 @@ impl ObsReport {
             self.profile.queue_high_water.to_string(),
             String::new(),
             String::new(),
+            String::new(),
+            String::new(),
         ])?;
         w.row(&[
             "events_per_sec".to_string(),
             format!("{:.0}", self.profile.events_per_sec()),
+            String::new(),
+            String::new(),
             String::new(),
             String::new(),
         ])?;
@@ -122,17 +138,19 @@ impl ObsReport {
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "event loop: {} events, {:.0} events/s, queue high-water {}\n",
+            "event loop: {} events ({} timed), {:.0} events/s est, queue high-water {}\n",
             self.profile.total_events(),
+            self.profile.timed_events(),
             self.profile.events_per_sec(),
             self.profile.queue_high_water,
         ));
         for kind in EventKind::ALL {
             out.push_str(&format!(
-                "  {:8} {:>10}  {:>5.1}% wall\n",
+                "  {:8} {:>10}  {:>5.1}% wall est, {:.0} ns/event\n",
                 kind.label(),
                 self.profile.counts[kind.index()],
                 100.0 * self.profile.wall_share(kind),
+                self.profile.mean_ns(kind),
             ));
         }
         if !self.series.samples().is_empty() {
@@ -187,6 +205,7 @@ mod tests {
     fn sample_report() -> ObsReport {
         let mut profile = EventLoopProfile::new();
         profile.counts = [10, 20, 30, 1];
+        profile.timed = [10, 20, 30, 1];
         profile.wall_ns = [100, 200, 300, 10];
         profile.total_wall_ns = 610;
         profile.queue_high_water = 42;

@@ -188,6 +188,47 @@ fn observed_runs_are_bit_identical_to_unobserved() {
 }
 
 #[test]
+fn observed_runs_are_bit_identical_at_every_stride() {
+    // Stride-sampled profiling only changes *which* handler executions
+    // get wall-clock timed — never the simulation. Every stride (and the
+    // coarse clock) must reproduce the obs-off run bit for bit, while
+    // still counting every event exactly.
+    let plain = run_experiment(&cfg());
+    for stride in [1u32, 7, 64, 1024] {
+        let mut observed = cfg();
+        observed.network.obs = true;
+        observed.network.obs_stride = stride;
+        observed.network.obs_coarse_clock = stride == 7; // one coarse run
+        let o = run_experiment(&observed);
+        let report = o.obs.as_ref().expect("obs enabled");
+        assert_eq!(
+            report.profile.total_events(),
+            o.events,
+            "stride {stride} must count every event"
+        );
+        assert!(
+            report.profile.timed_events() > 0,
+            "stride {stride} timed nothing"
+        );
+        if stride > 1 {
+            assert!(
+                report.profile.timed_events() < report.profile.total_events(),
+                "stride {stride} should time a strict subset"
+            );
+        }
+        assert_eq!(
+            o.rank_comm_times, plain.rank_comm_times,
+            "stride {stride} perturbed comm times"
+        );
+        assert_eq!(o.job_end, plain.job_end, "stride {stride} perturbed time");
+        assert_eq!(o.events, plain.events, "stride {stride} perturbed events");
+        let to: Vec<_> = o.metrics.channels().collect();
+        let tp: Vec<_> = plain.metrics.channels().collect();
+        assert_eq!(to, tp, "stride {stride} perturbed channel metrics");
+    }
+}
+
+#[test]
 fn observed_sweep_is_bit_identical_across_all_ten_configs() {
     // Whole-grid identity guard, obs-on vs obs-off: every placement x
     // routing cell must produce the identical simulation. (The config
