@@ -1,6 +1,6 @@
 //! Shared plumbing for the reproduction binaries.
 
-use dfly_core::config::ExperimentConfig;
+use dfly_core::config::{ExperimentConfig, Parallelism};
 use dfly_core::report::ConfigLabel;
 use dfly_core::runner::ExperimentResult;
 use dfly_obs::{EventKind, ObsReport};
@@ -38,6 +38,9 @@ pub struct RunArgs {
     /// Use the coarse monotonic clock for handler timing
     /// (`--obs-coarse`): ~4x cheaper reads, millisecond granularity.
     pub obs_coarse: bool,
+    /// Intra-run PDES worker threads (`--shards N`); 0 keeps the legacy
+    /// serial event loop, the byte-stable default the goldens pin.
+    pub shards: u32,
 }
 
 impl RunArgs {
@@ -50,6 +53,7 @@ impl RunArgs {
             scale: 1.0,
             obs_stride: None,
             obs_coarse: false,
+            shards: 0,
         }
     }
 
@@ -66,6 +70,10 @@ impl RunArgs {
         }
         cfg.network.obs_coarse_clock = self.obs_coarse;
         cfg.msg_scale *= self.scale;
+        cfg.parallelism = match self.shards {
+            0 => Parallelism::Serial,
+            n => Parallelism::IntraRun(n),
+        };
         cfg
     }
 
@@ -85,7 +93,8 @@ impl RunArgs {
 }
 
 /// Parse `--quick` / `--full` / `--out DIR` / `--obs` / `--scale X` /
-/// `--obs-stride N` / `--obs-coarse` from `std::env::args`.
+/// `--obs-stride N` / `--obs-coarse` / `--shards N` from
+/// `std::env::args`.
 pub fn parse_args() -> RunArgs {
     let mut parsed = RunArgs::new(Mode::Quick, "results");
     let mut args = std::env::args().skip(1);
@@ -103,6 +112,10 @@ pub fn parse_args() -> RunArgs {
                 assert!(parsed.obs_stride != Some(0), "--obs-stride must be >= 1");
             }
             "--obs-coarse" => parsed.obs_coarse = true,
+            "--shards" => {
+                let v = args.next().expect("--shards needs a worker count");
+                parsed.shards = v.parse().expect("--shards needs an integer");
+            }
             "--scale" => {
                 let v = args.next().expect("--scale needs a factor");
                 parsed.scale = v.parse().expect("--scale needs a number");
@@ -110,7 +123,7 @@ pub fn parse_args() -> RunArgs {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X]"
+                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X] [--shards N]"
                 );
                 std::process::exit(0);
             }
@@ -350,6 +363,12 @@ mod tests {
         assert_eq!(cfg.network.obs_stride, 16);
         assert!(cfg.network.obs_coarse_clock);
         cfg.validate().unwrap();
+
+        assert_eq!(cfg.parallelism, Parallelism::Serial);
+        args.shards = 4;
+        let cfg = args.base_config(AppKind::CrystalRouter);
+        assert_eq!(cfg.parallelism, Parallelism::IntraRun(4));
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -368,6 +387,7 @@ mod tests {
             series: SampleSeries::new(dfly_engine::Ns(1_000)),
             vc_occupancy: OccupancyHistogram::new(),
             route: RouteStats::new(),
+            coarse_unavailable: false,
         };
         report.route.record(false, 0);
         report.route.record(true, 64);

@@ -11,7 +11,9 @@
 //! budget); `tests/stress_smoke.rs` runs a handful of seeds in the normal
 //! test suite.
 
-use dfly_core::config::{AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy};
+use dfly_core::config::{
+    AppSelection, BackgroundConfig, ExperimentConfig, Parallelism, RoutingPolicy,
+};
 use dfly_core::run_experiment;
 use dfly_engine::proptest::{run_with_shrink, Config as PropConfig, Failure};
 use dfly_engine::{Ns, Xoshiro256};
@@ -90,6 +92,9 @@ pub struct StressScenario {
     pub msg_scale_pct: u32,
     /// Optional interfering background job on the free nodes.
     pub background: Option<StressBackground>,
+    /// Intra-run PDES worker threads (0 = legacy serial loop), so the
+    /// fuzzer also hammers the sharded engine's conservation ledgers.
+    pub shards: u32,
     /// Experiment master seed.
     pub seed: u64,
 }
@@ -126,6 +131,10 @@ impl StressScenario {
             msg_scale: self.msg_scale_pct as f64 / 100.0,
             background,
             seed: self.seed,
+            parallelism: match self.shards {
+                0 => Parallelism::Serial,
+                n => Parallelism::IntraRun(n),
+            },
         }
     }
 }
@@ -162,6 +171,13 @@ pub fn generate(rng: &mut Xoshiro256) -> StressScenario {
     } else {
         None
     };
+    // ~40% of scenarios run sharded (1, 2, or 4 workers) — worker count
+    // must never matter, so any failure there is a real engine bug.
+    let shards = if rng.chance(0.4) {
+        1 << rng.index(3)
+    } else {
+        0
+    };
     StressScenario {
         topo_idx,
         routing,
@@ -171,6 +187,7 @@ pub fn generate(rng: &mut Xoshiro256) -> StressScenario {
         ranks,
         msg_scale_pct,
         background,
+        shards,
         seed: rng.next_u64(),
     }
 }
@@ -189,6 +206,7 @@ pub fn shrink_candidates(s: &StressScenario) -> Vec<StressScenario> {
         background: None,
         ..*s
     });
+    push(StressScenario { shards: 0, ..*s });
     push(StressScenario { ranks: 4, ..*s });
     push(StressScenario {
         msg_scale_pct: 2,

@@ -68,6 +68,36 @@ impl AppSelection {
     }
 }
 
+/// How a single experiment executes.
+///
+/// [`Parallelism::Serial`] (the default) is the legacy single-thread event
+/// loop and stays byte-identical run to run — the golden-figure contract.
+/// [`Parallelism::IntraRun`] shards the network per dragonfly group under
+/// conservative time-window PDES on the given number of worker threads;
+/// its results are byte-identical *across worker counts* (the partition is
+/// per group, not per worker) but are a distinct deterministic schedule
+/// from the serial loop (cross-group credit becomes landing queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-thread event loop (the golden-run reference path).
+    #[default]
+    Serial,
+    /// Per-group PDES sharding on `n >= 1` worker threads. `IntraRun(1)`
+    /// exercises the sharded engine single-threaded — same bytes as any
+    /// other count, useful for debugging.
+    IntraRun(u32),
+}
+
+impl Parallelism {
+    /// Stable label for CSV/report output.
+    pub fn label(&self) -> String {
+        match self {
+            Parallelism::Serial => "serial".into(),
+            Parallelism::IntraRun(n) => format!("intra-run:{n}"),
+        }
+    }
+}
+
 /// Background (external interference) traffic configuration. The synthetic
 /// job always occupies **all** nodes not assigned to the target app, as in
 /// the paper.
@@ -101,6 +131,9 @@ pub struct ExperimentConfig {
     /// Master seed; placement, routing, workload jitter, and background
     /// destinations each derive an independent stream from it.
     pub seed: u64,
+    /// Execution mode of the single run (does not affect sweep-level
+    /// worker fan-out, which is a separate axis).
+    pub parallelism: Parallelism,
 }
 
 impl ExperimentConfig {
@@ -117,6 +150,7 @@ impl ExperimentConfig {
             msg_scale: 1.0,
             background: None,
             seed: 0x5EED,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -133,6 +167,7 @@ impl ExperimentConfig {
             msg_scale: 1.0,
             background: None,
             seed: 0x5EED,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -162,6 +197,9 @@ impl ExperimentConfig {
         self.network.validate()?;
         if self.msg_scale <= 0.0 {
             return Err("msg_scale must be positive".into());
+        }
+        if self.parallelism == Parallelism::IntraRun(0) {
+            return Err("intra-run parallelism needs at least one worker".into());
         }
         let nodes = self.topology.total_nodes();
         if self.app.ranks() > nodes {
@@ -199,6 +237,11 @@ impl ToKv for ExperimentConfig {
         kv(&mut out, "routing", self.routing.label());
         kv(&mut out, "msg_scale", self.msg_scale);
         kv(&mut out, "seed", format_args!("{:#x}", self.seed));
+        // Emitted only when non-default so serial echoes (and the golden
+        // CSVs embedding them) keep their exact bytes.
+        if self.parallelism != Parallelism::Serial {
+            kv(&mut out, "parallelism", self.parallelism.label());
+        }
         match &self.background {
             None => kv(&mut out, "background", "none"),
             Some(bg) => {
@@ -260,6 +303,23 @@ mod tests {
         let mut cfg = ExperimentConfig::small_test();
         cfg.app = AppSelection::CrystalRouter { ranks: 100 };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_intra_run_workers() {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.parallelism = Parallelism::IntraRun(0);
+        assert!(cfg.validate().unwrap_err().contains("at least one worker"));
+        cfg.parallelism = Parallelism::IntraRun(1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn parallelism_key_only_echoed_when_non_default() {
+        let mut cfg = ExperimentConfig::small_test();
+        assert!(!cfg.kv_echo().contains("parallelism"));
+        cfg.parallelism = Parallelism::IntraRun(4);
+        assert!(cfg.kv_echo().contains("parallelism = intra-run:4"));
     }
 
     #[test]

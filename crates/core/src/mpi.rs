@@ -20,10 +20,87 @@
 //!   injected incrementally through network wakeups, window by window, so
 //!   interference runs never materialize millions of future messages.
 
-use dfly_engine::Ns;
-use dfly_network::{Delivery, Network, NetworkEvent};
+use dfly_engine::{Bytes, Ns};
+use dfly_network::{Delivery, MessageId, Network, NetworkEvent, ShardedNetwork};
 use dfly_topology::NodeId;
 use dfly_workloads::{BackgroundTraffic, JobTrace};
+
+/// The network surface the rank engine drives. Implemented by the serial
+/// [`Network`] and the sharded PDES [`ShardedNetwork`]; the drivers are
+/// generic so a run switches execution modes without touching replay
+/// logic.
+pub trait DriverNet {
+    /// Queue a message for injection at (or after) `at`.
+    fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, bytes: Bytes, tag: u64) -> MessageId;
+    /// Advance to the next delivery or wakeup; `None` when drained.
+    fn poll(&mut self) -> Option<NetworkEvent>;
+    /// Current driver-visible simulated time.
+    fn now(&self) -> Ns;
+    /// Request a [`NetworkEvent::Wakeup`] at absolute time `at`.
+    fn schedule_wakeup(&mut self, at: Ns);
+    /// Packets a message of `bytes` segments into.
+    fn packets_for(&self, bytes: Bytes) -> u64;
+    /// Nodes in the machine.
+    fn total_nodes(&self) -> u32;
+    /// Bytes currently queued in channel buffers.
+    fn total_queued_bytes(&self) -> Bytes;
+    /// Packets injected but not yet delivered.
+    fn packets_in_flight(&self) -> usize;
+}
+
+impl DriverNet for Network {
+    fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, bytes: Bytes, tag: u64) -> MessageId {
+        Network::send(self, at, src, dst, bytes, tag)
+    }
+    fn poll(&mut self) -> Option<NetworkEvent> {
+        Network::poll(self)
+    }
+    fn now(&self) -> Ns {
+        Network::now(self)
+    }
+    fn schedule_wakeup(&mut self, at: Ns) {
+        Network::schedule_wakeup(self, at)
+    }
+    fn packets_for(&self, bytes: Bytes) -> u64 {
+        self.params().packets_for(bytes)
+    }
+    fn total_nodes(&self) -> u32 {
+        self.topology().config().total_nodes()
+    }
+    fn total_queued_bytes(&self) -> Bytes {
+        Network::total_queued_bytes(self)
+    }
+    fn packets_in_flight(&self) -> usize {
+        Network::packets_in_flight(self)
+    }
+}
+
+impl DriverNet for ShardedNetwork {
+    fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, bytes: Bytes, tag: u64) -> MessageId {
+        ShardedNetwork::send(self, at, src, dst, bytes, tag)
+    }
+    fn poll(&mut self) -> Option<NetworkEvent> {
+        ShardedNetwork::poll(self)
+    }
+    fn now(&self) -> Ns {
+        ShardedNetwork::now(self)
+    }
+    fn schedule_wakeup(&mut self, at: Ns) {
+        ShardedNetwork::schedule_wakeup(self, at)
+    }
+    fn packets_for(&self, bytes: Bytes) -> u64 {
+        self.params().packets_for(bytes)
+    }
+    fn total_nodes(&self) -> u32 {
+        self.topology().config().total_nodes()
+    }
+    fn total_queued_bytes(&self) -> Bytes {
+        ShardedNetwork::total_queued_bytes(self)
+    }
+    fn packets_in_flight(&self) -> usize {
+        ShardedNetwork::packets_in_flight(self)
+    }
+}
 
 /// Tag bit marking background messages.
 const BG_FLAG: u64 = 1 << 63;
@@ -106,7 +183,11 @@ impl BackgroundRunner {
 
     /// Inject the next window of messages; returns the time of the next
     /// refill.
-    fn refill(&mut self, net: &mut Network, scratch: &mut Vec<dfly_workloads::BgMessage>) -> Ns {
+    fn refill<N: DriverNet>(
+        &mut self,
+        net: &mut N,
+        scratch: &mut Vec<dfly_workloads::BgMessage>,
+    ) -> Ns {
         let from = self.injected_until;
         let to = from + self.window;
         scratch.clear();
@@ -158,8 +239,8 @@ struct Sampler {
 
 /// Drives any number of traced jobs (plus optional open-loop background
 /// traffic) to completion on one shared network.
-pub struct MultiDriver<'a> {
-    net: &'a mut Network,
+pub struct MultiDriver<'a, N: DriverNet = Network> {
+    net: &'a mut N,
     jobs: Vec<JobContext<'a>>,
     /// node -> (job, rank), dense over the machine.
     node_owner: Vec<(u32, u32)>,
@@ -170,20 +251,20 @@ pub struct MultiDriver<'a> {
 
 const NO_OWNER: (u32, u32) = (u32::MAX, u32::MAX);
 
-impl<'a> MultiDriver<'a> {
+impl<'a, N: DriverNet> MultiDriver<'a, N> {
     /// Set up a driver over `jobs`: each entry is a trace plus the node
     /// each of its ranks runs on. Node sets must be disjoint.
     pub fn new(
-        net: &'a mut Network,
+        net: &'a mut N,
         jobs: &[(&'a JobTrace, &'a [NodeId])],
         background: Option<BackgroundRunner>,
-    ) -> MultiDriver<'a> {
+    ) -> MultiDriver<'a, N> {
         assert!(!jobs.is_empty(), "need at least one job");
         assert!(
             jobs.len() < (1 << (63 - JOB_SHIFT)) as usize,
             "too many jobs for the tag encoding"
         );
-        let total_nodes = net.topology().config().total_nodes() as usize;
+        let total_nodes = net.total_nodes() as usize;
         let mut node_owner = vec![NO_OWNER; total_nodes];
         let mut contexts = Vec::with_capacity(jobs.len());
         for (job_idx, (trace, placement)) in jobs.iter().enumerate() {
@@ -419,7 +500,7 @@ impl<'a> MultiDriver<'a> {
 
         // Sender side: hops accounting + outstanding-send bookkeeping.
         {
-            let packets = self.net.params().packets_for(d.bytes);
+            let packets = self.net.packets_for(d.bytes);
             let s = &mut self.jobs[job as usize].ranks[src_rank as usize];
             s.hops_weighted += d.avg_hops * packets as f64;
             s.packets_sent += packets;
@@ -438,18 +519,18 @@ impl<'a> MultiDriver<'a> {
 
 /// Drives a single job — thin wrapper over [`MultiDriver`] kept for the
 /// common case.
-pub struct MpiDriver<'a> {
-    inner: MultiDriver<'a>,
+pub struct MpiDriver<'a, N: DriverNet = Network> {
+    inner: MultiDriver<'a, N>,
 }
 
-impl<'a> MpiDriver<'a> {
+impl<'a, N: DriverNet> MpiDriver<'a, N> {
     /// Set up a driver. `placement[rank]` is the node rank runs on.
     pub fn new(
-        net: &'a mut Network,
+        net: &'a mut N,
         trace: &'a JobTrace,
         placement: &'a [NodeId],
         background: Option<BackgroundRunner>,
-    ) -> MpiDriver<'a> {
+    ) -> MpiDriver<'a, N> {
         MpiDriver {
             inner: MultiDriver::new(net, &[(trace, placement)], background),
         }

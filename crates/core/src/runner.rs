@@ -1,16 +1,24 @@
 //! End-to-end experiment execution.
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, Parallelism};
 use crate::mpi::{BackgroundRunner, MpiDriver};
 use dfly_engine::{Ns, Xoshiro256};
-use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics, SimArena};
+use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics, ShardedNetwork, SimArena};
 use dfly_obs::ObsReport;
 use dfly_placement::NodePool;
 use dfly_stats::{BoxStats, Cdf};
 use dfly_topology::{NodeId, RouterId, Topology};
 use dfly_workloads::{generate, BackgroundTraffic};
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-group arena pool for sharded runs, one pool per (sweep) worker
+    /// thread — mirrors the per-worker `SimArena` the serial path gets
+    /// passed explicitly.
+    static SHARD_ARENAS: RefCell<Vec<SimArena>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Everything one experiment produced.
 #[derive(Debug, Clone)]
@@ -178,15 +186,6 @@ pub fn execute_experiment_with_arena(
     // Workload.
     let trace = generate(&config.app.spec(config.msg_scale, workload_seed));
 
-    // Network, over the arena's recycled buffers (cold on the first run).
-    let mut net = Network::with_arena(
-        topo.clone(),
-        config.network,
-        config.routing,
-        routing_seed,
-        arena,
-    );
-
     // Background job on the complement nodes.
     let background = config.background.as_ref().map(|bg| {
         let mut spec = bg.spec;
@@ -198,13 +197,58 @@ pub fn execute_experiment_with_arena(
         )
     });
 
-    let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
-    let metrics = net.metrics();
-    let audit = net.audit_report();
-    let obs = net.obs_report();
+    // A single-group machine has no cross-group cut to shard on; run it
+    // on the serial loop whatever the config says.
+    let workers = match config.parallelism {
+        Parallelism::IntraRun(n) if config.topology.groups >= 2 => Some(n as usize),
+        _ => None,
+    };
+    let (result, metrics, audit, obs, events) = match workers {
+        None => {
+            // The legacy serial event loop, over the arena's recycled
+            // buffers (cold on the first run) — the golden-run reference
+            // path, byte-identical to earlier single-thread releases.
+            let mut net = Network::with_arena(
+                topo.clone(),
+                config.network,
+                config.routing,
+                routing_seed,
+                arena,
+            );
+            let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
+            let metrics = net.metrics();
+            let audit = net.audit_report();
+            let obs = net.obs_report();
+            let events = net.events_processed();
+            net.recycle(arena);
+            (result, metrics, audit, obs, events)
+        }
+        Some(n) => {
+            // Per-group PDES sharding. Each worker thread of the *sweep*
+            // keeps its own pool of per-group arenas (capacity-only, so
+            // recycling cannot change results).
+            SHARD_ARENAS.with(|pool| {
+                let pool = &mut *pool.borrow_mut();
+                let mut net = ShardedNetwork::with_arenas(
+                    topo.clone(),
+                    config.network,
+                    config.routing,
+                    routing_seed,
+                    n,
+                    pool,
+                );
+                let result = MpiDriver::new(&mut net, &trace, &placement, background).run();
+                let mut parts = net.finish();
+                let metrics = parts.metrics();
+                let audit = parts.audit_report();
+                let obs = parts.obs_report();
+                let events = parts.events();
+                parts.recycle(pool);
+                (result, metrics, audit, obs, events)
+            })
+        }
+    };
     let app_routers: HashSet<RouterId> = placement.iter().map(|&n| topo.node_router(n)).collect();
-    let events = net.events_processed();
-    net.recycle(arena);
 
     ExperimentResult {
         config: config.clone(),
@@ -382,6 +426,68 @@ mod tests {
             n.max_comm_time(),
             q.max_comm_time()
         );
+    }
+
+    #[test]
+    fn intra_run_is_worker_count_invariant_and_audit_clean() {
+        let mut base = small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        );
+        base.network.audit = true;
+        let mut runs = Vec::new();
+        for n in [1u32, 2, 8] {
+            let mut cfg = base.clone();
+            cfg.parallelism = Parallelism::IntraRun(n);
+            let r = run_experiment(&cfg);
+            let audit = r.audit.as_ref().expect("audit on");
+            assert!(audit.is_clean(), "workers={n}:\n{audit}");
+            runs.push(r);
+        }
+        for r in &runs[1..] {
+            assert_eq!(runs[0].rank_comm_times, r.rank_comm_times);
+            assert_eq!(runs[0].rank_avg_hops, r.rank_avg_hops);
+            assert_eq!(runs[0].job_end, r.job_end);
+            assert_eq!(runs[0].events, r.events);
+        }
+        // Placement and hops structure match the serial path exactly
+        // (same seed streams); only the packet schedule differs.
+        let serial = run_experiment(&base);
+        assert_eq!(serial.placement, runs[0].placement);
+    }
+
+    #[test]
+    fn intra_run_obs_report_merges_across_shards() {
+        let mut cfg = small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        );
+        cfg.network.obs = true;
+        cfg.parallelism = Parallelism::IntraRun(3);
+        let r = run_experiment(&cfg);
+        let obs = r.obs.as_ref().expect("obs on");
+        assert_eq!(obs.profile.total_events(), r.events);
+        assert!(!obs.series.samples().is_empty());
+        assert!(obs.route.total() > 0);
+    }
+
+    #[test]
+    fn intra_run_background_traffic_runs_clean() {
+        let mut cfg = small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        );
+        cfg.app = AppSelection::Amg { ranks: 8 };
+        cfg.msg_scale = 1.0;
+        cfg.network.audit = true;
+        cfg.background = Some(BackgroundConfig {
+            spec: BackgroundSpec::uniform(64 * 1024, Ns::from_us(2), 0),
+        });
+        cfg.parallelism = Parallelism::IntraRun(4);
+        let r = run_experiment(&cfg);
+        assert!(r.background_messages > 0);
+        let audit = r.audit.as_ref().expect("audit on");
+        assert!(audit.is_clean(), "{audit}");
     }
 
     #[test]

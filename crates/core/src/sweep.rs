@@ -15,6 +15,7 @@ use crate::report::ConfigLabel;
 use crate::runner::{execute_experiment_with_arena, prepare_topology, ExperimentResult};
 use dfly_network::SimArena;
 use dfly_topology::Topology;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One grid cell's outcome.
@@ -83,10 +84,7 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
             },
         )
         .collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(configs.len().max(1));
+    let workers = sweep_workers(configs.len());
     if workers <= 1 || configs.len() <= 1 {
         // One arena carried across the whole batch: cell N+1 reuses the
         // buffer capacities cell N grew.
@@ -97,40 +95,70 @@ pub fn run_many(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
             .map(|(cfg, topo)| execute_experiment_with_arena(cfg, topo.clone(), &mut arena))
             .collect();
     }
-    let next = Mutex::new(0usize);
+    // Lock-free work claiming: a panicking worker must not poison shared
+    // state, or the caller sees a misleading "lock poisoned" panic instead
+    // of the original failure.
+    let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<ExperimentResult>>> =
         configs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // Arenas are per-worker (SimArena is deliberately not
-                // shared): each thread warms its own buffer set.
-                let mut arena = SimArena::new();
-                loop {
-                    let i = {
-                        let mut n = next.lock().expect("claim lock never poisoned");
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    if i >= configs.len() {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Arenas are per-worker (SimArena is deliberately not
+                    // shared): each thread warms its own buffer set.
+                    let mut arena = SimArena::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= configs.len() {
+                            break;
+                        }
+                        let r = execute_experiment_with_arena(
+                            &configs[i],
+                            topos[i].clone(),
+                            &mut arena,
+                        );
+                        *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                     }
-                    let r =
-                        execute_experiment_with_arena(&configs[i], topos[i].clone(), &mut arena);
-                    *results[i].lock().expect("slot lock never poisoned") = Some(r);
-                }
-            });
+                })
+            })
+            .collect();
+        // Join explicitly and re-throw the *first worker's own payload*:
+        // scope's automatic join would replace it with a generic
+        // "a scoped thread panicked" message.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     results
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("slot lock never poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Number of sweep worker threads: the `DFLY_SWEEP_WORKERS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism; always capped by the batch size.
+fn sweep_workers(batch: usize) -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    std::env::var("DFLY_SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+        .min(batch.max(1))
 }
 
 #[cfg(test)]
@@ -184,5 +212,37 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        // A config that passes topology dedupe (same topology as a valid
+        // sibling, so `prepare_topology` never validates it on the main
+        // thread) but fails `validate()` inside the worker: background
+        // fanout larger than the free-node budget.
+        let good = base();
+        let mut bad = base();
+        bad.background = Some(crate::config::BackgroundConfig {
+            spec: dfly_workloads::BackgroundSpec::bursty(
+                32 * 1024,
+                dfly_engine::Ns::from_us(60),
+                10_000, // far beyond the 64-node machine's free budget
+                0,
+            ),
+        });
+        let configs = [good, bad];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_many(&configs)))
+            .expect_err("invalid cell must fail the batch");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload must be a string");
+        // The original failure, not a poisoned-mutex artifact.
+        assert!(
+            msg.contains("invalid experiment config"),
+            "wrong payload: {msg}"
+        );
+        assert!(!msg.contains("poisoned"), "poison leaked through: {msg}");
     }
 }

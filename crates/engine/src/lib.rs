@@ -15,12 +15,15 @@
 //!   config echo ([`kv`]) so tests and reporting need no external crates
 //!   either — the workspace builds fully offline.
 //!
-//! The engine is deliberately sequential. The paper used parallel
-//! discrete-event simulation (ROSS) purely for speed on large clusters; the
-//! *results* of a simulation are engine-independent, and the trade-off study
-//! compares configurations, which benefits far more from determinism than
-//! from parallel execution inside one run. Parallelism in this reproduction
-//! happens *across* simulation runs (see `dfly-core::sweep`).
+//! The event loop itself stays sequential per shard. The paper used
+//! parallel discrete-event simulation (ROSS) for speed on large clusters;
+//! this reproduction mirrors that with a *conservative time-window* PDES
+//! mode: a run may be partitioned into shards (one per dragonfly group)
+//! that each own a sequential [`EventQueue`] and exchange cross-shard
+//! traffic only at window boundaries bounded by the global-link lookahead
+//! (see [`shard`]). Sharding is partition-deterministic — results are
+//! byte-identical at any worker count — and parallelism *across*
+//! simulation runs remains available too (see `dfly-core::sweep`).
 
 #![warn(missing_docs)]
 
@@ -28,9 +31,11 @@ pub mod kv;
 pub mod proptest;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use kv::ToKv;
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::Xoshiro256;
+pub use shard::{Mailbox, ShardClock, Windows};
 pub use time::{Bandwidth, Bytes, Ns};

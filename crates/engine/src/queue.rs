@@ -64,6 +64,12 @@ pub struct EventQueue<E> {
     now: Ns,
     scheduled_total: u64,
     high_water: usize,
+    /// `(time, seq)` of the most recently processed event — popped, or
+    /// handled out-of-heap via [`EventQueue::advance_to`]. Guards the
+    /// reserved-sequence protocol: a reserved seq handed back *after* the
+    /// clock passed its slot would fire behind later-seq events of the
+    /// same timestamp, silently breaking total order.
+    last_key: Option<(Ns, u64)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -81,6 +87,7 @@ impl<E> EventQueue<E> {
             now: Ns::ZERO,
             scheduled_total: 0,
             high_water: 0,
+            last_key: None,
         }
     }
 
@@ -92,6 +99,7 @@ impl<E> EventQueue<E> {
             now: Ns::ZERO,
             scheduled_total: 0,
             high_water: 0,
+            last_key: None,
         }
     }
 
@@ -106,6 +114,7 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: t={time:?} < now={:?}",
             self.now
         );
+        assert!(self.next_seq != u64::MAX, "event sequence space exhausted");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
@@ -131,6 +140,7 @@ impl<E> EventQueue<E> {
     /// lets per-channel FIFOs hold their tail events out of the heap
     /// without perturbing the global deterministic order.
     pub fn reserve_seq(&mut self) -> u64 {
+        assert!(self.next_seq != u64::MAX, "event sequence space exhausted");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
@@ -153,6 +163,16 @@ impl<E> EventQueue<E> {
             seq < self.next_seq,
             "sequence number {seq} was never reserved"
         );
+        // A reserved seq handed back after the clock already processed a
+        // later key at the same timestamp would pop *behind* events it
+        // should precede — the total (time, seq) order would silently
+        // break even though `time >= now` holds.
+        debug_assert!(
+            self.last_key.is_none_or(|last| (time, seq) > last),
+            "reserved event (t={time:?}, seq={seq}) scheduled behind the \
+             already-processed key {:?} — equal-timestamp order violated",
+            self.last_key
+        );
         self.heap.push(HeapEntry { time, seq, event });
         if self.heap.len() > self.high_water {
             self.high_water = self.heap.len();
@@ -167,29 +187,43 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| (e.time, e.seq))
     }
 
-    /// Advance the clock to `time` without popping an event — used when
-    /// the caller processes a reserved event it kept outside the heap.
+    /// Advance the clock to `time`, marking the reserved event `(time,
+    /// seq)` as processed without it ever entering the heap — used when
+    /// the caller handles a reserved event directly.
     ///
     /// Panics on a backwards move; debug-asserts that no pending heap
-    /// entry fires earlier (skipping one would break causality).
-    pub fn advance_to(&mut self, time: Ns) {
+    /// entry precedes `(time, seq)` (skipping one would break causality)
+    /// and that the key advances over the last processed event.
+    pub fn advance_to(&mut self, time: Ns, seq: u64) {
         assert!(
             time >= self.now,
             "clock moved backwards: t={time:?} < now={:?}",
             self.now
         );
+        debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
         debug_assert!(
-            self.peek_time().is_none_or(|t| time <= t),
-            "advance_to({time:?}) would skip a pending heap event"
+            self.peek_key().is_none_or(|key| (time, seq) < key),
+            "advance_to(t={time:?}, seq={seq}) would skip a pending heap event"
+        );
+        debug_assert!(
+            self.last_key.is_none_or(|last| (time, seq) > last),
+            "advance_to(t={time:?}, seq={seq}) replays an already-processed key"
         );
         self.now = time;
+        self.last_key = Some((time, seq));
     }
 
     /// Pop the earliest event and advance the clock to it.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now);
+        debug_assert!(
+            self.last_key
+                .is_none_or(|last| (entry.time, entry.seq) > last),
+            "heap produced a key at or behind the last processed event"
+        );
         self.now = entry.time;
+        self.last_key = Some((entry.time, entry.seq));
         Some(ScheduledEvent {
             time: entry.time,
             seq: entry.seq,
@@ -365,11 +399,11 @@ mod tests {
     fn peek_key_and_advance_to_support_out_of_heap_events() {
         let mut q = EventQueue::new();
         q.schedule(Ns(10), ());
-        let _held = q.reserve_seq(); // an event the caller keeps at Ns(5)
+        let held = q.reserve_seq(); // an event the caller keeps at Ns(5)
         assert_eq!(q.peek_key(), Some((Ns(10), 0)));
         // The held event (Ns(5), seq 1) precedes the heap top, so the
         // caller may process it directly after advancing the clock.
-        q.advance_to(Ns(5));
+        q.advance_to(Ns(5), held);
         assert_eq!(q.now(), Ns(5));
         let e = q.pop().unwrap();
         assert_eq!(e.time, Ns(10));
@@ -380,8 +414,45 @@ mod tests {
     fn advance_to_rejects_backwards_moves() {
         let mut q = EventQueue::new();
         q.schedule(Ns(10), ());
+        let held = q.reserve_seq();
         q.pop();
-        q.advance_to(Ns(5));
+        q.advance_to(Ns(5), held);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert-only guard")]
+    #[should_panic(expected = "equal-timestamp order violated")]
+    fn stale_reserved_seq_behind_processed_tie_is_caught() {
+        // seq 0 is reserved, then two direct events at the same timestamp
+        // are scheduled *and processed*. Handing seq 0 back now would make
+        // it pop after events it should precede — the exact interleaving
+        // the (time, seq) total order exists to forbid.
+        let mut q = EventQueue::new();
+        let stale = q.reserve_seq(); // seq 0, held at Ns(10)
+        q.schedule(Ns(10), "a"); // seq 1
+        q.schedule(Ns(10), "b"); // seq 2
+        q.pop();
+        q.pop();
+        q.schedule_reserved(Ns(10), stale, "late");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert-only guard")]
+    #[should_panic(expected = "replays an already-processed key")]
+    fn advance_to_rejects_replayed_keys() {
+        let mut q = EventQueue::new();
+        let held = q.reserve_seq();
+        q.schedule(Ns(10), ());
+        q.pop(); // processes (Ns(10), seq 1)
+        q.advance_to(Ns(10), held); // seq 0 at the same time: behind it
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence space exhausted")]
+    fn seq_exhaustion_is_detected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.next_seq = u64::MAX; // simulate 2^64 prior schedules
+        q.reserve_seq();
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Shared-state primitives for conservative time-window PDES.
+//!
+//! A sharded simulation partitions its state into shards (one per
+//! dragonfly group) that only interact across links with a known minimum
+//! latency — the *lookahead*. Simulated time is cut into fixed windows of
+//! one lookahead each: an event executed inside window `w` can only
+//! produce cross-shard effects at or after the start of window `w + 1`,
+//! so every shard may process all of window `w` without hearing from its
+//! neighbors mid-window. This module holds the three pieces the engine
+//! contributes:
+//!
+//! * [`Windows`] — the window arithmetic (index, start, exclusive end),
+//! * [`ShardClock`] — an `AtomicU64` a shard uses to publish its next
+//!   pending event time (`IDLE` when it has none), read by the
+//!   coordinator to find the global minimum and skip empty windows,
+//! * [`Mailbox`] — a mutex-guarded batch slot for the per-directed-edge
+//!   exchange of cross-shard records between exactly one producer and
+//!   one consumer (SPSC in discipline, `Mutex` in mechanism: each side
+//!   touches the lock once per window, so contention is nil).
+//!
+//! Everything here is `std`-only, per the workspace zero-dependency
+//! policy.
+
+use crate::time::Ns;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The published value of a [`ShardClock`] with no pending work.
+pub const IDLE: u64 = u64::MAX;
+
+/// Fixed-width window arithmetic over simulated time.
+///
+/// Window `w` covers `[w * lookahead, (w + 1) * lookahead)`; the end is
+/// *exclusive*, so a shard executes window `w` by running its local queue
+/// up to and including `end(w) - 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Windows {
+    lookahead: u64,
+}
+
+impl Windows {
+    /// Window arithmetic with the given lookahead (the minimum
+    /// cross-shard latency). Must be positive — a zero lookahead means
+    /// the partition has no conservative window at all.
+    pub fn new(lookahead: Ns) -> Windows {
+        assert!(lookahead > Ns::ZERO, "PDES lookahead must be positive");
+        Windows {
+            lookahead: lookahead.as_nanos(),
+        }
+    }
+
+    /// The lookahead this arithmetic was built with.
+    pub fn lookahead(&self) -> Ns {
+        Ns(self.lookahead)
+    }
+
+    /// Which window the instant `t` falls into.
+    pub fn index_of(&self, t: Ns) -> u64 {
+        t.as_nanos() / self.lookahead
+    }
+
+    /// First instant of window `w`.
+    pub fn start(&self, w: u64) -> Ns {
+        Ns(w.saturating_mul(self.lookahead))
+    }
+
+    /// One past the last instant of window `w` (exclusive end).
+    pub fn end(&self, w: u64) -> Ns {
+        Ns((w + 1).saturating_mul(self.lookahead))
+    }
+}
+
+/// A shard's published horizon: the earliest simulated time at which it
+/// still has pending work, or [`IDLE`] when it has none.
+///
+/// The owning shard stores with `Release`, the coordinator reads with
+/// `Acquire`; the mpsc window handshake orders the accesses, the atomics
+/// make the cross-thread reads well-defined for ThreadSanitizer and the
+/// memory model alike.
+#[derive(Debug)]
+pub struct ShardClock {
+    next: AtomicU64,
+}
+
+impl ShardClock {
+    /// A fresh clock publishing "pending work at time zero" so the first
+    /// window is never skipped before the shard's first publish.
+    pub fn new() -> ShardClock {
+        ShardClock {
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish the earliest pending event time ([`IDLE`] for none).
+    pub fn publish(&self, next: u64) {
+        self.next.store(next, Ordering::Release);
+    }
+
+    /// Read the published horizon.
+    pub fn load(&self) -> u64 {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+impl Default for ShardClock {
+    fn default() -> Self {
+        ShardClock::new()
+    }
+}
+
+/// The minimum over a set of published horizons ([`IDLE`] when every
+/// shard is idle).
+pub fn min_horizon(clocks: &[ShardClock]) -> u64 {
+    clocks.iter().map(|c| c.load()).min().unwrap_or(IDLE)
+}
+
+/// A single-producer single-consumer batch slot for cross-shard records.
+///
+/// The producer appends its whole window's worth of records in one
+/// locked call; the consumer drains them in one locked call at the start
+/// of its next window. Records are delivered in the order they were
+/// pushed.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    slot: Mutex<Vec<T>>,
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox.
+    pub fn new() -> Mailbox<T> {
+        Mailbox {
+            slot: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Append everything in `batch` (drained, keeping its capacity for
+    /// the producer's next window).
+    pub fn push_batch(&self, batch: &mut Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .append(batch);
+    }
+
+    /// Drain every pending record into `into`, preserving push order.
+    pub fn drain_into(&self, into: &mut Vec<T>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        into.append(&mut slot);
+    }
+
+    /// Whether any records are pending (consumer-side check; exact under
+    /// the SPSC discipline once the producer's window has been fenced).
+    pub fn is_empty(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn window_arithmetic_is_half_open() {
+        let w = Windows::new(Ns(1_600));
+        assert_eq!(w.index_of(Ns(0)), 0);
+        assert_eq!(w.index_of(Ns(1_599)), 0);
+        assert_eq!(w.index_of(Ns(1_600)), 1);
+        assert_eq!(w.start(3), Ns(4_800));
+        assert_eq!(w.end(3), Ns(6_400));
+        assert_eq!(w.index_of(w.end(7)), 8, "end is exclusive");
+        assert_eq!(w.lookahead(), Ns(1_600));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be positive")]
+    fn zero_lookahead_is_rejected() {
+        let _ = Windows::new(Ns::ZERO);
+    }
+
+    #[test]
+    fn clock_roundtrips_and_min_horizon_skips_idle() {
+        let clocks = [ShardClock::new(), ShardClock::new(), ShardClock::new()];
+        assert_eq!(min_horizon(&clocks), 0, "fresh clocks claim time zero");
+        clocks[0].publish(IDLE);
+        clocks[1].publish(5_000);
+        clocks[2].publish(3_200);
+        assert_eq!(min_horizon(&clocks), 3_200);
+        clocks[1].publish(IDLE);
+        clocks[2].publish(IDLE);
+        assert_eq!(min_horizon(&clocks), IDLE);
+        assert_eq!(min_horizon(&[]), IDLE);
+    }
+
+    #[test]
+    fn mailbox_preserves_batch_order_and_capacity() {
+        let mb = Mailbox::new();
+        let mut batch = vec![1, 2, 3];
+        mb.push_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.capacity() >= 3, "producer keeps its buffer");
+        batch.extend([4, 5]);
+        mb.push_batch(&mut batch);
+        assert!(!mb.is_empty());
+        let mut got = Vec::new();
+        mb.drain_into(&mut got);
+        assert_eq!(got, [1, 2, 3, 4, 5]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn mailbox_hands_batches_across_threads() {
+        let mb = Arc::new(Mailbox::new());
+        let clock = Arc::new(ShardClock::new());
+        let producer = {
+            let mb = Arc::clone(&mb);
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                let mut batch = Vec::new();
+                for window in 0..100u64 {
+                    batch.extend(window * 10..window * 10 + 10);
+                    mb.push_batch(&mut batch);
+                    clock.publish(window + 1);
+                }
+                clock.publish(IDLE);
+            })
+        };
+        let mut got = Vec::new();
+        while clock.load() != IDLE {
+            mb.drain_into(&mut got);
+        }
+        mb.drain_into(&mut got);
+        producer.join().unwrap();
+        assert_eq!(got.len(), 1_000);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+}

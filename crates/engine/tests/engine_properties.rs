@@ -171,3 +171,93 @@ fn rng_split_streams_differ() {
         },
     );
 }
+
+/// The reserved-sequence protocol (per-channel in-flight FIFOs keeping
+/// their tails out of the heap) preserves the global (time, seq) total
+/// order under arbitrary interleavings of direct schedules, FIFO
+/// reservations, and pops — including the inline coalescing path that
+/// processes a reserved event via `advance_to` without a heap round-trip.
+#[test]
+fn queue_reserved_interleaving_total_order() {
+    #[derive(Debug)]
+    enum Ev {
+        Direct,
+        FifoHead,
+    }
+    use std::collections::VecDeque;
+
+    fn process_one(
+        q: &mut EventQueue<Ev>,
+        fifo: &mut VecDeque<(Ns, u64)>,
+        processed: &mut Vec<(Ns, u64)>,
+    ) -> Result<(), String> {
+        let Some(e) = q.pop() else {
+            return Ok(());
+        };
+        processed.push((e.time, e.seq));
+        if matches!(e.event, Ev::FifoHead) {
+            let head = fifo.pop_front().ok_or("FIFO marker without an entry")?;
+            if head != (e.time, e.seq) {
+                return Err(format!(
+                    "marker {:?} vs FIFO head {head:?}",
+                    (e.time, e.seq)
+                ));
+            }
+            // Exactly the engine's coalescing rule: successors that precede
+            // everything in the heap drain inline via advance_to; the first
+            // that does not goes back as the head's heap entry.
+            while let Some(&next) = fifo.front() {
+                if q.peek_key().is_none_or(|key| next < key) {
+                    q.advance_to(next.0, next.1);
+                    processed.push(next);
+                    fifo.pop_front();
+                } else {
+                    q.schedule_reserved(next.0, next.1, Ev::FifoHead);
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    check(
+        "queue_reserved_interleaving_total_order",
+        &Config::with_cases(64),
+        |rng| gen::vec_u64(rng, 1, 400, 0, 999_999),
+        |ops| {
+            let mut q: EventQueue<Ev> = EventQueue::new();
+            let mut fifo: VecDeque<(Ns, u64)> = VecDeque::new();
+            let mut processed: Vec<(Ns, u64)> = Vec::new();
+            for &op in ops {
+                let delay = Ns((op / 4) % 64);
+                match op % 4 {
+                    0 => q.schedule(q.now() + delay, Ev::Direct),
+                    1 => {
+                        // Reserved times are monotone within the FIFO, as
+                        // serialization times are on a real channel.
+                        let t = (q.now() + delay).max(fifo.back().map_or(Ns::ZERO, |&(t, _)| t));
+                        let seq = q.reserve_seq();
+                        let was_empty = fifo.is_empty();
+                        fifo.push_back((t, seq));
+                        if was_empty {
+                            q.schedule_reserved(t, seq, Ev::FifoHead);
+                        }
+                    }
+                    _ => process_one(&mut q, &mut fifo, &mut processed)?,
+                }
+            }
+            while !q.is_empty() {
+                process_one(&mut q, &mut fifo, &mut processed)?;
+            }
+            if !fifo.is_empty() {
+                return Err(format!("{} reserved events never processed", fifo.len()));
+            }
+            for w in processed.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(format!("total order violated: {:?} then {:?}", w[0], w[1]));
+                }
+            }
+            Ok(())
+        },
+    );
+}

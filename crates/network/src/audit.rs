@@ -33,6 +33,7 @@ use crate::channel::{ChannelState, PacketList};
 use crate::packet::{MessageId, Packet, PacketId, MAX_ROUTE_LEN};
 use dfly_engine::{Bytes, Ns};
 use dfly_topology::ChannelId;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Run a full structural sweep every this many events (the per-event
@@ -165,6 +166,9 @@ enum Loc {
     Queued(ChannelId, u8),
     /// Between `TxDone` and `Arrive`: on the wire, in no queue.
     InFlight,
+    /// Shard mode: an imported packet refused at ingress, waiting in the
+    /// channel's landing queue for buffer space.
+    Landing(ChannelId),
 }
 
 /// Shadow state for one arena slot.
@@ -192,6 +196,10 @@ struct MsgShadow {
     expected: u64,
     injected: u64,
     delivered: u64,
+    /// Bytes that entered this replica from another shard (shard mode).
+    imported: u64,
+    /// Bytes that left this replica over a global link (shard mode).
+    exported: u64,
     live_packets: u32,
 }
 
@@ -215,6 +223,12 @@ pub(crate) struct Auditor {
     total_queued: Bytes,
     injected_bytes: u64,
     delivered_bytes: u64,
+    /// Shard mode: bytes entering / leaving this replica across shard
+    /// boundaries. Zero in serial runs, degenerating the generalized
+    /// balance `injected + imported == delivered + exported + resident`
+    /// to the classic serial check.
+    imported_bytes: u64,
+    exported_bytes: u64,
     report: AuditReport,
     events_since_sweep: u64,
     last_drain_at: Option<u64>,
@@ -238,6 +252,8 @@ impl Auditor {
             total_queued: 0,
             injected_bytes: 0,
             delivered_bytes: 0,
+            imported_bytes: 0,
+            exported_bytes: 0,
             report: AuditReport::default(),
             events_since_sweep: 0,
             last_drain_at: None,
@@ -306,6 +322,38 @@ impl Auditor {
             expected: bytes.max(1), // zero-byte messages carry a header byte
             injected: 0,
             delivered: 0,
+            imported: 0,
+            exported: 0,
+            live_packets: 0,
+        };
+    }
+
+    /// Shard mode: a message slot materialized for remotely injected
+    /// traffic (a destination-side delivery shadow, or a per-packet
+    /// transit shadow). Its bytes arrive via imports, never injections.
+    pub(crate) fn on_remote_message(&mut self, msg: MessageId, expected: u64, at: Ns) {
+        let i = msg.0 as usize;
+        if i >= self.messages.len() {
+            self.messages.resize(i + 1, MsgShadow::default());
+        }
+        if self.messages[i].active {
+            self.violate(
+                AuditKind::ByteConservation,
+                None,
+                None,
+                0,
+                1,
+                at,
+                "message slot recycled while live",
+            );
+        }
+        self.messages[i] = MsgShadow {
+            active: true,
+            expected,
+            injected: 0,
+            delivered: 0,
+            imported: 0,
+            exported: 0,
             live_packets: 0,
         };
     }
@@ -524,10 +572,14 @@ impl Auditor {
         m.live_packets = m.live_packets.saturating_sub(1);
     }
 
-    /// The message's last packet was delivered.
+    /// The message's last packet was delivered. The balance generalizes
+    /// the serial `injected == delivered == expected` check to shard
+    /// mode, where a slot's bytes may arrive as imports (destination
+    /// shadow) and detour exports return as imports (same-group Valiant):
+    /// every byte in equals every byte out.
     pub(crate) fn on_message_complete(&mut self, msg: MessageId, at: Ns) {
         let m = self.messages[msg.0 as usize];
-        if m.delivered != m.expected || m.injected != m.expected {
+        if m.delivered != m.expected || m.injected + m.imported != m.delivered + m.exported {
             self.violate(
                 AuditKind::ByteConservation,
                 None,
@@ -536,8 +588,8 @@ impl Auditor {
                 m.delivered,
                 at,
                 &format!(
-                    "message {} bytes not conserved (injected {})",
-                    msg.0, m.injected
+                    "message {} bytes not conserved (injected {}, imported {}, exported {})",
+                    msg.0, m.injected, m.imported, m.exported
                 ),
             );
         }
@@ -553,6 +605,189 @@ impl Auditor {
             );
         }
         self.messages[msg.0 as usize].active = false;
+    }
+
+    /// Shard mode: a `Forwarding` or `Transit` slot closed because its
+    /// last packet left over a global link. Nothing may have delivered
+    /// locally, and everything that entered must have left.
+    pub(crate) fn on_message_closed(&mut self, msg: MessageId, at: Ns) {
+        let m = self.messages[msg.0 as usize];
+        if m.delivered != 0 || m.injected + m.imported != m.exported {
+            self.violate(
+                AuditKind::ByteConservation,
+                None,
+                None,
+                m.injected + m.imported,
+                m.exported + m.delivered,
+                at,
+                &format!("forwarded message {} bytes not conserved", msg.0),
+            );
+        }
+        if m.live_packets != 0 {
+            self.violate(
+                AuditKind::ByteConservation,
+                None,
+                None,
+                0,
+                m.live_packets as u64,
+                at,
+                &format!("forwarded message {} closed with live packets", msg.0),
+            );
+        }
+        self.messages[msg.0 as usize].active = false;
+    }
+
+    // ----- shard-boundary mirror -------------------------------------------
+
+    /// Shard mode: a packet materialized from another replica's wire
+    /// record. It is "on the wire" until its import event fires.
+    pub(crate) fn on_packet_imported(&mut self, pid: PacketId, msg: MessageId, size: u32, at: Ns) {
+        let prior = self.packet_mut(pid).loc;
+        if prior != Loc::Free {
+            self.violate(
+                AuditKind::ListIntegrity,
+                None,
+                None,
+                0,
+                1,
+                at,
+                "packet slot reused while live",
+            );
+        }
+        *self.packet_mut(pid) = PacketShadow {
+            loc: Loc::InFlight,
+            reserved: None,
+            size,
+            msg,
+        };
+        self.imported_bytes += size as u64;
+        let m = &mut self.messages[msg.0 as usize];
+        m.imported += size as u64;
+        m.live_packets += 1;
+    }
+
+    /// Shard mode: a packet's last byte cleared a global channel and the
+    /// packet left this replica as a wire record.
+    pub(crate) fn on_exported(&mut self, pid: PacketId, msg: MessageId, at: Ns) {
+        let p = *self.packet_mut(pid);
+        let size = p.size as u64;
+        if p.loc != Loc::InFlight {
+            let loc = p.loc;
+            self.violate(
+                AuditKind::ListIntegrity,
+                None,
+                None,
+                0,
+                1,
+                at,
+                &format!("export of packet not in flight (shadow {loc:?})"),
+            );
+        }
+        if p.reserved.is_some() {
+            self.violate(
+                AuditKind::VcOccupancy,
+                None,
+                None,
+                0,
+                1,
+                at,
+                "exported packet still holds a reservation",
+            );
+        }
+        if p.msg != msg {
+            self.violate(
+                AuditKind::ListIntegrity,
+                None,
+                None,
+                p.msg.0,
+                msg.0,
+                at,
+                "exported packet's owning message diverged from shadow",
+            );
+        }
+        *self.packet_mut(pid) = FREE_SHADOW;
+        self.exported_bytes += size;
+        let m = &mut self.messages[msg.0 as usize];
+        m.exported += size;
+        m.live_packets = m.live_packets.saturating_sub(1);
+    }
+
+    /// Shard mode: an imported packet entered a VC buffer directly — no
+    /// reservation exists, the bytes appear in the books here.
+    pub(crate) fn on_ingress_enqueue(&mut self, pid: PacketId, ch: ChannelId, vc: usize, at: Ns) {
+        let p = *self.packet_mut(pid);
+        let size = p.size as u64;
+        if p.loc != Loc::InFlight {
+            let loc = p.loc;
+            self.violate(
+                AuditKind::ListIntegrity,
+                Some(ch),
+                Some(vc),
+                0,
+                1,
+                at,
+                &format!("ingress enqueue of packet not in flight (shadow {loc:?})"),
+            );
+        }
+        if p.reserved.is_some() {
+            self.violate(
+                AuditKind::VcOccupancy,
+                Some(ch),
+                Some(vc),
+                0,
+                1,
+                at,
+                "ingress enqueue with a reservation held",
+            );
+        }
+        let ps = self.packet_mut(pid);
+        ps.loc = Loc::Queued(ch, vc as u8);
+        let cs = &mut self.channels[ch.index()];
+        cs.occ[vc] += size;
+        cs.total += size;
+        self.total_queued += size;
+    }
+
+    /// Shard mode: an import was refused at ingress and parked in the
+    /// channel's landing queue (holds no buffer occupancy).
+    pub(crate) fn on_landing(&mut self, pid: PacketId, ch: ChannelId, at: Ns) {
+        let p = self.packet_mut(pid);
+        if p.loc != Loc::InFlight {
+            let loc = p.loc;
+            self.violate(
+                AuditKind::ListIntegrity,
+                Some(ch),
+                None,
+                0,
+                1,
+                at,
+                &format!("landing of packet not in flight (shadow {loc:?})"),
+            );
+        }
+        self.packet_mut(pid).loc = Loc::Landing(ch);
+    }
+
+    /// Shard mode: a landed import was admitted into a VC buffer.
+    pub(crate) fn on_landing_to_vc(&mut self, pid: PacketId, ch: ChannelId, vc: usize, at: Ns) {
+        let p = *self.packet_mut(pid);
+        let size = p.size as u64;
+        if p.loc != Loc::Landing(ch) {
+            let loc = p.loc;
+            self.violate(
+                AuditKind::ListIntegrity,
+                Some(ch),
+                Some(vc),
+                0,
+                1,
+                at,
+                &format!("vc admission of packet not landed here (shadow {loc:?})"),
+            );
+        }
+        self.packet_mut(pid).loc = Loc::Queued(ch, vc as u8);
+        let cs = &mut self.channels[ch.index()];
+        cs.occ[vc] += size;
+        cs.total += size;
+        self.total_queued += size;
     }
 
     /// A blocked channel tried to park on `blocker`'s wait list.
@@ -723,6 +958,7 @@ impl Auditor {
         nic: &[PacketList],
         packets: &[Packet],
         free_packets: &[PacketId],
+        landing: &[VecDeque<PacketId>],
         engine_total_queued: Bytes,
         at: Ns,
         drained: bool,
@@ -822,6 +1058,35 @@ impl Auditor {
             );
         }
 
+        // Landing queues (shard mode; the slice is empty in serial runs).
+        for (ci, q) in landing.iter().enumerate() {
+            let id = ChannelId(ci as u32);
+            for &pid in q {
+                let i = pid.0 as usize;
+                if i < n {
+                    if visited[i] {
+                        self.report_list(at, ctx, "landing packet also in a queue");
+                    }
+                    visited[i] = true;
+                }
+                let shadow = self.packets.get(i).copied().unwrap_or(FREE_SHADOW);
+                if shadow.loc != Loc::Landing(id) {
+                    self.report_list(at, ctx, "landing queue membership mismatch");
+                }
+            }
+            if drained && !q.is_empty() {
+                self.violate(
+                    AuditKind::ListIntegrity,
+                    Some(id),
+                    None,
+                    0,
+                    q.len() as u64,
+                    at,
+                    "drain: landing queue not empty",
+                );
+            }
+        }
+
         // Waitlist census: membership across all `waiters` lists must
         // match the `in_waitlist` bits and the shadow's parked state.
         let census = crate::arbiter::waitlist_census(channels);
@@ -868,7 +1133,7 @@ impl Auditor {
                         self.report_list(at, ctx, "in-flight packet found in a queue");
                     }
                 }
-                Loc::Nic(_) | Loc::Queued(..) => {
+                Loc::Nic(_) | Loc::Queued(..) | Loc::Landing(_) => {
                     live_bytes += ps.size as u64;
                     if i >= n || !visited[i] {
                         self.report_list(at, ctx, "shadow-live packet in no queue (leak)");
@@ -885,17 +1150,21 @@ impl Auditor {
             }
         }
 
-        // Byte conservation, network-wide.
+        // Byte conservation, network-wide. In serial runs imported and
+        // exported are zero and this is the classic
+        // `injected == delivered + resident`.
         let resident = live_bytes;
-        if self.injected_bytes != self.delivered_bytes + resident {
+        if self.injected_bytes + self.imported_bytes
+            != self.delivered_bytes + self.exported_bytes + resident
+        {
             self.violate(
                 AuditKind::ByteConservation,
                 None,
                 None,
-                self.injected_bytes,
-                self.delivered_bytes + resident,
+                self.injected_bytes + self.imported_bytes,
+                self.delivered_bytes + self.exported_bytes + resident,
                 at,
-                &format!("{ctx}: injected != delivered + resident"),
+                &format!("{ctx}: injected + imported != delivered + exported + resident"),
             );
         }
         if drained {

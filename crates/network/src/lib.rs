@@ -36,6 +36,7 @@ mod obs;
 pub mod packet;
 pub mod params;
 pub mod routing;
+pub mod shard;
 
 pub use arena::SimArena;
 pub use audit::{AuditKind, AuditReport, AuditViolation};
@@ -45,3 +46,4 @@ pub use net::{Delivery, Network, NetworkEvent};
 pub use packet::{MessageId, PacketId};
 pub use params::NetworkParams;
 pub use routing::Routing;
+pub use shard::{ShardParts, ShardedNetwork};

@@ -21,9 +21,10 @@ use crate::audit::{AuditReport, Auditor};
 use crate::channel::{ChannelState, InFlight, PacketList};
 use crate::metrics::{ChannelSnapshot, NetworkMetrics, TrafficTimeline};
 use crate::obs::ObsCollector;
-use crate::packet::{MessageId, MessageState, Packet, PacketId, Route, MAX_ROUTE_LEN};
+use crate::packet::{MessageId, MessageKind, MessageState, Packet, PacketId, Route, MAX_ROUTE_LEN};
 use crate::params::NetworkParams;
 use crate::routing::{RouteComputer, Routing};
+use crate::shard::{ShardState, WireRecord};
 use dfly_engine::{Bytes, EventQueue, Ns, Xoshiro256};
 use dfly_obs::{EventKind, ObsReport};
 use dfly_topology::{ChannelClass, ChannelEnd, ChannelId, NodeId, Topology};
@@ -73,6 +74,10 @@ enum NetEvent {
     Arrive(ChannelId),
     /// A caller-requested wakeup (see [`Network::schedule_wakeup`]).
     Wakeup,
+    /// Shard mode only: a packet imported from another group-replica
+    /// lands at its first channel inside this group (profiled as an
+    /// arrival — that is what it is, minus the heap bookkeeping).
+    Import(PacketId),
 }
 
 /// What [`Network::poll`] hands back to the driving layer.
@@ -116,6 +121,10 @@ pub struct Network {
     /// Telemetry collector (see [`crate::obs`]); `None` when telemetry is
     /// off — the event loop then pays one branch per event.
     obs: Option<Box<ObsCollector>>,
+    /// PDES shard state (see [`crate::shard`]); `None` in serial runs —
+    /// the serial event loop then pays one branch per hook and stays
+    /// bit-identical to pre-shard releases.
+    shard: Option<Box<ShardState>>,
 }
 
 impl Network {
@@ -206,6 +215,7 @@ impl Network {
             traffic_timeline: None,
             audit,
             obs,
+            shard: None,
             topo,
         }
     }
@@ -409,6 +419,51 @@ impl Network {
     /// source NIC's injection buffer, so adaptive routing sees the live
     /// congestion state (per-packet routing, as on Aries).
     pub fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, bytes: Bytes, tag: u64) -> MessageId {
+        self.send_inner(at, src, dst, bytes, tag, MessageKind::Delivering, 0)
+    }
+
+    /// Shard-mode injection: like [`Network::send`], but carrying the
+    /// coordinator-assigned global message id, and accounting the message
+    /// as `Forwarding` when the destination lives in another group (its
+    /// packets leave this replica over a global link; the destination
+    /// replica emits the `Delivery`).
+    pub(crate) fn send_sharded(
+        &mut self,
+        gid: u64,
+        at: Ns,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Bytes,
+        tag: u64,
+    ) -> MessageId {
+        let shard = self
+            .shard
+            .as_ref()
+            .expect("send_sharded outside shard mode");
+        debug_assert!(gid != 0, "shard-mode sends carry a nonzero gid");
+        debug_assert_eq!(
+            self.topo.node_group(src).0,
+            shard.group,
+            "injection routed to the wrong group-replica"
+        );
+        let kind = if self.topo.node_group(dst).0 == shard.group {
+            MessageKind::Delivering
+        } else {
+            MessageKind::Forwarding
+        };
+        self.send_inner(at, src, dst, bytes, tag, kind, gid)
+    }
+
+    fn send_inner(
+        &mut self,
+        at: Ns,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Bytes,
+        tag: u64,
+        kind: MessageKind,
+        gid: u64,
+    ) -> MessageId {
         assert!(
             src.0 < self.topo.config().total_nodes() && dst.0 < self.topo.config().total_nodes(),
             "send endpoints out of range"
@@ -424,8 +479,16 @@ impl Network {
             total_packets,
             hops_accum: 0,
             injected_at: at,
+            kind,
+            gid,
         };
-        let id = match self.free_messages.pop() {
+        let id = self.alloc_message(state);
+        self.queue.schedule(at, NetEvent::Inject(id));
+        id
+    }
+
+    fn alloc_message(&mut self, state: MessageState) -> MessageId {
+        match self.free_messages.pop() {
             Some(id) => {
                 self.messages[id.0 as usize] = state;
                 id
@@ -435,9 +498,7 @@ impl Network {
                 self.messages.push(state);
                 id
             }
-        };
-        self.queue.schedule(at, NetEvent::Inject(id));
-        id
+        }
     }
 
     /// Pop a pending delivery, processing events as needed. Returns `None`
@@ -536,6 +597,11 @@ impl Network {
                 self.wakeup_fired = true;
                 self.event_end(EventKind::Wakeup, started);
             }
+            NetEvent::Import(pid) => {
+                let started = self.event_begin(EventKind::Arrive);
+                self.handle_import(pid);
+                self.event_end(EventKind::Arrive, started);
+            }
             NetEvent::Arrive(ch_id) => loop {
                 let rec = self.channels[ch_id.index()]
                     .inflight
@@ -560,7 +626,7 @@ impl Network {
                     None => true,
                 };
                 if precedes_heap && next.at <= limit && self.deliveries.len() == deliveries_before {
-                    self.queue.advance_to(next.at);
+                    self.queue.advance_to(next.at, next.seq);
                     self.arrivals_coalesced += 1;
                 } else {
                     self.queue
@@ -644,11 +710,16 @@ impl Network {
     /// Full structural sweep of every list, counter, and wait list.
     fn audit_full_sweep(&mut self, drained: bool) {
         if let Some(a) = self.audit.as_mut() {
+            let landing: &[VecDeque<PacketId>] = match self.shard.as_ref() {
+                Some(s) => &s.landing,
+                None => &[],
+            };
             a.full_sweep(
                 &self.channels,
                 &self.nic,
                 &self.packets,
                 &self.free_packets,
+                landing,
                 self.total_queued,
                 self.queue.now(),
                 drained,
@@ -802,8 +873,15 @@ impl Network {
                 debug_assert_eq!(Packet::vc_at(p.hop), v);
                 (p.size as u64, p.next_channel(), p.hop as usize + 1)
             };
+            // Shard mode: a global channel's far end belongs to another
+            // group-replica. No cross-shard credit is reserved (the
+            // importer has a landing queue instead), and the arrival is
+            // the importer's business — transmission completes locally at
+            // TxDone, which exports the packet as a wire record.
+            let exports =
+                self.shard.is_some() && self.channels[ch_id.index()].class == ChannelClass::Global;
             // Reserve space downstream (final hops sink into the node).
-            if let Some(nc) = next_ch {
+            if let Some(nc) = next_ch.filter(|_| !exports) {
                 let now = self.queue.now();
                 let ncs = &mut self.channels[nc.index()];
                 let cap = self.params.vc_capacity(ncs.class);
@@ -841,6 +919,11 @@ impl Network {
             }
             self.audit_check_channel(ch_id, "tx start");
             self.queue.schedule_after(ser, NetEvent::TxDone(ch_id));
+            if exports {
+                // No local arrival: the packet leaves this replica when
+                // its last byte clears the channel (at TxDone).
+                return;
+            }
             // The arrival joins the channel's in-flight FIFO instead of
             // the heap; its sequence number is reserved *here* so the
             // global event order is exactly as if it had been scheduled
@@ -892,6 +975,13 @@ impl Network {
         self.audit_check_channel(ch_id, "tx done");
         if let Some(node) = node_to_push {
             self.nic_push(node);
+        }
+        if self.shard.is_some() {
+            if self.channels[ch_id.index()].class == ChannelClass::Global {
+                self.export_packet(pid, ch_id, now);
+            }
+            // Freed space may admit imports parked in the landing queue.
+            self.drain_landing(ch_id);
         }
         let waiters = arbiter::take_waiters(&mut self.channels, ch_id);
         if let Some(a) = self.audit.as_mut() {
@@ -957,6 +1047,363 @@ impl Network {
             if let Some(a) = self.audit.as_mut() {
                 a.on_message_complete(msg, self.queue.now());
             }
+            let gid = self.messages[msg.0 as usize].gid;
+            if gid != 0 {
+                // Drop the cross-replica attribution entry (present when
+                // this slot received imports, or registered itself as a
+                // detour origin at export).
+                if let Some(shard) = self.shard.as_mut() {
+                    shard.remote.remove(&gid);
+                }
+            }
+        }
+    }
+
+    // ----- shard (PDES) mode -----------------------------------------------
+
+    /// Put a fresh network into shard mode as the replica owning `group`.
+    /// The replica simulates only the channels whose transmitting end sits
+    /// in its group; packets crossing a global link leave as
+    /// [`WireRecord`]s and enter via [`Network::import_records`].
+    pub(crate) fn enable_shard(&mut self, group: u32) {
+        assert!(
+            self.events_processed == 0 && self.messages.is_empty(),
+            "shard mode can only be enabled on a fresh network"
+        );
+        let groups = self.topo.config().groups as usize;
+        let count = self.topo.channel_count();
+        let mut owner = Vec::with_capacity(count);
+        let mut global_dst = vec![u32::MAX; count];
+        for (id, info) in self.topo.channels() {
+            let src_group = match info.src {
+                ChannelEnd::Router(r) => self.topo.router_group(r).0,
+                ChannelEnd::Node(n) => self.topo.node_group(n).0,
+            };
+            owner.push(src_group);
+            if info.class == ChannelClass::Global {
+                if let ChannelEnd::Router(r) = info.dst {
+                    global_dst[id.index()] = self.topo.router_group(r).0;
+                }
+            }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.set_owned_mask(owner.iter().map(|&g| g == group).collect());
+        }
+        self.shard = Some(Box::new(ShardState::new(
+            group, groups, count, owner, global_dst,
+        )));
+    }
+
+    /// The shard state, if this replica runs in shard mode.
+    pub(crate) fn shard_state(&self) -> Option<&ShardState> {
+        self.shard.as_deref()
+    }
+
+    /// Ingest one window's worth of cross-group records, pre-sorted by
+    /// the caller on `(t_arr, src_group, emit_seq)` so event sequence
+    /// numbers are assigned identically at any worker count.
+    pub(crate) fn import_records(&mut self, recs: &[WireRecord]) {
+        for rec in recs {
+            self.import_record(rec);
+        }
+    }
+
+    fn import_record(&mut self, rec: &WireRecord) {
+        let now = self.queue.now();
+        debug_assert!(
+            rec.t_arr >= now,
+            "import at {:?} arrived behind the replica clock {:?}",
+            rec.t_arr,
+            now
+        );
+        let hop = rec.hop + 1;
+        // The packet terminates here unless its remaining route crosses
+        // another global link (it may re-export immediately: the entry
+        // router can own the next global channel).
+        let terminates = !rec.route.as_slice()[hop as usize..]
+            .iter()
+            .any(|c| self.channels[c.index()].class == ChannelClass::Global);
+        let msg = if terminates {
+            let shard = self.shard.as_mut().expect("import outside shard mode");
+            match shard.remote.get(&rec.gid) {
+                // Either the destination-side slot from an earlier packet
+                // of the same message, or — when source and destination
+                // share this group — the detour-origin slot itself.
+                Some(&m) => m,
+                None => {
+                    let state = MessageState {
+                        src: rec.src,
+                        dst: rec.dst,
+                        bytes: rec.bytes,
+                        tag: rec.tag,
+                        remaining_packets: rec.total_packets,
+                        total_packets: rec.total_packets,
+                        hops_accum: 0,
+                        injected_at: rec.injected_at,
+                        kind: MessageKind::Delivering,
+                        gid: rec.gid,
+                    };
+                    let m = self.alloc_message(state);
+                    self.shard
+                        .as_mut()
+                        .expect("import outside shard mode")
+                        .remote
+                        .insert(rec.gid, m);
+                    if let Some(a) = self.audit.as_mut() {
+                        a.on_remote_message(m, rec.bytes.max(1), now);
+                    }
+                    m
+                }
+            }
+        } else {
+            // One transit shadow per passing packet: it carries the
+            // message metadata for the onward wire record and frees at
+            // re-export.
+            let state = MessageState {
+                src: rec.src,
+                dst: rec.dst,
+                bytes: rec.bytes,
+                tag: rec.tag,
+                remaining_packets: 1,
+                total_packets: rec.total_packets,
+                hops_accum: 0,
+                injected_at: rec.injected_at,
+                kind: MessageKind::Transit,
+                gid: rec.gid,
+            };
+            let m = self.alloc_message(state);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_remote_message(m, rec.size as u64, now);
+            }
+            m
+        };
+        {
+            let shard = self.shard.as_mut().expect("import outside shard mode");
+            let from = &mut shard.imported_from[rec.src_group as usize];
+            from.0 += rec.size as u64;
+            from.1 += 1;
+        }
+        let packet = Packet {
+            msg,
+            size: rec.size,
+            hop,
+            routed: true,
+            route: rec.route,
+            next: crate::packet::NO_PACKET,
+        };
+        let pid = match self.free_packets.pop() {
+            Some(pid) => {
+                self.packets[pid.0 as usize] = packet;
+                pid
+            }
+            None => {
+                let pid = PacketId(self.packets.len() as u32);
+                self.packets.push(packet);
+                pid
+            }
+        };
+        if let Some(a) = self.audit.as_mut() {
+            a.on_packet_imported(pid, msg, rec.size, now);
+        }
+        self.queue.schedule(rec.t_arr, NetEvent::Import(pid));
+    }
+
+    /// An imported packet lands at its first in-group channel. With
+    /// buffer space it enqueues like any arrival; otherwise it parks in
+    /// the channel's landing queue (no cross-shard credit was reserved —
+    /// the conservative-window analogue of an input buffer, drained in
+    /// FIFO order as the channel transmits).
+    fn handle_import(&mut self, pid: PacketId) {
+        let now = self.queue.now();
+        let (ch_id, v, size) = {
+            let p = &self.packets[pid.0 as usize];
+            (p.current_channel(), Packet::vc_at(p.hop), p.size as u64)
+        };
+        let ch = &mut self.channels[ch_id.index()];
+        let cap = self.params.vc_capacity(ch.class);
+        if ch.vcs[v].occupancy + size > cap {
+            self.shard
+                .as_mut()
+                .expect("import outside shard mode")
+                .landing[ch_id.index()]
+            .push_back(pid);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_landing(pid, ch_id, now);
+            }
+            return;
+        }
+        ch.vcs[v].occupancy += size;
+        ch.total_occupancy += size;
+        self.total_queued += size;
+        self.channels[ch_id.index()].vcs[v]
+            .queue
+            .push_back(&mut self.packets, pid);
+        if let Some(a) = self.audit.as_mut() {
+            a.on_ingress_enqueue(pid, ch_id, v, now);
+        }
+        self.audit_check_channel(ch_id, "import enqueue");
+        self.try_start(ch_id);
+    }
+
+    /// Admit landed imports into `ch_id`'s VCs while space allows (called
+    /// after the channel's TxDone freed occupancy).
+    fn drain_landing(&mut self, ch_id: ChannelId) {
+        loop {
+            let Some(&pid) = self
+                .shard
+                .as_ref()
+                .expect("landing drain outside shard mode")
+                .landing[ch_id.index()]
+            .front() else {
+                return;
+            };
+            let now = self.queue.now();
+            let (v, size) = {
+                let p = &self.packets[pid.0 as usize];
+                debug_assert_eq!(p.current_channel(), ch_id);
+                (Packet::vc_at(p.hop), p.size as u64)
+            };
+            let ch = &mut self.channels[ch_id.index()];
+            let cap = self.params.vc_capacity(ch.class);
+            if ch.vcs[v].occupancy + size > cap {
+                return;
+            }
+            ch.vcs[v].occupancy += size;
+            ch.total_occupancy += size;
+            self.total_queued += size;
+            self.shard.as_mut().unwrap().landing[ch_id.index()].pop_front();
+            self.channels[ch_id.index()].vcs[v]
+                .queue
+                .push_back(&mut self.packets, pid);
+            if let Some(a) = self.audit.as_mut() {
+                a.on_landing_to_vc(pid, ch_id, v, now);
+            }
+            self.audit_check_channel(ch_id, "landing drain");
+        }
+    }
+
+    /// A packet's last byte cleared a global channel: hand it to the
+    /// destination group as a wire record and free the local slot.
+    fn export_packet(&mut self, pid: PacketId, ch_id: ChannelId, now: Ns) {
+        let (msg, size, hop, route) = {
+            let p = &self.packets[pid.0 as usize];
+            (p.msg, p.size, p.hop, p.route)
+        };
+        let extra = self.channels[ch_id.index()].arrival_extra;
+        let (gid, kind, rec) = {
+            let m = &self.messages[msg.0 as usize];
+            (
+                m.gid,
+                m.kind,
+                WireRecord {
+                    t_arr: now + extra,
+                    src_group: 0, // filled below
+                    emit_seq: 0,  // filled below
+                    gid: m.gid,
+                    size,
+                    hop,
+                    route,
+                    src: m.src,
+                    dst: m.dst,
+                    bytes: m.bytes,
+                    tag: m.tag,
+                    injected_at: m.injected_at,
+                    total_packets: m.total_packets,
+                },
+            )
+        };
+        debug_assert!(gid != 0, "exported packet from a gid-less message");
+        {
+            let shard = self.shard.as_mut().expect("export outside shard mode");
+            let dst_group = shard.global_dst[ch_id.index()];
+            debug_assert!(dst_group != u32::MAX && dst_group != shard.group);
+            let mut rec = rec;
+            rec.src_group = shard.group;
+            rec.emit_seq = shard.emit_seq[dst_group as usize];
+            shard.emit_seq[dst_group as usize] += 1;
+            let to = &mut shard.exported_to[dst_group as usize];
+            to.0 += size as u64;
+            to.1 += 1;
+            shard.outboxes[dst_group as usize].push(rec);
+        }
+        if let Some(a) = self.audit.as_mut() {
+            a.on_exported(pid, msg, now);
+        }
+        self.free_packets.push(pid);
+        match kind {
+            MessageKind::Delivering => {
+                // A Valiant detour from a same-group source: remember the
+                // slot so the returning import re-attaches to it.
+                self.shard
+                    .as_mut()
+                    .unwrap()
+                    .remote
+                    .entry(gid)
+                    .or_insert(msg);
+            }
+            MessageKind::Forwarding | MessageKind::Transit => {
+                let m = &mut self.messages[msg.0 as usize];
+                m.remaining_packets -= 1;
+                if m.remaining_packets == 0 {
+                    self.free_messages.push(msg);
+                    if let Some(a) = self.audit.as_mut() {
+                        a.on_message_closed(msg, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// This window's outbound records toward `dst_group` (the worker
+    /// moves them into the shared edge mailbox).
+    pub(crate) fn take_outbox(&mut self, dst_group: usize) -> &mut Vec<WireRecord> {
+        &mut self
+            .shard
+            .as_mut()
+            .expect("outbox outside shard mode")
+            .outboxes[dst_group]
+    }
+
+    /// Move accumulated deliveries into `into` (the worker forwards them
+    /// to the coordinator once per window).
+    pub(crate) fn take_deliveries_into(&mut self, into: &mut Vec<Delivery>) {
+        into.extend(self.deliveries.drain(..));
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<Ns> {
+        self.queue.peek_time()
+    }
+
+    /// Like [`Network::obs_report`], but closing the sample series at a
+    /// caller-supplied global end time, so every replica of a sharded run
+    /// produces the same sample grid and the series merge index-aligned.
+    pub(crate) fn obs_report_closed_at(&mut self, global_end: Ns) -> Option<ObsReport> {
+        let end = self.queue.now().max(global_end);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.close(end, &self.channels, &self.params, self.router.stats());
+        }
+        let high_water = self.queue.high_water();
+        self.obs
+            .as_ref()
+            .map(|o| o.report(high_water, self.router.stats()))
+    }
+
+    /// Snapshot one channel for the cross-replica metrics merge; open
+    /// saturation intervals close at the run-wide end time `t_end`.
+    pub(crate) fn snapshot_channel(&self, id: ChannelId, t_end: Ns) -> ChannelSnapshot {
+        let info = self.topo.channel(id);
+        let ch = &self.channels[id.index()];
+        ChannelSnapshot {
+            id,
+            class: info.class,
+            src_router: match info.src {
+                ChannelEnd::Router(r) => Some(r),
+                ChannelEnd::Node(n) => Some(self.topo.node_router(n)),
+            },
+            traffic_bytes: ch.traffic,
+            saturated_time: ch.saturated_until(t_end),
+            busy_time: ch.busy_time,
         }
     }
 
@@ -1665,7 +2112,7 @@ mod tests {
     #[test]
     fn arena_recycling_is_bit_identical_and_warm() {
         let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
-        let mut run = |arena: &mut SimArena| {
+        let run = |arena: &mut SimArena| {
             let mut n = Network::with_arena(
                 topo.clone(),
                 NetworkParams::default(),

@@ -32,6 +32,8 @@ pub(crate) struct ObsCollector {
     vc_occupancy: OccupancyHistogram,
     /// The wall-clock source for handler timing.
     clock: ObsClock,
+    /// Coarse timing was requested but the platform lacks a coarse source.
+    coarse_unavailable: bool,
     /// Time every Nth event per kind (1 = exhaustive).
     stride: u32,
     /// Per-kind countdown until the next timed event.
@@ -49,6 +51,12 @@ pub(crate) struct ObsCollector {
     prev_nonminimal: u64,
     /// Channels per class, computed on the first sweep (0 = unknown).
     class_counts: [u64; 5],
+    /// Shard mode: which channels this replica owns. Occupancy histogram
+    /// readings are restricted to owned channels so a sharded run's merged
+    /// histogram matches a serial sweep (unowned channels are always empty
+    /// here and would flood bucket zero). Busy/stall/queued sums need no
+    /// mask — unowned channels contribute zeros.
+    owned: Option<Vec<bool>>,
 }
 
 impl ObsCollector {
@@ -67,11 +75,13 @@ impl ObsCollector {
         sample_buf: Vec<NetSample>,
     ) -> ObsCollector {
         assert!(stride >= 1, "obs stride must be at least 1");
+        let clock = ObsClock::new(coarse_clock);
         ObsCollector {
             profile: EventLoopProfile::new(),
             series: SampleSeries::with_buffer(interval, sample_buf),
             vc_occupancy: OccupancyHistogram::new(),
-            clock: ObsClock::new(coarse_clock),
+            coarse_unavailable: coarse_clock && !clock.is_coarse(),
+            clock,
             stride,
             // Zero countdowns: the first event of each kind is timed, so
             // short runs still get a cost estimate for every kind.
@@ -83,7 +93,14 @@ impl ObsCollector {
             prev_minimal: 0,
             prev_nonminimal: 0,
             class_counts: [0; 5],
+            owned: None,
         }
+    }
+
+    /// Restrict occupancy-histogram readings to the channels marked true
+    /// (shard mode; see the `owned` field).
+    pub(crate) fn set_owned_mask(&mut self, owned: Vec<bool>) {
+        self.owned = Some(owned);
     }
 
     /// The sampling interval.
@@ -190,11 +207,15 @@ impl ObsCollector {
         let mut busy_ns = [0u64; 5];
         let mut stall_ns = [0u64; 5];
         let mut queued = [0u64; 5];
-        for ch in channels {
+        let owned = self.owned.as_deref();
+        for (i, ch) in channels.iter().enumerate() {
             let ci = class_index(ch.class);
             busy_ns[ci] += ch.busy_time.as_nanos();
             stall_ns[ci] += ch.saturated_until(at).as_nanos();
             queued[ci] += ch.total_occupancy;
+            if owned.is_some_and(|m| !m[i]) {
+                continue;
+            }
             let cap = params.vc_capacity(ch.class) as f64;
             for vc in &ch.vcs {
                 self.vc_occupancy.record(vc.occupancy as f64 / cap);
@@ -239,6 +260,7 @@ impl ObsCollector {
             series: self.series.clone(),
             vc_occupancy: self.vc_occupancy,
             route: route.copied().unwrap_or_default(),
+            coarse_unavailable: self.coarse_unavailable,
         }
     }
 }

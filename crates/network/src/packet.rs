@@ -126,6 +126,29 @@ impl Packet {
     }
 }
 
+/// What a message slot is accounting for. Serial runs use only
+/// [`MessageKind::Delivering`]; the other two kinds exist for sharded
+/// (PDES) runs, where a group-local network replica sees only the part
+/// of a message's life that happens inside its own group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// The destination lives in this replica: `remaining_packets` counts
+    /// deliveries and completion emits a `Delivery` record. Also the
+    /// origin-side slot when source and destination share the group (a
+    /// Valiant detour may still export packets; they return before
+    /// delivering).
+    Delivering,
+    /// Origin-side slot for a remote destination: `remaining_packets`
+    /// counts packets exported across a global link (each packet leaves
+    /// the origin group exactly once). The slot frees silently at zero —
+    /// the destination replica emits the `Delivery`.
+    Forwarding,
+    /// Per-packet shadow for traffic passing through this group en route
+    /// to a third one; carries the message metadata for the onward
+    /// [`crate::shard::WireRecord`] and frees at re-export.
+    Transit,
+}
+
 /// Bookkeeping for one in-flight message.
 #[derive(Debug, Clone)]
 pub struct MessageState {
@@ -137,7 +160,8 @@ pub struct MessageState {
     pub bytes: Bytes,
     /// Caller-supplied tag, passed through to the delivery record.
     pub tag: u64,
-    /// Packets not yet delivered.
+    /// Packets not yet delivered (exported, for [`MessageKind::Forwarding`]
+    /// and [`MessageKind::Transit`]).
     pub remaining_packets: u64,
     /// Total packets.
     pub total_packets: u64,
@@ -145,6 +169,12 @@ pub struct MessageState {
     pub hops_accum: u64,
     /// Injection timestamp.
     pub injected_at: Ns,
+    /// What this slot accounts for (always `Delivering` in serial runs).
+    pub kind: MessageKind,
+    /// Global message id, unique across all shards of one run so replicas
+    /// can attribute imported packets to the same logical message. Zero in
+    /// serial runs (no cross-replica attribution needed).
+    pub gid: u64,
 }
 
 impl MessageState {
@@ -222,6 +252,8 @@ mod tests {
             total_packets: 2,
             hops_accum: 0,
             injected_at: Ns::ZERO,
+            kind: MessageKind::Delivering,
+            gid: 0,
         };
         assert_eq!(m.avg_hops(), 0.0);
         m.remaining_packets = 1;

@@ -23,6 +23,9 @@ pub struct ObsReport {
     pub vc_occupancy: OccupancyHistogram,
     /// UGAL decision counters and margin distribution.
     pub route: RouteStats,
+    /// The coarse profiling clock was requested but this platform has no
+    /// coarse source, so the precise clock was used instead.
+    pub coarse_unavailable: bool,
 }
 
 impl ObsReport {
@@ -137,6 +140,12 @@ impl ObsReport {
     /// the headline counters.
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
+        if self.coarse_unavailable {
+            out.push_str(
+                "warning: coarse profiling clock requested but unavailable on this platform; \
+                 precise clock used\n",
+            );
+        }
         out.push_str(&format!(
             "event loop: {} events ({} timed), {:.0} events/s est, queue high-water {}\n",
             self.profile.total_events(),
@@ -234,6 +243,7 @@ mod tests {
             series,
             vc_occupancy: vc,
             route,
+            coarse_unavailable: false,
         }
     }
 
@@ -271,9 +281,22 @@ mod tests {
             series: SampleSeries::new(Ns(1)),
             vc_occupancy: OccupancyHistogram::new(),
             route: RouteStats::new(),
+            coarse_unavailable: false,
         };
         let text = report.render_summary();
         assert!(text.contains("event loop: 0 events"));
         assert!(!text.contains("ugal:"), "no decisions, no ugal line");
+        assert!(!text.contains("warning:"), "no fallback, no warning line");
+    }
+
+    #[test]
+    fn summary_warns_when_coarse_clock_fell_back() {
+        let mut report = sample_report();
+        report.coarse_unavailable = true;
+        let text = report.render_summary();
+        assert!(
+            text.starts_with("warning: coarse profiling clock requested but unavailable"),
+            "missing fallback warning: {text}"
+        );
     }
 }

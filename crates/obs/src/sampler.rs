@@ -114,6 +114,38 @@ impl SampleSeries {
         self.dropped
     }
 
+    /// Merge a partial series from another collector of the *same* run —
+    /// the sharded-simulation path, where each group replica samples on
+    /// the same interval grid and closes at the same run-wide end time.
+    /// Window sums (stall, queued, routing deltas) add; mean utilization
+    /// partials add too (each replica's class mean is computed over the
+    /// whole machine's channel count) and re-clamp to `[0, 1]`.
+    ///
+    /// Panics if the grids disagree — that is a coordinator bug, not a
+    /// data condition.
+    pub fn merge_from(&mut self, other: &SampleSeries) {
+        assert_eq!(
+            self.interval, other.interval,
+            "merging series with different sampling intervals"
+        );
+        assert_eq!(
+            self.samples.len(),
+            other.samples.len(),
+            "merging series of different lengths"
+        );
+        for (a, b) in self.samples.iter_mut().zip(other.samples.iter()) {
+            assert_eq!(a.at, b.at, "merging misaligned sample grids");
+            for c in 0..a.util.len() {
+                a.util[c] = (a.util[c] + b.util[c]).clamp(0.0, 1.0);
+                a.queued_bytes[c] += b.queued_bytes[c];
+                a.stall_ns[c] += b.stall_ns[c];
+            }
+            a.minimal_taken += b.minimal_taken;
+            a.nonminimal_taken += b.nonminimal_taken;
+        }
+        self.dropped += other.dropped;
+    }
+
     /// Utilization time series of one class (by [`OBS_CLASSES`] index).
     pub fn util_series(&self, class_idx: usize) -> Vec<f64> {
         self.samples.iter().map(|s| s.util[class_idx]).collect()
@@ -307,6 +339,44 @@ mod tests {
         s.push(b);
         assert_eq!(s.util_series(4), vec![0.25, 0.75]);
         assert_eq!(s.backlog_series(), vec![15.0, 0.0]);
+    }
+
+    #[test]
+    fn merge_sums_windows_and_clamps_util() {
+        let mut a = SampleSeries::new(Ns(5));
+        let mut b = SampleSeries::new(Ns(5));
+        for t in 0..3u64 {
+            let mut s = NetSample {
+                at: Ns(t * 5),
+                ..NetSample::default()
+            };
+            s.util[4] = 0.6;
+            s.queued_bytes[2] = 10;
+            s.stall_ns[4] = 7;
+            s.minimal_taken = 2;
+            a.push(s);
+            s.nonminimal_taken = 1;
+            b.push(s);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.samples().len(), 3);
+        for s in a.samples() {
+            assert_eq!(s.util[4], 1.0, "partial means clamp at 1");
+            assert_eq!(s.queued_bytes[2], 20);
+            assert_eq!(s.stall_ns[4], 14);
+            assert_eq!(s.minimal_taken, 4);
+            assert_eq!(s.nonminimal_taken, 1);
+        }
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn merge_rejects_misaligned_series() {
+        let mut a = SampleSeries::new(Ns(5));
+        let mut b = SampleSeries::new(Ns(5));
+        b.push(NetSample::default());
+        a.merge_from(&b);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! meaningful if a config + seed pins every result bit.
 
 use dragonfly_tradeoff::core::config::{
-    AppSelection, BackgroundConfig, ExperimentConfig, RoutingPolicy,
+    AppSelection, BackgroundConfig, ExperimentConfig, Parallelism, RoutingPolicy,
 };
 use dragonfly_tradeoff::core::report::ConfigLabel;
 use dragonfly_tradeoff::core::runner::run_experiment;
@@ -255,6 +255,119 @@ fn observed_sweep_is_bit_identical_across_all_ten_configs() {
         let to: Vec<_> = o.result.metrics.channels().collect();
         let tp: Vec<_> = p.result.metrics.channels().collect();
         assert_eq!(to, tp, "telemetry perturbed channels of {}", o.label);
+    }
+}
+
+// ----- intra-run (PDES) worker-count matrix --------------------------------
+
+/// Shard counts for the matrix tests; override with e.g.
+/// `DFLY_DET_SHARDS=1,2,16`.
+fn shard_matrix() -> Vec<u32> {
+    std::env::var("DFLY_DET_SHARDS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<u32>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Sweep worker counts for the matrix tests; override with e.g.
+/// `DFLY_DET_SWEEP_WORKERS=1,4`.
+fn sweep_worker_matrix() -> Vec<usize> {
+    std::env::var("DFLY_DET_SWEEP_WORKERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 8])
+}
+
+/// Everything a run pins, flattened for cross-worker-count comparison.
+type RunFingerprint = (Vec<Ns>, Vec<u64>, u64, Vec<u64>);
+
+fn fingerprint(r: &dragonfly_tradeoff::core::runner::ExperimentResult) -> RunFingerprint {
+    (
+        r.rank_comm_times.clone(),
+        r.rank_avg_hops.iter().map(|h| h.to_bits()).collect(),
+        r.events,
+        r.metrics.channels().map(|c| c.traffic_bytes).collect(),
+    )
+}
+
+/// The partition is per *group*, so the worker count only redistributes
+/// replicas over threads: every shard count must produce the identical
+/// bytes, with the auditor running and clean.
+#[test]
+fn all_ten_grid_identical_at_every_shard_count_audit_on() {
+    let mut base = cfg();
+    base.msg_scale = 0.05;
+    base.network.audit = true;
+    let mut reference: Option<Vec<RunFingerprint>> = None;
+    for shards in shard_matrix() {
+        let mut c = base.clone();
+        c.parallelism = Parallelism::IntraRun(shards);
+        let grid = run_config_grid(&c, &ConfigLabel::all_ten());
+        for cell in &grid {
+            let audit = cell.result.audit.as_ref().expect("audit on");
+            assert!(audit.is_clean(), "shards={shards} {}:\n{audit}", cell.label);
+        }
+        let snap: Vec<RunFingerprint> = grid.iter().map(|c| fingerprint(&c.result)).collect();
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert_eq!(r, &snap, "shards={shards} changed the grid"),
+        }
+    }
+}
+
+/// A Theta-machine run (the paper's scale) through the same matrix, with
+/// telemetry on: the merged obs report must also be byte-stable.
+#[test]
+fn theta_run_identical_at_every_shard_count_obs_on() {
+    let mut base = ExperimentConfig::theta(dragonfly_tradeoff::workloads::AppKind::CrystalRouter);
+    base.app = AppSelection::CrystalRouter { ranks: 128 };
+    base.msg_scale = 0.2;
+    base.placement = PlacementPolicy::RandomNode;
+    base.routing = RoutingPolicy::Adaptive;
+    base.network.obs = true;
+    let mut reference: Option<RunFingerprint> = None;
+    for shards in shard_matrix() {
+        let mut c = base.clone();
+        c.parallelism = Parallelism::IntraRun(shards);
+        let r = run_experiment(&c);
+        let obs = r.obs.as_ref().expect("obs on");
+        assert_eq!(obs.profile.total_events(), r.events, "shards={shards}");
+        assert!(!obs.series.samples().is_empty());
+        let snap = fingerprint(&r);
+        match &reference {
+            None => reference = Some(snap),
+            Some(f) => assert_eq!(f, &snap, "shards={shards} changed the Theta run"),
+        }
+    }
+}
+
+/// Sweep-level fan-out is the other worker axis: the grid's bytes must
+/// not depend on `DFLY_SWEEP_WORKERS`. (Concurrent tests may observe the
+/// variable mid-matrix; that is harmless — worker count never affects
+/// results, which is exactly what this test pins.)
+#[test]
+fn sweep_grid_identical_at_every_worker_count() {
+    let mut c = cfg();
+    c.msg_scale = 0.05;
+    let mut reference: Option<Vec<u8>> = None;
+    for workers in sweep_worker_matrix() {
+        std::env::set_var("DFLY_SWEEP_WORKERS", workers.to_string());
+        let bytes = sweep_csv(&c);
+        std::env::remove_var("DFLY_SWEEP_WORKERS");
+        match &reference {
+            None => reference = Some(bytes),
+            Some(r) => assert_eq!(r, &bytes, "workers={workers} changed sweep bytes"),
+        }
     }
 }
 
