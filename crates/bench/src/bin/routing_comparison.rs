@@ -1,0 +1,11 @@
+//! Routing-policy comparison: min / adp / val / ugalg / par on one
+//! machine for CR and FB, audits and telemetry forced on.
+//!
+//! Thin wrapper over [`dfly_bench::routing_comparison`]. Accepts the
+//! standard harness flags, including `--topo` and `--arrangement`.
+
+use dfly_bench::{parse_args, routing_comparison};
+
+fn main() {
+    routing_comparison::routing_comparison(&parse_args());
+}

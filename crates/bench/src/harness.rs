@@ -1,10 +1,11 @@
 //! Shared plumbing for the reproduction binaries.
 
-use dfly_core::config::{ExperimentConfig, Parallelism};
+use dfly_core::config::{AppSelection, ExperimentConfig, Parallelism};
 use dfly_core::report::ConfigLabel;
 use dfly_core::runner::ExperimentResult;
 use dfly_obs::{EventKind, ObsReport};
 use dfly_stats::{render_boxplot_row, sparkline, AsciiTable, BoxStats, Cdf, CsvWriter};
+use dfly_topology::{GlobalArrangement, TopologyConfig};
 use dfly_workloads::AppKind;
 use std::path::PathBuf;
 
@@ -15,6 +16,110 @@ pub enum Mode {
     Quick,
     /// The paper's 3,456-node Theta machine and app sizes.
     Full,
+}
+
+/// Machine override from `--topo` (named preset or canonic `p,a,h,g`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// The paper's Theta machine (`--topo theta`).
+    Theta,
+    /// The 768-node quick machine (`--topo quick`).
+    Quick,
+    /// The 64-node test machine (`--topo small`).
+    Small,
+    /// A canonic dragonfly (`--topo P,A,H,G`).
+    Canonical {
+        /// Nodes per router.
+        p: u32,
+        /// Routers per group.
+        a: u32,
+        /// Global links per router.
+        h: u32,
+        /// Groups.
+        g: u32,
+    },
+}
+
+impl TopoSpec {
+    /// Parse a `--topo` argument.
+    pub fn parse(s: &str) -> Result<TopoSpec, String> {
+        match s {
+            "theta" => Ok(TopoSpec::Theta),
+            "quick" => Ok(TopoSpec::Quick),
+            "small" => Ok(TopoSpec::Small),
+            _ => {
+                let parts: Vec<&str> = s.split(',').collect();
+                if parts.len() != 4 {
+                    return Err(format!(
+                        "--topo wants theta|quick|small or P,A,H,G (got {s:?})"
+                    ));
+                }
+                let mut v = [0u32; 4];
+                for (i, part) in parts.iter().enumerate() {
+                    v[i] = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--topo {s:?}: {part:?} is not an integer"))?;
+                }
+                Ok(TopoSpec::Canonical {
+                    p: v[0],
+                    a: v[1],
+                    h: v[2],
+                    g: v[3],
+                })
+            }
+        }
+    }
+
+    /// The machine this spec names.
+    pub fn config(&self) -> TopologyConfig {
+        match *self {
+            TopoSpec::Theta => TopologyConfig::theta(),
+            TopoSpec::Quick => TopologyConfig::quick(),
+            TopoSpec::Small => TopologyConfig::small_test(),
+            TopoSpec::Canonical { p, a, h, g } => TopologyConfig::canonical(p, a, h, g),
+        }
+    }
+}
+
+/// Parse a `--arrangement` argument: `rr` (round-robin, the default),
+/// `consec`/`consecutive`, `palm`/`palm-tree`, or `random:SEED` (decimal
+/// or `0x` hex seed).
+pub fn parse_arrangement(s: &str) -> Result<GlobalArrangement, String> {
+    match s {
+        "rr" | "round-robin" => Ok(GlobalArrangement::RoundRobin),
+        "consec" | "consecutive" => Ok(GlobalArrangement::Consecutive),
+        "palm" | "palm-tree" => Ok(GlobalArrangement::PalmTree),
+        _ => {
+            let seed_str = s
+                .strip_prefix("random:")
+                .or_else(|| s.strip_prefix("rand:"))
+                .ok_or_else(|| {
+                    format!("--arrangement wants rr|consec|palm|random:SEED (got {s:?})")
+                })?;
+            let seed = if let Some(hex) = seed_str.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                seed_str.parse()
+            }
+            .map_err(|_| format!("--arrangement random: bad seed {seed_str:?}"))?;
+            Ok(GlobalArrangement::Random { seed })
+        }
+    }
+}
+
+/// Scale an app's rank count to a machine, preserving the paper's
+/// app-size : machine-size ratio (ranks/3456) and the apps' cubic domain
+/// decomposition: the largest `k^3` that fits the scaled budget.
+pub fn scaled_ranks(app: AppKind, nodes: u32) -> u32 {
+    let paper = AppSelection::paper(app).ranks() as u64;
+    let paper_nodes = TopologyConfig::theta().total_nodes() as u64;
+    let budget = nodes as u64 * paper / paper_nodes;
+    let mut k = 1u64;
+    while (k + 1) * (k + 1) * (k + 1) <= budget {
+        k += 1;
+    }
+    (k * k * k) as u32
 }
 
 /// Parsed command line.
@@ -41,6 +146,13 @@ pub struct RunArgs {
     /// Intra-run PDES worker threads (`--shards N`); 0 keeps the legacy
     /// serial event loop, the byte-stable default the goldens pin.
     pub shards: u32,
+    /// Machine override (`--topo theta|quick|small|P,A,H,G`). App ranks
+    /// are rescaled to the override via [`scaled_ranks`]. `None` keeps
+    /// the mode's machine and app sizes — the golden-pinned default.
+    pub topo: Option<TopoSpec>,
+    /// Global-link arrangement override (`--arrangement ...`). `None`
+    /// keeps the default round-robin wiring the goldens pin.
+    pub arrangement: Option<GlobalArrangement>,
 }
 
 impl RunArgs {
@@ -54,6 +166,8 @@ impl RunArgs {
             obs_stride: None,
             obs_coarse: false,
             shards: 0,
+            topo: None,
+            arrangement: None,
         }
     }
 
@@ -74,6 +188,18 @@ impl RunArgs {
             0 => Parallelism::Serial,
             n => Parallelism::IntraRun(n),
         };
+        if let Some(topo) = self.topo {
+            cfg.topology = topo.config();
+            let ranks = scaled_ranks(app, cfg.topology.total_nodes());
+            cfg.app = match app {
+                AppKind::CrystalRouter => AppSelection::CrystalRouter { ranks },
+                AppKind::FillBoundary => AppSelection::FillBoundary { ranks },
+                AppKind::Amg => AppSelection::Amg { ranks },
+            };
+        }
+        if let Some(arr) = self.arrangement {
+            cfg.topology.arrangement = arr;
+        }
         cfg
     }
 
@@ -93,8 +219,8 @@ impl RunArgs {
 }
 
 /// Parse `--quick` / `--full` / `--out DIR` / `--obs` / `--scale X` /
-/// `--obs-stride N` / `--obs-coarse` / `--shards N` from
-/// `std::env::args`.
+/// `--obs-stride N` / `--obs-coarse` / `--shards N` / `--topo SPEC` /
+/// `--arrangement SPEC` from `std::env::args`.
 pub fn parse_args() -> RunArgs {
     let mut parsed = RunArgs::new(Mode::Quick, "results");
     let mut args = std::env::args().skip(1);
@@ -121,9 +247,21 @@ pub fn parse_args() -> RunArgs {
                 parsed.scale = v.parse().expect("--scale needs a number");
                 assert!(parsed.scale > 0.0, "--scale must be positive");
             }
+            "--topo" => {
+                let v = args.next().expect("--topo needs a machine spec");
+                let spec = TopoSpec::parse(&v).unwrap_or_else(|e| panic!("{e}"));
+                spec.config()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("--topo {v}: {e}"));
+                parsed.topo = Some(spec);
+            }
+            "--arrangement" => {
+                let v = args.next().expect("--arrangement needs a wiring spec");
+                parsed.arrangement = Some(parse_arrangement(&v).unwrap_or_else(|e| panic!("{e}")));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X] [--shards N]"
+                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X] [--shards N] [--topo theta|quick|small|P,A,H,G] [--arrangement rr|consec|palm|random:SEED]"
                 );
                 std::process::exit(0);
             }
@@ -400,6 +538,76 @@ mod tests {
         let prof = std::fs::read_to_string(dir.join("obs_profile_t.csv")).unwrap();
         assert!(prof.contains("cont-min,0,0,2,0,"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topo_and_arrangement_specs_parse() {
+        assert_eq!(TopoSpec::parse("theta"), Ok(TopoSpec::Theta));
+        assert_eq!(TopoSpec::parse("quick"), Ok(TopoSpec::Quick));
+        assert_eq!(TopoSpec::parse("small"), Ok(TopoSpec::Small));
+        assert_eq!(
+            TopoSpec::parse("2,8,4,17"),
+            Ok(TopoSpec::Canonical {
+                p: 2,
+                a: 8,
+                h: 4,
+                g: 17
+            })
+        );
+        assert!(TopoSpec::parse("2,8,4").is_err());
+        assert!(TopoSpec::parse("2,8,x,17").is_err());
+
+        assert_eq!(parse_arrangement("rr"), Ok(GlobalArrangement::RoundRobin));
+        assert_eq!(
+            parse_arrangement("consecutive"),
+            Ok(GlobalArrangement::Consecutive)
+        );
+        assert_eq!(
+            parse_arrangement("palm-tree"),
+            Ok(GlobalArrangement::PalmTree)
+        );
+        assert_eq!(
+            parse_arrangement("random:0xBEEF"),
+            Ok(GlobalArrangement::Random { seed: 0xBEEF })
+        );
+        assert_eq!(
+            parse_arrangement("rand:12"),
+            Ok(GlobalArrangement::Random { seed: 12 })
+        );
+        assert!(parse_arrangement("spiral").is_err());
+        assert!(parse_arrangement("random:zz").is_err());
+    }
+
+    #[test]
+    fn topo_override_rescales_ranks_and_sets_arrangement() {
+        // The canonic 272-node machine keeps the paper's app:machine
+        // ratio: 272 * 1000/3456 = 78 -> 4^3 ranks for CR/FB, and
+        // 272 * 1728/3456 = 136 -> 5^3 for AMG.
+        assert_eq!(scaled_ranks(AppKind::CrystalRouter, 272), 64);
+        assert_eq!(scaled_ranks(AppKind::Amg, 272), 125);
+        // Identity on the paper machine.
+        assert_eq!(scaled_ranks(AppKind::CrystalRouter, 3456), 1000);
+        assert_eq!(scaled_ranks(AppKind::Amg, 3456), 1728);
+
+        let mut args = RunArgs::new(Mode::Quick, "unused");
+        args.topo = Some(TopoSpec::parse("2,8,4,17").unwrap());
+        args.arrangement = Some(GlobalArrangement::PalmTree);
+        let cfg = args.base_config(AppKind::CrystalRouter);
+        assert_eq!(cfg.topology.total_nodes(), 272);
+        assert_eq!(cfg.app.ranks(), 64);
+        assert_eq!(cfg.topology.arrangement, GlobalArrangement::PalmTree);
+        cfg.validate().unwrap();
+
+        // Arrangement alone composes with the mode's machine.
+        let mut args = RunArgs::new(Mode::Quick, "unused");
+        args.arrangement = Some(GlobalArrangement::Random { seed: 3 });
+        let cfg = args.base_config(AppKind::CrystalRouter);
+        assert_eq!(
+            cfg.topology.arrangement,
+            GlobalArrangement::Random { seed: 3 }
+        );
+        assert_eq!(cfg.app.ranks(), 216); // quick-mode ranks untouched
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -18,11 +18,12 @@
 
 pub mod harness;
 pub mod microbench;
+pub mod routing_comparison;
 pub mod stress;
 
 pub mod figures;
 pub use harness::{
-    emit_cdf_family, emit_obs_family, label_of, parse_args, print_boxplot_table, print_run_summary,
-    Mode, RunArgs,
+    emit_cdf_family, emit_obs_family, label_of, parse_args, parse_arrangement, print_boxplot_table,
+    print_run_summary, scaled_ranks, Mode, RunArgs, TopoSpec,
 };
 pub use microbench::{BatchSize, Bencher, BenchmarkGroup, Criterion};

@@ -1,0 +1,107 @@
+//! The routing-policy comparison study: every policy in the zoo — min /
+//! adp (UGAL-L) / val / ugalg (UGAL-G) / par — on one machine, for the
+//! two communication-heavy apps (CR and FB).
+//!
+//! Every run forces the conservation audits *and* telemetry on, so the
+//! emitted CSV carries both the communication-time distribution and the
+//! UGAL-ledger diversion rate per policy, with an explicit `audit_clean`
+//! column. Shared implementation of the `routing_comparison` binary.
+
+use crate::harness::{emit_obs_family, print_boxplot_table, RunArgs};
+use dfly_core::run_experiment;
+use dfly_obs::ObsReport;
+use dfly_workloads::AppKind;
+
+/// Run the comparison and write `routing_comparison.csv` into the output
+/// directory. Panics if any run fails its conservation audit (after
+/// recording the failure in the CSV), so CI cannot ship a dirty table.
+pub fn routing_comparison(args: &RunArgs) {
+    println!("Routing comparison — mode: {}", args.mode_label());
+    let mut csv = args.csv(
+        "routing_comparison.csv",
+        &[
+            "app",
+            "routing",
+            "min_ms",
+            "q1_ms",
+            "median_ms",
+            "q3_ms",
+            "max_ms",
+            "mean_ms",
+            "mean_hops",
+            "nonminimal_fraction",
+            "mean_margin",
+            "audit_clean",
+        ],
+    );
+    let mut dirty = Vec::new();
+    for app in [AppKind::CrystalRouter, AppKind::FillBoundary] {
+        let mut rows = Vec::new();
+        let mut reports: Vec<(String, ObsReport)> = Vec::new();
+        for routing in dfly_core::config::RoutingPolicy::ALL {
+            let mut cfg = args.base_config(app);
+            cfg.routing = routing;
+            cfg.network.audit = true;
+            cfg.network.obs = true;
+            let t0 = std::time::Instant::now();
+            let r = run_experiment(&cfg);
+            let clean = r.audit.as_ref().is_some_and(|a| a.is_clean());
+            if !clean {
+                dirty.push(format!("{}/{}", app.label(), routing.label()));
+            }
+            let s = r.comm_time_stats();
+            let obs = r.obs.as_ref().expect("obs forced on");
+            csv.row(&[
+                app.label().to_string(),
+                routing.label().to_string(),
+                format!("{:.6}", s.min),
+                format!("{:.6}", s.q1),
+                format!("{:.6}", s.median),
+                format!("{:.6}", s.q3),
+                format!("{:.6}", s.max),
+                format!("{:.6}", s.mean),
+                format!("{:.4}", r.mean_hops()),
+                format!("{:.6}", obs.route.nonminimal_fraction()),
+                format!("{:.2}", obs.route.mean_margin()),
+                clean.to_string(),
+            ])
+            .expect("csv");
+            println!(
+                "{:>3}/{:<6}: median {:.3} ms, mean hops {:.2}, nonminimal {:.1}%, audit {} [{:.0}s]",
+                app.label(),
+                routing.label(),
+                s.median,
+                r.mean_hops(),
+                obs.route.nonminimal_fraction() * 100.0,
+                if clean { "clean" } else { "DIRTY" },
+                t0.elapsed().as_secs_f64(),
+            );
+            rows.push((routing.label().to_string(), s));
+            reports.push((routing.label().to_string(), obs.clone()));
+        }
+        print_boxplot_table(
+            &format!(
+                "Routing comparison: {} communication time (ms)",
+                app.label()
+            ),
+            &rows,
+        );
+        let borrowed: Vec<(String, &ObsReport)> =
+            reports.iter().map(|(l, r)| (l.clone(), r)).collect();
+        emit_obs_family(
+            args,
+            &format!("routing_{}", app.label().to_lowercase()),
+            &borrowed,
+        );
+    }
+    csv.finish().expect("csv");
+    println!(
+        "\nWrote {}",
+        args.out_dir.join("routing_comparison.csv").display()
+    );
+    assert!(
+        dirty.is_empty(),
+        "conservation audit failed for: {}",
+        dirty.join(", ")
+    );
+}

@@ -19,7 +19,7 @@ use dfly_engine::proptest::{run_with_shrink, Config as PropConfig, Failure};
 use dfly_engine::{Ns, Xoshiro256};
 use dfly_network::NetworkParams;
 use dfly_placement::{PlacementPolicy, TaskMapping};
-use dfly_topology::TopologyConfig;
+use dfly_topology::{GlobalArrangement, TopologyConfig};
 use dfly_workloads::{AppKind, BackgroundKind, BackgroundSpec};
 use std::cell::Cell;
 
@@ -61,6 +61,20 @@ pub fn topologies() -> Vec<TopologyConfig> {
             chassis_per_cabinet: 2,
             ..base
         },
+        // Canonic (p,a,h,g) dragonfly: 2 x 4 routers x 5 groups = 40
+        // nodes, single-row all-to-all groups, 2 globals per router.
+        TopologyConfig::canonical(2, 4, 2, 5),
+    ]
+}
+
+/// The global-link arrangements the fuzzer draws from. Round-robin first,
+/// so shrinking toward index 0 lands on the default wiring.
+pub fn arrangements() -> [GlobalArrangement; 4] {
+    [
+        GlobalArrangement::RoundRobin,
+        GlobalArrangement::Consecutive,
+        GlobalArrangement::PalmTree,
+        GlobalArrangement::Random { seed: 0xD1CE },
     ]
 }
 
@@ -78,6 +92,8 @@ pub struct StressBackground {
 pub struct StressScenario {
     /// Index into [`topologies`].
     pub topo_idx: usize,
+    /// Index into [`arrangements`] (0 = default round-robin wiring).
+    pub arrangement_idx: usize,
     /// Routing policy.
     pub routing: RoutingPolicy,
     /// Placement policy.
@@ -121,8 +137,10 @@ impl StressScenario {
                 }
             },
         });
+        let mut topology = topologies()[self.topo_idx].clone();
+        topology.arrangement = arrangements()[self.arrangement_idx];
         ExperimentConfig {
-            topology: topologies()[self.topo_idx].clone(),
+            topology,
             network,
             app,
             placement: self.placement,
@@ -148,11 +166,8 @@ pub fn generate(rng: &mut Xoshiro256) -> StressScenario {
     // generator can produce passes the fanout-vs-free-nodes validation.
     let ranks = 4 + rng.next_below((nodes / 2 - 4 + 1) as u64) as u32;
     let free = nodes - ranks;
-    let routing = [
-        RoutingPolicy::Minimal,
-        RoutingPolicy::Adaptive,
-        RoutingPolicy::Valiant,
-    ][rng.index(3)];
+    let arrangement_idx = rng.index(arrangements().len());
+    let routing = RoutingPolicy::ALL[rng.index(RoutingPolicy::ALL.len())];
     let placement = PlacementPolicy::ALL[rng.index(PlacementPolicy::ALL.len())];
     let mapping = TaskMapping::ALL[rng.index(TaskMapping::ALL.len())];
     let app = [AppKind::CrystalRouter, AppKind::FillBoundary, AppKind::Amg][rng.index(3)];
@@ -180,6 +195,7 @@ pub fn generate(rng: &mut Xoshiro256) -> StressScenario {
     };
     StressScenario {
         topo_idx,
+        arrangement_idx,
         routing,
         placement,
         mapping,
@@ -226,6 +242,10 @@ pub fn shrink_candidates(s: &StressScenario) -> Vec<StressScenario> {
     });
     push(StressScenario {
         app: AppKind::CrystalRouter,
+        ..*s
+    });
+    push(StressScenario {
+        arrangement_idx: 0,
         ..*s
     });
     push(StressScenario { topo_idx: 0, ..*s });

@@ -35,6 +35,7 @@ pub mod net;
 mod obs;
 pub mod packet;
 pub mod params;
+pub mod policy;
 pub mod routing;
 pub mod shard;
 
@@ -45,5 +46,6 @@ pub use metrics::{class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, T
 pub use net::{Delivery, Network, NetworkEvent};
 pub use packet::{MessageId, PacketId};
 pub use params::NetworkParams;
+pub use policy::{ChannelView, RouteCtx, RoutingPolicy};
 pub use routing::Routing;
 pub use shard::{ShardParts, ShardedNetwork};

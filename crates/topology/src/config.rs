@@ -1,5 +1,6 @@
 //! Topology configuration, with the paper's Theta parameters as default.
 
+use crate::arrangement::GlobalArrangement;
 use dfly_engine::kv::{kv, ToKv};
 use dfly_engine::{Bandwidth, Ns};
 
@@ -37,6 +38,10 @@ pub struct TopologyConfig {
     pub global_latency: Ns,
     /// Propagation latency of terminal links.
     pub terminal_latency: Ns,
+    /// How global-link endpoints are assigned to routers within groups.
+    /// [`GlobalArrangement::RoundRobin`] (the default) reproduces the
+    /// historical wiring byte for byte.
+    pub arrangement: GlobalArrangement,
 }
 
 impl TopologyConfig {
@@ -58,6 +63,30 @@ impl TopologyConfig {
             local_latency: Ns(30),
             global_latency: Ns(1500),
             terminal_latency: Ns(30),
+            arrangement: GlobalArrangement::RoundRobin,
+        }
+    }
+
+    /// A canonic `(p, a, h, g)` dragonfly (the standard parameterization
+    /// of the dragonfly literature and caminos-lib): `g` groups of `a`
+    /// routers each, `p` compute nodes and `h` global-link endpoints per
+    /// router, with the `a` routers of a group connected all-to-all.
+    ///
+    /// Mapped onto the row/column layout as a single row of `a` routers,
+    /// so the row links *are* the complete intra-group graph and every
+    /// existing channel class, id formula, and audit applies unchanged.
+    /// Link speeds and latencies default to Theta's; override fields as
+    /// needed. Requires `a * h` divisible by `g - 1` (see
+    /// [`TopologyConfig::validate`], which suggests the nearest valid `h`).
+    pub fn canonical(p: u32, a: u32, h: u32, g: u32) -> TopologyConfig {
+        TopologyConfig {
+            groups: g,
+            rows: 1,
+            cols: a,
+            nodes_per_router: p,
+            global_links_per_router: h,
+            chassis_per_cabinet: 1,
+            ..TopologyConfig::theta()
         }
     }
 
@@ -126,33 +155,78 @@ impl TopologyConfig {
         endpoints / (self.groups - 1)
     }
 
-    /// Validate internal consistency. Returns a human-readable error.
+    /// The nearest `global_links_per_router` value (for this shape) that
+    /// spreads global endpoints evenly over the `groups - 1` peer groups.
+    /// Ties between an equally-near smaller and larger value go to the
+    /// larger (more path diversity). Returns the current value when it is
+    /// already valid.
+    pub fn nearest_valid_global_links(&self) -> u32 {
+        let peers = self.groups.saturating_sub(1).max(1);
+        let rpg = self.routers_per_group();
+        let ok = |h: u32| h > 0 && (rpg * h) % peers == 0;
+        let h = self.global_links_per_router;
+        if ok(h) {
+            return h;
+        }
+        for d in 1..=peers {
+            if ok(h + d) {
+                return h + d;
+            }
+            if h > d && ok(h - d) {
+                return h - d;
+            }
+        }
+        peers // rpg * peers is always divisible by peers
+    }
+
+    /// Validate internal consistency. Returns a human-readable error
+    /// naming the offending field and its value.
     pub fn validate(&self) -> Result<(), String> {
         if self.groups < 2 {
-            return Err("need at least 2 groups".into());
+            return Err(format!(
+                "groups ({}) must be at least 2 — a dragonfly needs peers to wire globally",
+                self.groups
+            ));
         }
         if self.rows == 0 || self.cols == 0 {
-            return Err("rows/cols must be positive".into());
+            return Err(format!(
+                "rows ({}) and cols ({}) must both be positive",
+                self.rows, self.cols
+            ));
         }
         if self.nodes_per_router == 0 {
-            return Err("nodes_per_router must be positive".into());
+            return Err(format!(
+                "nodes_per_router ({}) must be positive",
+                self.nodes_per_router
+            ));
         }
         if self.chassis_per_cabinet == 0 || self.rows % self.chassis_per_cabinet != 0 {
             return Err(format!(
-                "rows ({}) must be a multiple of chassis_per_cabinet ({})",
+                "rows ({}) must be a positive multiple of chassis_per_cabinet ({})",
                 self.rows, self.chassis_per_cabinet
             ));
         }
         let endpoints = self.routers_per_group() * self.global_links_per_router;
         if endpoints % (self.groups - 1) != 0 {
             return Err(format!(
-                "global endpoints per group ({endpoints}) must divide evenly \
-                 among {} peer groups",
-                self.groups - 1
+                "global endpoints per group (rows*cols*global_links_per_router = \
+                 {}*{}*{} = {endpoints}) must divide evenly among the {} peer \
+                 groups; nearest valid global_links_per_router is {}",
+                self.rows,
+                self.cols,
+                self.global_links_per_router,
+                self.groups - 1,
+                self.nearest_valid_global_links()
             ));
         }
         if self.links_per_group_pair() == 0 {
-            return Err("every group pair needs at least one global link".into());
+            return Err(format!(
+                "global_links_per_router ({}) gives every group pair zero global \
+                 links ({endpoints} endpoints over {} peers); every pair needs at \
+                 least one",
+                self.global_links_per_router,
+                self.groups - 1
+            ));
         }
         Ok(())
     }
@@ -178,6 +252,12 @@ impl ToKv for TopologyConfig {
         kv(&mut out, "local_latency", self.local_latency);
         kv(&mut out, "global_latency", self.global_latency);
         kv(&mut out, "terminal_latency", self.terminal_latency);
+        // Emitted only when non-default so existing echoes (and the golden
+        // CSVs embedding them) keep their exact bytes — the same contract
+        // as the experiment-level `parallelism` key.
+        if self.arrangement != GlobalArrangement::RoundRobin {
+            kv(&mut out, "arrangement", self.arrangement.label());
+        }
         out
     }
 }
@@ -218,33 +298,65 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_bad_shapes() {
+    fn validate_rejects_bad_shapes_naming_field_and_value() {
         let mut t = TopologyConfig::theta();
         t.groups = 1;
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().contains("groups (1)"));
 
         let mut t = TopologyConfig::theta();
         t.rows = 0;
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().contains("rows (0)"));
 
         let mut t = TopologyConfig::theta();
         t.nodes_per_router = 0;
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().contains("nodes_per_router (0)"));
 
         let mut t = TopologyConfig::theta();
         t.chassis_per_cabinet = 4; // 6 rows not divisible by 4
-        assert!(t.validate().is_err());
+        let e = t.validate().unwrap_err();
+        assert!(e.contains("rows (6)") && e.contains("chassis_per_cabinet (4)"));
 
         let mut t = TopologyConfig::theta();
         t.groups = 8; // 384 endpoints not divisible by 7 peers
-        assert!(t.validate().is_err());
+        let e = t.validate().unwrap_err();
+        assert!(e.contains("6*16*4 = 384") && e.contains("7 peer"), "{e}");
+    }
+
+    #[test]
+    fn canonical_shape_and_divisibility_suggestion() {
+        // (p=2, a=8, h=4, g=17): 8*4 = 32 endpoints over 16 peers = 2/pair.
+        let t = TopologyConfig::canonical(2, 8, 4, 17);
+        t.validate().unwrap();
+        assert_eq!(t.routers_per_group(), 8);
+        assert_eq!(t.total_nodes(), 272);
+        assert_eq!(t.links_per_group_pair(), 2);
+        assert_eq!(t.rows, 1, "canonic groups are a single all-to-all row");
+
+        // a*h = 8*3 = 24 not divisible by g-1 = 16: rejected with the
+        // nearest valid h named in the message.
+        let bad = TopologyConfig::canonical(2, 8, 3, 17);
+        let e = bad.validate().unwrap_err();
+        assert_eq!(bad.nearest_valid_global_links(), 4);
+        assert!(
+            e.contains("global_links_per_router is 4"),
+            "message must suggest the nearest valid h: {e}"
+        );
+
+        // Already-valid h is its own suggestion.
+        assert_eq!(t.nearest_valid_global_links(), 4);
+        // A case where the nearest fix is below the requested h:
+        // a=3, g=10 needs 3h divisible by 9, i.e. h a multiple of 3.
+        let low = TopologyConfig::canonical(2, 3, 4, 10);
+        assert_eq!(low.nearest_valid_global_links(), 3);
     }
 
     #[test]
     fn config_echo_covers_every_field_once() {
         let t = TopologyConfig::theta();
         let kvs = t.to_kv();
-        // 13 public fields, each exactly once, in declaration order.
+        // 13 always-echoed fields, each exactly once, in declaration
+        // order; `arrangement` appears only when non-default (14 fields
+        // total) so historical echoes keep their bytes.
         assert_eq!(kvs.len(), 13);
         let keys: std::collections::HashSet<_> = kvs.iter().map(|(k, _)| k.clone()).collect();
         assert_eq!(keys.len(), kvs.len(), "duplicate keys in config echo");
@@ -252,5 +364,16 @@ mod tests {
         // Equal configs echo byte-identically; different configs differ.
         assert_eq!(t.kv_echo(), TopologyConfig::theta().kv_echo());
         assert_ne!(t.kv_echo(), TopologyConfig::quick().kv_echo());
+    }
+
+    #[test]
+    fn arrangement_key_only_echoed_when_non_default() {
+        let mut t = TopologyConfig::theta();
+        assert!(!t.kv_echo().contains("arrangement"));
+        t.arrangement = GlobalArrangement::PalmTree;
+        assert_eq!(t.to_kv().len(), 14);
+        assert!(t.kv_echo().contains("arrangement = palm"));
+        t.arrangement = GlobalArrangement::Random { seed: 3 };
+        assert!(t.kv_echo().contains("arrangement = rand0x3"));
     }
 }

@@ -21,11 +21,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arrangement;
 pub mod config;
 pub mod ids;
 pub mod paths;
 pub mod topology;
 
+pub use arrangement::GlobalArrangement;
 pub use config::TopologyConfig;
 pub use ids::{
     CabinetId, ChannelClass, ChannelEnd, ChannelId, ChassisId, GroupId, NodeId, RouterId,

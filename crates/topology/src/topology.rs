@@ -44,6 +44,10 @@ pub struct Topology {
     /// `[src_group][dst_group]` -> (gateway router in src group, directed
     /// channel src->dst). Empty vec on the diagonal.
     gateways: Vec<Vec<Vec<(RouterId, ChannelId)>>>,
+    /// `[router]` -> every outgoing global channel of that router with the
+    /// group it lands in. Progressive adaptive routing re-evaluates its
+    /// minimal/non-minimal decision over these at the gateway.
+    router_globals: Vec<Vec<(ChannelId, GroupId)>>,
     // Channel-id arithmetic bases.
     base_term_down: u32,
     base_row: u32,
@@ -120,29 +124,27 @@ impl Topology {
             }
         }
 
-        // Global wiring: round-robin endpoint assignment. Every group keeps
-        // a rotating cursor over its routers; iterating group pairs in
+        // Global wiring: the configured arrangement plans which router in
+        // each group terminates each link; iterating group pairs in
         // canonical order and links within a pair in order assigns each
-        // router exactly `global_links_per_router` endpoints.
-        //
-        // The cursor starts at a per-group offset and advances with a
-        // stride coprime-ish to the router count so consecutive links of
-        // the same pair land in different rows/columns.
+        // router exactly `global_links_per_router` endpoints regardless
+        // of the arrangement (see `GlobalArrangement::plan`). Channel ids
+        // depend only on the iteration order, so every arrangement shares
+        // the id arithmetic — and the default round-robin plan reproduces
+        // the historical wiring byte for byte.
         let links_per_pair = cfg.links_per_group_pair();
         let rpg = cfg.routers_per_group();
-        let stride = pick_stride(rpg);
-        let mut cursor: Vec<u32> = (0..cfg.groups).map(|g| (g * 7) % rpg).collect();
+        let plan = cfg.arrangement.plan(&cfg);
+        let mut endpoints = plan.iter();
         let mut global_links = Vec::new();
         let mut gateways = vec![vec![Vec::new(); cfg.groups as usize]; cfg.groups as usize];
+        let mut router_globals = vec![Vec::new(); n_routers as usize];
 
         let mut next_id = base_global;
         for ga in 0..cfg.groups {
             for gb in (ga + 1)..cfg.groups {
                 for _ in 0..links_per_pair {
-                    let la = cursor[ga as usize];
-                    cursor[ga as usize] = (la + stride) % rpg;
-                    let lb = cursor[gb as usize];
-                    cursor[gb as usize] = (lb + stride) % rpg;
+                    let &(la, lb) = endpoints.next().expect("arrangement plan too short");
                     let ra = RouterId(ga * rpg + la);
                     let rb = RouterId(gb * rpg + lb);
                     let ab = ChannelId(next_id);
@@ -166,15 +168,19 @@ impl Topology {
                     });
                     gateways[ga as usize][gb as usize].push((ra, ab));
                     gateways[gb as usize][ga as usize].push((rb, ba));
+                    router_globals[ra.index()].push((ab, GroupId(gb)));
+                    router_globals[rb.index()].push((ba, GroupId(ga)));
                 }
             }
         }
+        debug_assert!(endpoints.next().is_none(), "arrangement plan too long");
 
         Topology {
             cfg,
             channels,
             global_links,
             gateways,
+            router_globals,
             base_term_down,
             base_row,
             base_col,
@@ -352,6 +358,15 @@ impl Topology {
         ChannelId(self.base_global)
     }
 
+    /// Every outgoing global channel of a router, with the group each one
+    /// lands in. Exactly `global_links_per_router` entries for every
+    /// router, in link-construction order. Progressive adaptive routing
+    /// scans these to re-evaluate its decision at the gateway.
+    #[inline]
+    pub fn router_global_channels(&self, router: RouterId) -> &[(ChannelId, GroupId)] {
+        &self.router_globals[router.index()]
+    }
+
     // ----- per-class link parameters --------------------------------------
 
     /// Bandwidth of a channel class.
@@ -385,25 +400,6 @@ fn decompose(cfg: &TopologyConfig, router: u32) -> (u32, u32, u32) {
 #[inline]
 fn compose(cfg: &TopologyConfig, group: u32, row: u32, col: u32) -> u32 {
     group * cfg.routers_per_group() + row * cfg.cols + col
-}
-
-/// Pick a cursor stride that cycles through all routers of a group
-/// (coprime with `rpg`) while jumping between rows, so parallel links of
-/// one group pair spread over the grid.
-fn pick_stride(rpg: u32) -> u32 {
-    let mut s = rpg / 3 + 1;
-    while gcd(s, rpg) != 1 {
-        s += 1;
-    }
-    s
-}
-
-fn gcd(a: u32, b: u32) -> u32 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
 }
 
 #[cfg(test)]
@@ -607,10 +603,55 @@ mod tests {
     }
 
     #[test]
-    fn stride_is_coprime() {
-        for rpg in [8u32, 32, 96, 100, 7] {
-            let s = pick_stride(rpg);
-            assert_eq!(gcd(s, rpg), 1);
+    fn router_global_channels_cover_every_link() {
+        for t in [theta(), small()] {
+            for r in 0..t.config().total_routers() {
+                let globals = t.router_global_channels(RouterId(r));
+                assert_eq!(globals.len() as u32, t.config().global_links_per_router);
+                for &(ch, dst_group) in globals {
+                    let info = t.channel(ch);
+                    assert_eq!(info.class, ChannelClass::Global);
+                    assert_eq!(info.src.router(), Some(RouterId(r)));
+                    let dst = info.dst.router().unwrap();
+                    assert_eq!(t.router_group(dst), dst_group);
+                    assert_ne!(dst_group, t.router_group(RouterId(r)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrangements_share_id_arithmetic_and_invariants() {
+        use crate::arrangement::GlobalArrangement;
+        let mut shapes = vec![TopologyConfig::small_test()];
+        shapes.push(TopologyConfig::canonical(2, 4, 2, 5));
+        for base in shapes {
+            for arr in [
+                GlobalArrangement::RoundRobin,
+                GlobalArrangement::Consecutive,
+                GlobalArrangement::PalmTree,
+                GlobalArrangement::Random { seed: 99 },
+            ] {
+                let mut cfg = base.clone();
+                cfg.arrangement = arr;
+                let t = Topology::build(cfg);
+                // Same channel count and class layout as the default.
+                assert_eq!(
+                    t.first_global_channel().0,
+                    Topology::build(base.clone()).first_global_channel().0
+                );
+                // Every ordered group pair fully connected.
+                for a in 0..t.config().groups {
+                    for b in 0..t.config().groups {
+                        let gws = t.gateways(GroupId(a), GroupId(b));
+                        if a == b {
+                            assert!(gws.is_empty());
+                        } else {
+                            assert_eq!(gws.len() as u32, t.config().links_per_group_pair());
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,171 @@
+//! Property tests over the global-link arrangement zoo: any valid
+//! (shape, arrangement) pair must wire a machine that keeps the dragonfly
+//! invariants — full group-pair connectivity, uniform per-router global
+//! degree, bidirectional links — and seeded-random wiring must be
+//! byte-identical across builds.
+
+use dragonfly_tradeoff::engine::proptest::{check, Config};
+use dragonfly_tradeoff::engine::Xoshiro256;
+use dragonfly_tradeoff::topology::{ChannelClass, GlobalArrangement, Topology, TopologyConfig};
+use std::collections::HashMap;
+
+/// A random valid canonic dragonfly: sampled (p, a, h, g) snapped to the
+/// nearest valid global-link count, paired with a random arrangement.
+fn generate(rng: &mut Xoshiro256) -> (TopologyConfig, GlobalArrangement) {
+    let g = 2 + rng.next_below(7) as u32; // 2..=8 groups
+    let a = 1 + rng.next_below(6) as u32; // 1..=6 routers per group
+    let p = 1 + rng.next_below(3) as u32; // 1..=3 nodes per router
+    let h = 1 + rng.next_below(4) as u32; // snapped below if invalid
+    let mut cfg = TopologyConfig::canonical(p, a, h, g);
+    cfg.global_links_per_router = cfg.nearest_valid_global_links();
+    cfg.validate()
+        .expect("nearest_valid_global_links must produce a valid shape");
+    let arrangement = match rng.index(4) {
+        0 => GlobalArrangement::RoundRobin,
+        1 => GlobalArrangement::Consecutive,
+        2 => GlobalArrangement::PalmTree,
+        _ => GlobalArrangement::Random {
+            seed: rng.next_u64(),
+        },
+    };
+    cfg.arrangement = arrangement;
+    (cfg, arrangement)
+}
+
+/// The directed global channels of a built machine, as
+/// (src_router, dst_router) pairs.
+fn global_pairs(topo: &Topology) -> Vec<(u32, u32)> {
+    topo.channels()
+        .filter(|(_, info)| info.class == ChannelClass::Global)
+        .map(|(_, info)| {
+            (
+                info.src.router().expect("global src is a router").0,
+                info.dst.router().expect("global dst is a router").0,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_arrangement_keeps_the_dragonfly_invariants() {
+    check(
+        "arrangement_invariants",
+        &Config::default(),
+        generate,
+        |(cfg, _)| {
+            let topo = Topology::build(cfg.clone());
+            let rpg = cfg.routers_per_group();
+            let lpp = cfg.links_per_group_pair();
+            let pairs = global_pairs(&topo);
+
+            // Uniform per-router global degree: every router sources
+            // exactly `global_links_per_router` global channels.
+            let mut out_degree = vec![0u32; (cfg.groups * rpg) as usize];
+            let mut per_pair: HashMap<(u32, u32), u32> = HashMap::new();
+            for &(src, dst) in &pairs {
+                out_degree[src as usize] += 1;
+                let (ga, gb) = (src / rpg, dst / rpg);
+                if ga == gb {
+                    return Err(format!("global channel inside group {ga}"));
+                }
+                *per_pair.entry((ga.min(gb), ga.max(gb))).or_default() += 1;
+            }
+            for (r, &d) in out_degree.iter().enumerate() {
+                if d != cfg.global_links_per_router {
+                    return Err(format!(
+                        "router {r} sources {d} global links, expected {}",
+                        cfg.global_links_per_router
+                    ));
+                }
+            }
+
+            // Full connectivity: every group pair carries exactly its
+            // share of parallel links (x2 for the two directions).
+            for ga in 0..cfg.groups {
+                for gb in (ga + 1)..cfg.groups {
+                    let n = per_pair.get(&(ga, gb)).copied().unwrap_or(0);
+                    if n != 2 * lpp {
+                        return Err(format!(
+                            "groups ({ga},{gb}) linked by {n} directed channels, expected {}",
+                            2 * lpp
+                        ));
+                    }
+                }
+            }
+
+            // Bidirectional: the directed pair multiset is symmetric.
+            let mut dir: HashMap<(u32, u32), i64> = HashMap::new();
+            for &(s, d) in &pairs {
+                *dir.entry((s, d)).or_default() += 1;
+                *dir.entry((d, s)).or_default() -= 1;
+            }
+            if let Some((k, _)) = dir.iter().find(|(_, &v)| v != 0) {
+                return Err(format!("asymmetric global wiring at routers {k:?}"));
+            }
+
+            // The gateway accessor must agree with the channel table.
+            let accessor_total: usize = (0..cfg.groups * rpg)
+                .map(|r| {
+                    topo.router_global_channels(dragonfly_tradeoff::topology::RouterId(r))
+                        .len()
+                })
+                .sum();
+            if accessor_total != pairs.len() {
+                return Err(format!(
+                    "router_global_channels lists {accessor_total} links, channel table has {}",
+                    pairs.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn builds_are_byte_identical_for_the_same_config() {
+    // Two builds of the same (shape, arrangement) — including
+    // seeded-random wiring — must enumerate identical channel tables.
+    check(
+        "arrangement_build_determinism",
+        &Config::with_cases(16),
+        generate,
+        |(cfg, _)| {
+            let a = Topology::build(cfg.clone());
+            let b = Topology::build(cfg.clone());
+            if global_pairs(&a) != global_pairs(&b) {
+                return Err("two builds of the same config wired differently".into());
+            }
+            if cfg.arrangement.plan(cfg) != cfg.arrangement.plan(cfg) {
+                return Err("plan() is not deterministic".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn arrangements_rewire_without_touching_channel_arithmetic() {
+    // Different arrangements on one shape: same channel-id space, same
+    // per-class counts, different (or round-robin-default) global wiring.
+    let cfg = TopologyConfig::canonical(2, 4, 2, 5);
+    let mut tables = Vec::new();
+    for arr in [
+        GlobalArrangement::RoundRobin,
+        GlobalArrangement::Consecutive,
+        GlobalArrangement::PalmTree,
+        GlobalArrangement::Random { seed: 1 },
+    ] {
+        let mut c = cfg.clone();
+        c.arrangement = arr;
+        let t = Topology::build(c);
+        assert_eq!(
+            t.channel_count(),
+            Topology::build(cfg.clone()).channel_count()
+        );
+        tables.push(global_pairs(&t));
+    }
+    // Palm-tree and consecutive genuinely differ from round-robin here.
+    assert_ne!(tables[0], tables[1]);
+    assert_ne!(tables[0], tables[2]);
+    assert_ne!(tables[1], tables[2]);
+}

@@ -351,6 +351,36 @@ fn theta_run_identical_at_every_shard_count_obs_on() {
     }
 }
 
+/// A canonic (p,a,h,g) machine with non-default palm-tree wiring through
+/// the PDES matrix (the ISSUE's shards-1-vs-4 entry): the group-sharded
+/// engine must be arrangement- and shape-agnostic, byte-identical across
+/// worker counts, with the auditor clean.
+#[test]
+fn canonic_palm_tree_run_identical_at_shards_1_and_4() {
+    use dragonfly_tradeoff::topology::{GlobalArrangement, TopologyConfig};
+    let mut base = ExperimentConfig::theta(dragonfly_tradeoff::workloads::AppKind::CrystalRouter);
+    base.topology = TopologyConfig::canonical(2, 8, 4, 17);
+    base.topology.arrangement = GlobalArrangement::PalmTree;
+    base.app = AppSelection::CrystalRouter { ranks: 64 };
+    base.placement = PlacementPolicy::RandomNode;
+    base.routing = RoutingPolicy::Adaptive;
+    base.msg_scale = 0.2;
+    base.network.audit = true;
+    let mut reference: Option<RunFingerprint> = None;
+    for shards in [1u32, 4] {
+        let mut c = base.clone();
+        c.parallelism = Parallelism::IntraRun(shards);
+        let r = run_experiment(&c);
+        let audit = r.audit.as_ref().expect("audit on");
+        assert!(audit.is_clean(), "shards={shards}:\n{audit}");
+        let snap = fingerprint(&r);
+        match &reference {
+            None => reference = Some(snap),
+            Some(f) => assert_eq!(f, &snap, "shards={shards} changed the canonic run"),
+        }
+    }
+}
+
 /// Sweep-level fan-out is the other worker axis: the grid's bytes must
 /// not depend on `DFLY_SWEEP_WORKERS`. (Concurrent tests may observe the
 /// variable mid-matrix; that is harmless — worker count never affects

@@ -101,3 +101,98 @@ fn execute_rejects_mismatched_topology() {
     other.topology.nodes_per_router += 1;
     let _ = execute_experiment(&other, topo);
 }
+
+/// The `RoutingPolicy`-trait rewrite of the route computer must be a pure
+/// refactor for the three historical policies: a frozen copy of the
+/// pre-trait `compute` / `compute_adaptive` / Valiant-loop algorithms,
+/// fed the identical RNG stream, must agree route for route (same
+/// channels, same order, same RNG consumption) under a congested
+/// occupancy signal.
+#[test]
+fn routing_trait_matches_frozen_pre_refactor_algorithms() {
+    use dragonfly_tradeoff::engine::Xoshiro256;
+    use dragonfly_tradeoff::network::routing::{RouteComputer, Routing};
+    use dragonfly_tradeoff::network::NetworkParams;
+    use dragonfly_tradeoff::topology::{paths, ChannelId, NodeId, TopologyConfig};
+
+    let topo = Topology::build(TopologyConfig::small_test());
+    let params = NetworkParams::default();
+    let occ = |c: ChannelId| (c.0 as u64 * 131) % 9000;
+
+    for routing in [Routing::Minimal, Routing::Adaptive, Routing::Valiant] {
+        for seed in [42u64, 0x5EED, 7] {
+            let mut modern = RouteComputer::new(routing, Xoshiro256::seed_from(seed));
+            let mut rng = Xoshiro256::seed_from(seed);
+            let mut scratch: Vec<ChannelId> = Vec::new();
+            let mut best: Vec<ChannelId> = Vec::new();
+            for i in 0..200u32 {
+                let s = NodeId(i % topo.config().total_nodes());
+                let d = NodeId((i * 29 + 3) % topo.config().total_nodes());
+                let src_r = topo.node_router(s);
+                let dst_r = topo.node_router(d);
+
+                // --- frozen pre-refactor algorithm ---
+                let mut legacy: Vec<ChannelId> = Vec::new();
+                match routing {
+                    Routing::Minimal => {
+                        paths::push_minimal(&topo, src_r, dst_r, &mut rng, &mut legacy);
+                    }
+                    Routing::Valiant => loop {
+                        scratch.clear();
+                        let inter = paths::random_intermediate(&topo, &mut rng);
+                        paths::push_minimal(&topo, src_r, inter, &mut rng, &mut scratch);
+                        paths::push_minimal(&topo, inter, dst_r, &mut rng, &mut scratch);
+                        if scratch.len() <= paths::MAX_ROUTER_HOPS {
+                            legacy.extend_from_slice(&scratch);
+                            break;
+                        }
+                    },
+                    Routing::Adaptive => {
+                        let score = |cand: &[ChannelId], bias: u64| -> u64 {
+                            let hops = cand.len() as u64;
+                            let first = cand.first().map(|&c| occ(c)).unwrap_or(0);
+                            first.saturating_mul(hops).saturating_add(bias)
+                        };
+                        let mut best_score = u64::MAX;
+                        best.clear();
+                        for _ in 0..2 {
+                            scratch.clear();
+                            paths::push_minimal(&topo, src_r, dst_r, &mut rng, &mut scratch);
+                            let sc = score(&scratch, 0);
+                            if sc < best_score {
+                                best_score = sc;
+                                std::mem::swap(&mut best, &mut scratch);
+                            }
+                        }
+                        for _ in 0..2 {
+                            let inter = paths::random_intermediate(&topo, &mut rng);
+                            scratch.clear();
+                            paths::push_minimal(&topo, src_r, inter, &mut rng, &mut scratch);
+                            paths::push_minimal(&topo, inter, dst_r, &mut rng, &mut scratch);
+                            if scratch.len() <= paths::MAX_ROUTER_HOPS {
+                                let sc = score(&scratch, params.adaptive_bias_bytes);
+                                if sc < best_score {
+                                    best_score = sc;
+                                    std::mem::swap(&mut best, &mut scratch);
+                                }
+                            }
+                        }
+                        legacy.extend_from_slice(&best);
+                    }
+                    _ => unreachable!(),
+                }
+
+                // --- trait-based computer ---
+                let mut modern_route = Vec::new();
+                modern.compute(&topo, &params, s, d, occ, &mut modern_route);
+
+                assert_eq!(
+                    legacy,
+                    modern_route,
+                    "{} diverged from the pre-refactor algorithm at packet {i} (seed {seed:#x})",
+                    routing.label()
+                );
+            }
+        }
+    }
+}
