@@ -70,6 +70,7 @@ fn main() {
             routing: RoutingPolicy::Adaptive,
             submissions,
             seed: base.seed,
+            parallelism: base.parallelism,
         };
         let r = run_schedule(&cfg);
         let n = r.jobs.len() as f64;

@@ -1,0 +1,390 @@
+//! Continuous multi-tenant service simulation — the operator's view of
+//! the trade-off study. A Poisson (or trace-driven, `--arrivals`) stream
+//! of mixed CR / FB / AMG / background jobs flows through an admission
+//! policy (`--policy fcfs|easy|congestion[:BYTES]`) onto the packet-level
+//! network; each job's placement is chosen at admission time by
+//! `dfly_core::recommend` from its measured communication intensity and
+//! the live machine state (co-runners, queued-byte congestion). Reports
+//! per-tenant SLO metrics: p50/p99 queueing delay, bounded slowdown, and
+//! interference blast radius.
+//!
+//! Standing invariants are enforced in-binary (nonzero exit on failure):
+//! the whole stream runs twice and must be byte-identical, and both runs
+//! carry the conservation audit, which must come back clean.
+//!
+//! Artifacts: `service_jobs.csv` (one row per job), `service_tenant_slo.csv`
+//! (one row per tenant), `BENCH_service.json` (machine-readable summary).
+
+use dfly_bench::harness::{parse_arrangement, Mode, RunArgs, TopoSpec};
+use dfly_core::config::{Parallelism, RoutingPolicy};
+use dfly_core::service::{
+    run_service, tenant_slos, AdmissionPolicy, ServiceConfig, ServiceJob, ServiceResult,
+    ServiceSubmission, BOUNDED_SLOWDOWN_TAU,
+};
+use dfly_engine::Ns;
+use dfly_network::NetworkParams;
+use dfly_stats::AsciiTable;
+use dfly_workloads::{parse_arrivals, poisson_arrivals, tenant_label, Arrival, ArrivalPlan};
+use std::time::Instant;
+
+struct Cli {
+    args: RunArgs,
+    policy: AdmissionPolicy,
+    /// Mean arrival rate, jobs per simulated millisecond.
+    arrival_rate: Option<f64>,
+    /// Stream window in simulated milliseconds.
+    duration_ms: Option<f64>,
+    min_jobs: Option<u32>,
+    bg_share: f64,
+    arrivals_file: Option<String>,
+    seed: u64,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        args: RunArgs::new(Mode::Quick, "results"),
+        policy: AdmissionPolicy::EasyBackfill,
+        arrival_rate: None,
+        duration_ms: None,
+        min_jobs: None,
+        bg_share: 0.25,
+        arrivals_file: None,
+        seed: 0x5E21,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.args.mode = Mode::Quick,
+            "--full" => cli.args.mode = Mode::Full,
+            "--out" => {
+                cli.args.out_dir = args.next().expect("--out needs a directory").into();
+            }
+            "--obs" => cli.args.obs = true,
+            "--shards" => {
+                let v = args.next().expect("--shards needs a worker count");
+                cli.args.shards = v.parse().expect("--shards needs an integer");
+            }
+            "--topo" => {
+                let v = args.next().expect("--topo needs a machine spec");
+                let spec = TopoSpec::parse(&v).unwrap_or_else(|e| panic!("{e}"));
+                spec.config()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("--topo {v}: {e}"));
+                cli.args.topo = Some(spec);
+            }
+            "--arrangement" => {
+                let v = args.next().expect("--arrangement needs a wiring spec");
+                cli.args.arrangement =
+                    Some(parse_arrangement(&v).unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--policy" => {
+                let v = args.next().expect("--policy needs a name");
+                cli.policy = AdmissionPolicy::parse(&v).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--arrival-rate" => {
+                let v = args.next().expect("--arrival-rate needs jobs/ms");
+                let r: f64 = v.parse().expect("--arrival-rate needs a number");
+                assert!(r > 0.0, "--arrival-rate must be positive");
+                cli.arrival_rate = Some(r);
+            }
+            "--duration" => {
+                let v = args.next().expect("--duration needs simulated ms");
+                let d: f64 = v.parse().expect("--duration needs a number");
+                assert!(d > 0.0, "--duration must be positive");
+                cli.duration_ms = Some(d);
+            }
+            "--min-jobs" => {
+                let v = args.next().expect("--min-jobs needs a count");
+                cli.min_jobs = Some(v.parse().expect("--min-jobs needs an integer"));
+            }
+            "--bg-share" => {
+                let v = args.next().expect("--bg-share needs a fraction");
+                cli.bg_share = v.parse().expect("--bg-share needs a number");
+            }
+            "--arrivals" => {
+                cli.arrivals_file = Some(args.next().expect("--arrivals needs a file path"));
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs an integer");
+                cli.seed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).expect("--seed: bad hex")
+                } else {
+                    v.parse().expect("--seed needs an integer")
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: [--quick|--full] [--out DIR] [--obs] [--shards N] \
+                     [--topo theta|quick|small|P,A,H,G] [--arrangement rr|consec|palm|random:SEED] \
+                     [--policy fcfs|easy|congestion[:BYTES]] [--arrival-rate JOBS_PER_MS] \
+                     [--duration MS] [--min-jobs N] [--bg-share F] [--arrivals FILE] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    // Mode defaults, each overridable by its flag: quick runs a >=200-job
+    // stream on the 768-node machine; full a >=400-job stream on Theta.
+    let (topology, rate, duration_ms, min_jobs, msg_scale) = match cli.args.mode {
+        Mode::Quick => (
+            dfly_topology::TopologyConfig::quick(),
+            100.0,
+            2.0,
+            200,
+            0.25,
+        ),
+        Mode::Full => (dfly_topology::TopologyConfig::theta(), 50.0, 10.0, 400, 1.0),
+    };
+    let mut topology = match cli.args.topo {
+        Some(spec) => spec.config(),
+        None => topology,
+    };
+    if let Some(arr) = cli.args.arrangement {
+        topology.arrangement = arr;
+    }
+    let nodes = topology.total_nodes();
+    let rate = cli.arrival_rate.unwrap_or(rate);
+    let duration = Ns((1_000_000.0 * cli.duration_ms.unwrap_or(duration_ms)) as u64);
+    let min_jobs = cli.min_jobs.unwrap_or(min_jobs);
+
+    let arrivals: Vec<Arrival> = match &cli.arrivals_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --arrivals {path}: {e}"));
+            parse_arrivals(&text).unwrap_or_else(|e| panic!("--arrivals {path}: {e}"))
+        }
+        None => poisson_arrivals(&ArrivalPlan {
+            rate_per_ms: rate,
+            duration,
+            min_jobs,
+            background_share: cli.bg_share,
+            min_ranks: 4,
+            max_ranks: (nodes / 3).clamp(4, 512),
+            msg_scale,
+            seed: cli.seed,
+        }),
+    };
+    let submissions: Vec<ServiceSubmission> = arrivals
+        .iter()
+        .map(|a| ServiceSubmission {
+            job: ServiceJob::from_arrival(a),
+            arrival: a.at,
+        })
+        .collect();
+
+    let mut network = NetworkParams::default();
+    network.audit = true; // standing invariant, enforced below
+    network.obs = cli.args.obs;
+    let config = ServiceConfig {
+        topology,
+        network,
+        routing: RoutingPolicy::Adaptive,
+        admission: cli.policy,
+        submissions,
+        seed: cli.seed,
+        parallelism: match cli.args.shards {
+            0 => Parallelism::Serial,
+            n => Parallelism::IntraRun(n),
+        },
+    };
+    println!(
+        "Service stream: {} jobs ({} arrive within the {:.1} ms window), \
+         {} nodes, policy {}, recommend-placed, seed {:#x}",
+        config.submissions.len(),
+        arrivals.iter().filter(|a| a.at <= duration).count(),
+        duration.as_ms_f64(),
+        nodes,
+        cli.policy.label(),
+        cli.seed,
+    );
+
+    let t0 = Instant::now();
+    let first = run_service(&config);
+    let wall = t0.elapsed().as_secs_f64();
+    let second = run_service(&config);
+    // Standing invariants: two-run byte-identity and a clean audit.
+    assert_eq!(first, second, "two runs of the same stream diverged");
+    let audit = first.audit.as_ref().expect("audit always on");
+    assert!(audit.is_clean(), "conservation audit violated: {audit:?}");
+    println!(
+        "two-run byte-identity: ok; audit: clean; {} events in {:.2} s \
+         ({:.2} Mev/s); makespan {:.2} ms; peak {} concurrent jobs in {} slots{}",
+        first.events,
+        wall,
+        first.events as f64 / wall / 1e6,
+        first.makespan.as_ms_f64(),
+        first.peak_active_jobs,
+        first.job_slots,
+        if first.obs.is_some() {
+            "; obs report collected"
+        } else {
+            ""
+        },
+    );
+
+    write_jobs_csv(&cli, &config, &first);
+    let slos = tenant_slos(&first.outcomes);
+    let mut table = AsciiTable::new(vec![
+        "tenant",
+        "jobs",
+        "mean wait (us)",
+        "p99 wait (us)",
+        "p50 slowdown",
+        "p99 slowdown",
+        "mean blast",
+        "max blast",
+    ]);
+    let mut csv = cli.args.csv(
+        "service_tenant_slo.csv",
+        &[
+            "policy",
+            "tenant",
+            "jobs",
+            "mean_wait_us",
+            "p50_wait_us",
+            "p99_wait_us",
+            "p50_slowdown",
+            "p99_slowdown",
+            "mean_runtime_us",
+            "mean_blast_radius",
+            "max_blast_radius",
+        ],
+    );
+    for s in &slos {
+        table.row(vec![
+            tenant_label(s.tenant).to_string(),
+            s.jobs.to_string(),
+            format!("{:.1}", s.mean_wait_us),
+            format!("{:.1}", s.p99_wait_us),
+            format!("{:.2}", s.p50_slowdown),
+            format!("{:.2}", s.p99_slowdown),
+            format!("{:.2}", s.mean_blast_radius),
+            s.max_blast_radius.to_string(),
+        ]);
+        csv.row(&[
+            cli.policy.label().to_string(),
+            tenant_label(s.tenant).to_string(),
+            s.jobs.to_string(),
+            format!("{:.2}", s.mean_wait_us),
+            format!("{:.2}", s.p50_wait_us),
+            format!("{:.2}", s.p99_wait_us),
+            format!("{:.4}", s.p50_slowdown),
+            format!("{:.4}", s.p99_slowdown),
+            format!("{:.2}", s.mean_runtime_us),
+            format!("{:.3}", s.mean_blast_radius),
+            s.max_blast_radius.to_string(),
+        ])
+        .expect("csv write");
+    }
+    csv.finish().expect("csv flush");
+    print!("{}", table.render());
+    println!(
+        "(bounded slowdown tau = {} us; blast radius = distinct co-resident \
+         jobs sharing a dragonfly group)",
+        BOUNDED_SLOWDOWN_TAU.as_us_f64()
+    );
+
+    write_bench_json(&cli, &config, &first, &slos, wall);
+    println!(
+        "Wrote {}, {} and {}",
+        cli.args.out_dir.join("service_jobs.csv").display(),
+        cli.args.out_dir.join("service_tenant_slo.csv").display(),
+        cli.args.out_dir.join("BENCH_service.json").display(),
+    );
+}
+
+fn write_jobs_csv(cli: &Cli, config: &ServiceConfig, result: &ServiceResult) {
+    let mut csv = cli.args.csv(
+        "service_jobs.csv",
+        &[
+            "policy",
+            "uid",
+            "tenant",
+            "app",
+            "ranks",
+            "arrival_us",
+            "wait_us",
+            "runtime_us",
+            "placement",
+            "groups",
+            "blast_radius",
+        ],
+    );
+    let _ = config;
+    for o in &result.outcomes {
+        csv.row(&[
+            cli.policy.label().to_string(),
+            o.uid.to_string(),
+            tenant_label(o.tenant).to_string(),
+            o.label.to_string(),
+            o.ranks.to_string(),
+            format!("{:.2}", o.arrival.as_us_f64()),
+            format!("{:.2}", o.wait.as_us_f64()),
+            format!("{:.2}", o.runtime.as_us_f64()),
+            o.placement.label().to_string(),
+            o.groups.to_string(),
+            o.blast_radius.to_string(),
+        ])
+        .expect("csv write");
+    }
+    csv.finish().expect("csv flush");
+}
+
+fn write_bench_json(
+    cli: &Cli,
+    config: &ServiceConfig,
+    result: &ServiceResult,
+    slos: &[dfly_core::service::TenantSlo],
+    wall_s: f64,
+) {
+    // Hand-formatted JSON — the workspace has no serde.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": \"poisson service stream, {} jobs, seed {:#x}\",\n",
+        config.submissions.len(),
+        cli.seed
+    ));
+    json.push_str(&format!("  \"policy\": \"{}\",\n", cli.policy.label()));
+    json.push_str(&format!(
+        "  \"nodes\": {},\n  \"jobs\": {},\n  \"makespan_ms\": {:.3},\n",
+        config.topology.total_nodes(),
+        result.outcomes.len(),
+        result.makespan.as_ms_f64()
+    ));
+    json.push_str(&format!(
+        "  \"peak_active_jobs\": {},\n  \"job_slots\": {},\n  \"events\": {},\n",
+        result.peak_active_jobs, result.job_slots, result.events
+    ));
+    json.push_str(&format!(
+        "  \"wall_s\": {:.3},\n  \"events_per_sec\": {:.0},\n",
+        wall_s,
+        result.events as f64 / wall_s
+    ));
+    json.push_str("  \"audit_clean\": true,\n  \"two_run_identical\": true,\n");
+    json.push_str("  \"tenants\": [\n");
+    for (i, s) in slos.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenant\": \"{}\", \"jobs\": {}, \"mean_wait_us\": {:.2}, \
+             \"p99_wait_us\": {:.2}, \"p50_slowdown\": {:.4}, \"p99_slowdown\": {:.4}, \
+             \"mean_blast_radius\": {:.3}, \"max_blast_radius\": {}}}{}\n",
+            tenant_label(s.tenant),
+            s.jobs,
+            s.mean_wait_us,
+            s.p99_wait_us,
+            s.p50_slowdown,
+            s.p99_slowdown,
+            s.mean_blast_radius,
+            s.max_blast_radius,
+            if i + 1 < slos.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = cli.args.out_dir.join("BENCH_service.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+}

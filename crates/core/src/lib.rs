@@ -11,6 +11,10 @@
 //! * [`runner`] — runs one experiment end to end and collects the paper's
 //!   metrics (per-rank communication time, average hops, channel traffic,
 //!   link saturation).
+//! * [`service`] — the continuous multi-tenant service loop: an
+//!   incremental [`ServiceSim`] driver with mid-run job injection,
+//!   backfill/congestion-aware admission, recommend-fed placement and
+//!   per-tenant SLO metrics.
 //! * [`sweep`] — runs placement x routing grids and message-scale sweeps,
 //!   parallelizing across simulations with scoped threads.
 //! * [`report`] — config labels (`cont-min` ... `rand-adp`) and result
@@ -25,6 +29,7 @@ pub mod recommend;
 pub mod report;
 pub mod runner;
 pub mod scheduler;
+pub mod service;
 pub mod sweep;
 pub mod validate;
 pub mod variability;
@@ -36,5 +41,9 @@ pub use recommend::{recommend, CommIntensity, Recommendation};
 pub use report::ConfigLabel;
 pub use runner::{execute_experiment, prepare_topology, run_experiment, ExperimentResult};
 pub use scheduler::{run_schedule, ScheduleResult, SchedulerConfig, Submission};
+pub use service::{
+    run_service, tenant_slos, AdmissionPolicy, PlacementChoice, ServiceConfig, ServiceJob,
+    ServiceResult, ServiceSim, ServiceSubmission, ServiceWorkload, TenantSlo,
+};
 pub use sweep::{run_config_grid, GridResult};
 pub use variability::{measure_variability, VariabilityReport};

@@ -8,15 +8,25 @@
 //! poor (its refs [6], [7]). This module closes the loop — it measures
 //! queueing delay *and* interference slowdown per job under each placement
 //! policy, on the same packet-level network as every other experiment.
+//!
+//! The execution engine lives in [`crate::service`]; `run_schedule` is the
+//! batch FCFS front-end over [`run_service`]. That migration fixed three
+//! bugs of the original standalone loop: finished jobs are retired into
+//! compact records with their job slots recycled (state is bounded by
+//! concurrency, not stream length), rank/phase/job-id tag widths are
+//! validated instead of silently aliasing, and
+//! [`SchedulerConfig::parallelism`] is honoured instead of hardwiring the
+//! serial engine.
 
-use crate::config::RoutingPolicy;
+use crate::config::{Parallelism, RoutingPolicy};
 use crate::multijob::JobSpec;
-use dfly_engine::{Ns, Xoshiro256};
-use dfly_network::{Network, NetworkEvent, NetworkParams};
-use dfly_placement::NodePool;
-use dfly_topology::{NodeId, Topology, TopologyConfig};
-use dfly_workloads::{generate, JobTrace};
-use std::sync::Arc;
+use crate::service::{
+    run_service, AdmissionPolicy, PlacementChoice, ServiceConfig, ServiceJob, ServiceSubmission,
+    ServiceWorkload, JOB_SLOTS, MAX_RANKS, RANK_BITS,
+};
+use dfly_engine::Ns;
+use dfly_network::NetworkParams;
+use dfly_topology::TopologyConfig;
 
 /// A job submission.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,22 +50,50 @@ pub struct SchedulerConfig {
     pub submissions: Vec<Submission>,
     /// Master seed.
     pub seed: u64,
+    /// Execution engine: serial loop or group-sharded PDES.
+    pub parallelism: Parallelism,
 }
 
 impl SchedulerConfig {
-    /// Validate: every job must individually fit the machine.
+    /// Validate, naming the offending field. Beyond machine fit, every
+    /// quantity that lands in an event tag is checked against its bit
+    /// width: rank counts against the 24-bit rank field and the stream
+    /// length against the 16-bit job-id field (longer open-ended streams
+    /// belong to service mode, which recycles slots explicitly).
     pub fn validate(&self) -> Result<(), String> {
         self.topology.validate()?;
         self.network.validate()?;
         if self.submissions.is_empty() {
-            return Err("need at least one submission".into());
+            return Err("submissions: need at least one".into());
+        }
+        if self.submissions.len() > JOB_SLOTS {
+            return Err(format!(
+                "submissions: {} jobs exceed the {JOB_SLOTS} job-id tag slots; \
+                 use run_service for longer streams",
+                self.submissions.len()
+            ));
+        }
+        if self.parallelism == Parallelism::IntraRun(0) {
+            return Err("parallelism: intra-run needs at least one worker".into());
         }
         for (i, s) in self.submissions.iter().enumerate() {
-            if s.job.app.ranks() > self.topology.total_nodes() {
-                return Err(format!("submission {i} larger than the machine"));
+            let ranks = s.job.app.ranks();
+            if ranks == 0 {
+                return Err(format!("submissions[{i}]: job needs at least one rank"));
+            }
+            if ranks > self.topology.total_nodes() {
+                return Err(format!(
+                    "submissions[{i}]: {ranks} ranks exceed the {}-node machine",
+                    self.topology.total_nodes()
+                ));
+            }
+            if ranks > MAX_RANKS {
+                return Err(format!(
+                    "submissions[{i}]: {ranks} ranks exceed the {RANK_BITS}-bit rank tag field"
+                ));
             }
             if s.job.msg_scale <= 0.0 {
-                return Err(format!("submission {i}: msg_scale must be positive"));
+                return Err(format!("submissions[{i}]: msg_scale must be positive"));
             }
         }
         Ok(())
@@ -84,239 +122,59 @@ pub struct ScheduleResult {
     pub jobs: Vec<ScheduledJob>,
     /// Total makespan (last completion).
     pub makespan: Ns,
+    /// Most jobs ever running at once.
+    pub peak_active_jobs: usize,
+    /// Job slots the run materialized — bounded by peak concurrency, not
+    /// by `jobs.len()`, because finished jobs retire and recycle.
+    pub job_slots: usize,
 }
 
-// --- internal per-job execution state (same phase semantics as mpi.rs) ---
-
-struct RankState {
-    phase: usize,
-    outstanding_sends: u32,
-    recvs_got: Vec<u32>,
-    finished_at: Option<Ns>,
-}
-
-struct RunningJob {
-    submission: Submission,
-    trace: JobTrace,
-    placement: Vec<NodeId>,
-    expected_recvs: Vec<Vec<u32>>,
-    ranks: Vec<RankState>,
-    unfinished: usize,
-    started_at: Ns,
-}
-
-const RANK_BITS: u32 = 24;
-const PHASE_SHIFT: u32 = RANK_BITS;
-const JOB_SHIFT: u32 = 48;
-
-/// Run a scheduler experiment.
+/// Run a scheduler experiment: the submission stream under strict FCFS
+/// admission on the engine selected by `config.parallelism`.
 pub fn run_schedule(config: &SchedulerConfig) -> ScheduleResult {
     config.validate().expect("invalid scheduler config");
-    let topo = Arc::new(Topology::build(config.topology.clone()));
-    let mut master = Xoshiro256::seed_from(config.seed);
-    let mut placement_rng = master.split(1);
-    let workload_seed = master.split(2).next_u64();
-    let routing_seed = master.split(3).next_u64();
-
-    let mut submissions = config.submissions.clone();
-    submissions.sort_by_key(|s| s.arrival);
-
-    let mut net = Network::new(topo.clone(), config.network, config.routing, routing_seed);
-    let mut pool = NodePool::new(&topo);
-    let mut queue: std::collections::VecDeque<(usize, Submission)> =
-        submissions.iter().copied().enumerate().collect();
-    let mut running: Vec<RunningJob> = Vec::new();
-    let mut node_owner: Vec<(u32, u32)> =
-        vec![(u32::MAX, u32::MAX); topo.config().total_nodes() as usize];
-    let mut done: Vec<ScheduledJob> = Vec::new();
-
-    // Wake at each arrival so admission happens at the right time.
-    for s in &submissions {
-        net.schedule_wakeup(s.arrival);
-    }
-
-    // FCFS admission: take queued jobs in order while the head fits and
-    // has arrived.
-    let admit = |net: &mut Network,
-                 pool: &mut NodePool,
-                 queue: &mut std::collections::VecDeque<(usize, Submission)>,
-                 running: &mut Vec<RunningJob>,
-                 node_owner: &mut Vec<(u32, u32)>,
-                 placement_rng: &mut Xoshiro256,
-                 topo: &Topology| {
-        loop {
-            let now = net.now();
-            let Some(&(idx, sub)) = queue.front() else {
-                return;
-            };
-            if sub.arrival > now || sub.job.app.ranks() > pool.free_count() {
-                return;
-            }
-            queue.pop_front();
-            let placement = sub
-                .job
-                .placement
-                .allocate(topo, pool, sub.job.app.ranks(), placement_rng)
-                .expect("checked free count");
-            let trace = generate(
-                &sub.job
-                    .app
-                    .spec(sub.job.msg_scale, workload_seed ^ (idx as u64) << 32),
-            );
-            let job_id = running.len() as u32;
-            for (rank, &node) in placement.iter().enumerate() {
-                node_owner[node.index()] = (job_id, rank as u32);
-            }
-            let phases = trace.phase_count();
-            let expected_recvs = trace.recv_counts();
-            let ranks: Vec<RankState> = (0..trace.ranks())
-                .map(|_| RankState {
-                    phase: 0,
-                    outstanding_sends: 0,
-                    recvs_got: vec![0; phases],
-                    finished_at: None,
-                })
-                .collect();
-            let unfinished = trace.ranks() as usize;
-            running.push(RunningJob {
-                submission: sub,
-                trace,
-                placement,
-                expected_recvs,
-                ranks,
-                unfinished,
-                started_at: now,
-            });
-            // Issue phase 0 (and resolve empty phases) for every rank.
-            let job = running.last_mut().expect("just pushed");
-            for rank in 0..job.trace.ranks() {
-                issue_phase(net, job, job_id, rank, now);
-            }
-            for rank in 0..job.trace.ranks() {
-                advance(net, job, job_id, rank, now);
-            }
-        }
+    let mut sorted = config.submissions.clone();
+    sorted.sort_by_key(|s| s.arrival);
+    let service = ServiceConfig {
+        topology: config.topology.clone(),
+        network: config.network,
+        routing: config.routing,
+        admission: AdmissionPolicy::Fcfs,
+        submissions: sorted
+            .iter()
+            .map(|s| ServiceSubmission {
+                job: ServiceJob {
+                    workload: ServiceWorkload::App(s.job.app),
+                    placement: PlacementChoice::Fixed(s.job.placement),
+                    msg_scale: s.job.msg_scale,
+                    tenant: 0,
+                    estimate: Ns::ZERO,
+                },
+                arrival: s.arrival,
+            })
+            .collect(),
+        seed: config.seed,
+        parallelism: config.parallelism,
     };
-
-    admit(
-        &mut net,
-        &mut pool,
-        &mut queue,
-        &mut running,
-        &mut node_owner,
-        &mut placement_rng,
-        &topo,
-    );
-
-    let total = submissions.len();
-    while done.len() < total {
-        match net.poll() {
-            Some(NetworkEvent::Wakeup) => {}
-            Some(NetworkEvent::Delivery(d)) => {
-                let now = net.now();
-                let job_id = (d.tag >> JOB_SHIFT) as u32;
-                let phase =
-                    ((d.tag >> PHASE_SHIFT) & ((1 << (JOB_SHIFT - PHASE_SHIFT)) - 1)) as usize;
-                let src_rank = (d.tag & ((1 << RANK_BITS) - 1)) as u32;
-                let (dst_job, dst_rank) = node_owner[d.dst.index()];
-                debug_assert_eq!(dst_job, job_id);
-                let job = &mut running[job_id as usize];
-                {
-                    let s = &mut job.ranks[src_rank as usize];
-                    debug_assert_eq!(s.phase, phase);
-                    s.outstanding_sends -= 1;
-                }
-                job.ranks[dst_rank as usize].recvs_got[phase] += 1;
-                advance(&mut net, job, job_id, src_rank, now);
-                if dst_rank != src_rank {
-                    advance(&mut net, job, job_id, dst_rank, now);
-                }
-                if job.unfinished == 0 && job.placement.first().is_some() {
-                    // Job complete: release its nodes and record it.
-                    let placement = std::mem::take(&mut job.placement);
-                    for &n in &placement {
-                        node_owner[n.index()] = (u32::MAX, u32::MAX);
-                    }
-                    pool.release(&placement);
-                    done.push(ScheduledJob {
-                        submission: job.submission,
-                        started_at: job.started_at,
-                        finished_at: now,
-                        wait: job.started_at - job.submission.arrival,
-                        runtime: now - job.started_at,
-                    });
-                }
-            }
-            None => {
-                // Network idle: if jobs remain queued, jump to the next
-                // arrival (the wakeups guarantee there is one).
-                if done.len() < total
-                    && queue.is_empty()
-                    && running.iter().all(|j| j.unfinished == 0)
-                {
-                    panic!("scheduler stalled with jobs unaccounted for");
-                }
-            }
-        }
-        admit(
-            &mut net,
-            &mut pool,
-            &mut queue,
-            &mut running,
-            &mut node_owner,
-            &mut placement_rng,
-            &topo,
-        );
-    }
-
-    let makespan = done.iter().map(|j| j.finished_at).max().unwrap_or(Ns::ZERO);
+    let result = run_service(&service);
+    // Outcome uids are submission indices in arrival order — exactly the
+    // indices of `sorted`.
+    let jobs = result
+        .outcomes
+        .iter()
+        .map(|o| ScheduledJob {
+            submission: sorted[o.uid as usize],
+            started_at: o.started_at,
+            finished_at: o.finished_at,
+            wait: o.wait,
+            runtime: o.runtime,
+        })
+        .collect();
     ScheduleResult {
-        jobs: done,
-        makespan,
-    }
-}
-
-fn issue_phase(net: &mut Network, job: &mut RunningJob, job_id: u32, rank: u32, now: Ns) {
-    let phase = job.ranks[rank as usize].phase;
-    let Some(ph) = job.trace.programs[rank as usize].phases.get(phase) else {
-        return;
-    };
-    job.ranks[rank as usize].outstanding_sends = ph.sends.len() as u32;
-    let src = job.placement[rank as usize];
-    let tag = ((job_id as u64) << JOB_SHIFT) | ((phase as u64) << PHASE_SHIFT) | rank as u64;
-    for s in &ph.sends {
-        net.send(now, src, job.placement[s.peer as usize], s.bytes, tag);
-    }
-}
-
-fn advance(net: &mut Network, job: &mut RunningJob, job_id: u32, rank: u32, now: Ns) {
-    loop {
-        let state = &job.ranks[rank as usize];
-        if state.finished_at.is_some() {
-            return;
-        }
-        let phase = state.phase;
-        let total = job.trace.programs[rank as usize].phases.len();
-        if phase >= total {
-            job.ranks[rank as usize].finished_at = Some(now);
-            job.unfinished -= 1;
-            return;
-        }
-        let expected = job.expected_recvs[rank as usize]
-            .get(phase)
-            .copied()
-            .unwrap_or(0);
-        if state.outstanding_sends > 0 || state.recvs_got[phase] < expected {
-            return;
-        }
-        let next = phase + 1;
-        job.ranks[rank as usize].phase = next;
-        if next >= total {
-            job.ranks[rank as usize].finished_at = Some(now);
-            job.unfinished -= 1;
-            return;
-        }
-        issue_phase(net, job, job_id, rank, now);
+        jobs,
+        makespan: result.makespan,
+        peak_active_jobs: result.peak_active_jobs,
+        job_slots: result.job_slots,
     }
 }
 
@@ -341,6 +199,7 @@ mod tests {
             routing: RoutingPolicy::Adaptive,
             submissions,
             seed: 0xF1F0,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -442,6 +301,9 @@ mod tests {
         for w in r.jobs.windows(2) {
             assert!(w[1].started_at >= w[0].finished_at);
         }
+        // Strictly sequential jobs reuse one recycled slot.
+        assert_eq!(r.peak_active_jobs, 1);
+        assert_eq!(r.job_slots, 1);
     }
 
     #[test]
@@ -478,5 +340,95 @@ mod tests {
             arrival: Ns::ZERO,
         }]);
         assert!(too_big.validate().is_err());
+        let mut zero_workers = cfg(vec![Submission {
+            job: job(AppSelection::Amg { ranks: 16 }, PlacementPolicy::Contiguous),
+            arrival: Ns::ZERO,
+        }]);
+        zero_workers.parallelism = Parallelism::IntraRun(0);
+        let err = zero_workers.validate().unwrap_err();
+        assert!(err.contains("parallelism"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_job_id_tag_overflow_at_boundary() {
+        // The job-id tag field is 16 bits: 65536 submissions are the most
+        // a batch config may carry. The pre-fix scheduler accepted any
+        // count and silently aliased job 65536 onto job 0's tag space.
+        let one = Submission {
+            job: job(AppSelection::Amg { ranks: 1 }, PlacementPolicy::Contiguous),
+            arrival: Ns::ZERO,
+        };
+        let at_limit = cfg(vec![one; JOB_SLOTS]);
+        assert!(at_limit.validate().is_ok());
+        let over = cfg(vec![one; JOB_SLOTS + 1]);
+        let err = over.validate().unwrap_err();
+        assert!(err.contains("job-id tag slots"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_rank_tag_overflow() {
+        // A machine bigger than the 24-bit rank field (1024*64*257 ≈ 16.8M
+        // nodes) lets a fitting job still overflow the tag; the width
+        // check must fire where the old machine-size check would pass.
+        let mut c = cfg(vec![Submission {
+            job: job(
+                AppSelection::Amg {
+                    ranks: MAX_RANKS + 1,
+                },
+                PlacementPolicy::Contiguous,
+            ),
+            arrival: Ns::ZERO,
+        }]);
+        c.topology = TopologyConfig::canonical(1024, 64, 4, 257);
+        assert!(c.topology.total_nodes() > MAX_RANKS);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("rank tag field"), "{err}");
+    }
+
+    #[test]
+    fn many_short_jobs_recycle_slots() {
+        // 100 quick jobs, mostly sequential: the pre-fix scheduler kept
+        // all 100 RunningJob traces alive; the service substrate retires
+        // them, so the slot high-water mark tracks peak concurrency.
+        let subs: Vec<Submission> = (0..100)
+            .map(|i| Submission {
+                job: job(AppSelection::Amg { ranks: 27 }, PlacementPolicy::Contiguous),
+                arrival: Ns(i * 500),
+            })
+            .collect();
+        let r = run_schedule(&cfg(subs));
+        assert_eq!(r.jobs.len(), 100);
+        assert!(
+            r.job_slots <= 2,
+            "at most two 27-rank jobs fit a 64-node machine, yet {} slots materialized",
+            r.job_slots
+        );
+        assert_eq!(r.job_slots, r.peak_active_jobs);
+    }
+
+    #[test]
+    fn intra_run_parallelism_is_honored_and_deterministic() {
+        // The pre-fix scheduler silently ran serial regardless of the
+        // config. Now the sharded engine drives the same stream; results
+        // are deterministic and complete.
+        let subs = vec![
+            Submission {
+                job: job(
+                    AppSelection::CrystalRouter { ranks: 24 },
+                    PlacementPolicy::RandomNode,
+                ),
+                arrival: Ns::ZERO,
+            },
+            Submission {
+                job: job(AppSelection::Amg { ranks: 16 }, PlacementPolicy::Contiguous),
+                arrival: Ns::from_us(20),
+            },
+        ];
+        let mut c = cfg(subs);
+        c.parallelism = Parallelism::IntraRun(2);
+        let a = run_schedule(&c);
+        let b = run_schedule(&c);
+        assert_eq!(a, b);
+        assert_eq!(a.jobs.len(), 2);
     }
 }

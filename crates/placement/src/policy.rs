@@ -95,11 +95,7 @@ impl PlacementPolicy {
             });
         }
         let nodes = match self {
-            PlacementPolicy::Contiguous => pool
-                .free_nodes()
-                .into_iter()
-                .take(size as usize)
-                .collect::<Vec<_>>(),
+            PlacementPolicy::Contiguous => contiguous_runs(size, pool),
             PlacementPolicy::RandomCabinet => {
                 let total = topo.total_cabinets();
                 let mut order: Vec<CabinetId> = (0..total).map(CabinetId).collect();
@@ -141,6 +137,26 @@ impl fmt::Display for PlacementPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// Allocate from the longest contiguous free runs first (ties broken by
+/// lowest start, so a fresh machine yields nodes `0..size` exactly as
+/// before). On a churned pool the free list is scattered holes; taking its
+/// first `size` entries — the old behaviour — produced allocations that
+/// were "contiguous" in name only. Preferring whole runs keeps the policy
+/// meaning what the paper's `cont` row means even mid-service-stream.
+fn contiguous_runs(size: u32, pool: &NodePool) -> Vec<NodeId> {
+    let mut runs = pool.free_runs();
+    runs.sort_by_key(|&(start, len)| (std::cmp::Reverse(len), start));
+    let mut out = Vec::with_capacity(size as usize);
+    for (start, len) in runs {
+        let need = size as usize - out.len();
+        out.extend((start.0..start.0 + len.min(need as u32)).map(NodeId));
+        if out.len() == size as usize {
+            break;
+        }
+    }
+    out
 }
 
 /// Fill the allocation container by container (cabinet / chassis / router),
@@ -210,6 +226,39 @@ mod tests {
         let (t, nodes) = alloc(PlacementPolicy::Contiguous, 1000, 1);
         let routers: HashSet<_> = nodes.iter().map(|&n| t.node_router(n)).collect();
         assert_eq!(routers.len(), 250); // 1000 nodes / 4 per router
+    }
+
+    #[test]
+    fn contiguous_prefers_longest_run_on_fragmented_pool() {
+        // 64-node machine with free runs [0..6) (len 6) and [26..58)
+        // (len 32) — the churn pattern a service stream leaves behind.
+        let t = Topology::build(TopologyConfig::small_test());
+        let mut pool = NodePool::new(&t);
+        let busy: Vec<NodeId> = (6..26).chain(58..64).map(NodeId).collect();
+        pool.take(&busy);
+        let mut rng = Xoshiro256::seed_from(1);
+        let nodes = PlacementPolicy::Contiguous
+            .allocate(&t, &mut pool, 20, &mut rng)
+            .unwrap();
+        // The old first-`size`-free-nodes behaviour would return
+        // 0..6 + 26..40 (two fragments); the fix allocates one true run.
+        let expected: Vec<NodeId> = (26..46).map(NodeId).collect();
+        assert_eq!(nodes, expected);
+    }
+
+    #[test]
+    fn contiguous_spills_to_next_longest_run_when_needed() {
+        let t = Topology::build(TopologyConfig::small_test());
+        let mut pool = NodePool::new(&t);
+        let busy: Vec<NodeId> = (6..26).chain(58..64).map(NodeId).collect();
+        pool.take(&busy);
+        let mut rng = Xoshiro256::seed_from(1);
+        let nodes = PlacementPolicy::Contiguous
+            .allocate(&t, &mut pool, 36, &mut rng)
+            .unwrap();
+        // Whole 32-run first, then the head of the 6-run.
+        let expected: Vec<NodeId> = (26..58).chain(0..4).map(NodeId).collect();
+        assert_eq!(nodes, expected);
     }
 
     #[test]

@@ -46,6 +46,28 @@ impl NodePool {
             .collect()
     }
 
+    /// Maximal runs of consecutively-indexed free nodes, in index order,
+    /// as `(first node, length)` pairs. A fresh pool is one machine-wide
+    /// run; after churn the runs are the holes jobs left behind.
+    pub fn free_runs(&self) -> Vec<(NodeId, u32)> {
+        let mut runs = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, &f) in self.free.iter().enumerate() {
+            match (f, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    runs.push((NodeId(s as u32), (i - s) as u32));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push((NodeId(s as u32), (self.free.len() - s) as u32));
+        }
+        runs
+    }
+
     /// Mark `nodes` as allocated. Panics if any is already taken (a
     /// placement policy handing out a taken node is always a bug).
     pub fn take(&mut self, nodes: &[NodeId]) {
@@ -110,6 +132,23 @@ mod tests {
     fn release_free_node_panics() {
         let mut p = pool();
         p.release(&[NodeId(1)]);
+    }
+
+    #[test]
+    fn free_runs_reflect_fragmentation() {
+        let mut p = pool();
+        assert_eq!(p.free_runs(), vec![(NodeId(0), 64)]);
+        // Carve two holes: [4..8) and [20..24).
+        let hole: Vec<NodeId> = (4..8).chain(20..24).map(NodeId).collect();
+        p.take(&hole);
+        assert_eq!(
+            p.free_runs(),
+            vec![(NodeId(0), 4), (NodeId(8), 12), (NodeId(24), 40)]
+        );
+        // Runs shrink to nothing when everything is taken.
+        p.release(&hole);
+        p.take(&(0..64).map(NodeId).collect::<Vec<_>>());
+        assert!(p.free_runs().is_empty());
     }
 
     #[test]

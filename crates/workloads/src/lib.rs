@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod arrivals;
 pub mod background;
 pub mod matrix;
 pub mod patterns;
@@ -34,6 +35,10 @@ pub mod trace;
 pub mod traceio;
 
 pub use apps::{generate, AppKind, WorkloadSpec};
+pub use arrivals::{
+    parse_arrivals, poisson_arrivals, runtime_estimate, tenant_label, Arrival, ArrivalKind,
+    ArrivalPlan,
+};
 pub use background::{BackgroundKind, BackgroundSpec, BackgroundTraffic, BgMessage};
 pub use matrix::{load_over_phases, CommMatrix};
 pub use patterns::{generate_pattern, Pattern, PatternSpec};
