@@ -1,0 +1,360 @@
+//! Memory/scale regression bench: can a run past Theta's size keep its
+//! metric structures bounded?
+//!
+//! Runs one fixed fig3-style cell (CrystalRouter, contiguous placement,
+//! adaptive routing, seed 0x5CA1E) on a ≥64-group canonic dragonfly in
+//! both metric modes, streaming first so its `VmHWM` reading is not
+//! polluted by the dense side (the kernel high-water mark only grows):
+//!
+//! * `--quick` (the CI smoke): 65 groups of 8 routers, 4 nodes/router =
+//!   2,080 nodes — past the paper's 12-group Theta in group count.
+//! * `--full`: 257 groups of 32 routers, 16 nodes/router = 131,584
+//!   nodes — the 100k-node target. Serial event loop: per-group PDES
+//!   replicas would multiply channel state 257-fold.
+//!
+//! Artifacts:
+//!
+//! * `scale_memory.csv` — one row per mode with events, wall time,
+//!   per-subsystem metric bytes (telemetry series + link digest, figure
+//!   CDFs), peak RSS, and traffic-CDF quantiles for the dense-vs-
+//!   streaming accuracy comparison.
+//! * `BENCH_scale_memory.json` — the same numbers machine-readable, the
+//!   form CI archives per commit.
+//!
+//! `--gate BYTES` exits nonzero when the streaming side's metric bytes
+//! (telemetry + CDFs) exceed the budget — the CI smoke runs with
+//! `--gate 2000000`. The dense side is reported but never gated: its
+//! growth with machine size is exactly what streaming mode is for.
+
+use dfly_bench::harness::scaled_ranks;
+use dfly_core::config::{AppSelection, ExperimentConfig, RoutingPolicy};
+use dfly_core::runner::{execute_experiment, prepare_topology};
+use dfly_network::{MetricsFilter, MetricsMode};
+use dfly_placement::PlacementPolicy;
+use dfly_stats::Cdf;
+use dfly_topology::TopologyConfig;
+use dfly_workloads::AppKind;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Fixed workload identity — deliberately not configurable so the JSON
+/// is comparable across commits.
+const SEED: u64 = 0x5CA1E;
+/// Rank ceiling: the app is the probe, the machine is the subject, so
+/// the workload stays fixed-size while the topology scales.
+const MAX_RANKS: u32 = 512;
+
+struct Cli {
+    full: bool,
+    out_dir: PathBuf,
+    gate: Option<usize>,
+    reservoir_k: u32,
+    scale: f64,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        full: false,
+        out_dir: PathBuf::from("results"),
+        gate: None,
+        reservoir_k: dfly_stats::DEFAULT_RESERVOIR_K,
+        scale: 0.25,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.full = false,
+            "--full" => cli.full = true,
+            "--out" => cli.out_dir = args.next().expect("--out needs a directory").into(),
+            "--gate" => {
+                let v = args.next().expect("--gate needs a byte budget");
+                cli.gate = Some(v.parse().expect("--gate needs an integer"));
+            }
+            "--reservoir-k" => {
+                let v = args.next().expect("--reservoir-k needs a size");
+                cli.reservoir_k = v.parse().expect("--reservoir-k needs an integer");
+                assert!(cli.reservoir_k >= 2, "--reservoir-k must be >= 2");
+            }
+            "--scale" => {
+                let v = args.next().expect("--scale needs a factor");
+                cli.scale = v.parse().expect("--scale needs a number");
+                assert!(cli.scale > 0.0, "--scale must be positive");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: [--quick|--full] [--out DIR] [--gate BYTES] [--reservoir-k K] [--scale X]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    cli
+}
+
+/// Peak resident set (`VmHWM`) in KiB from `/proc/self/status`, or 0
+/// where procfs is unavailable. Monotone over the process lifetime —
+/// callers must order measurements smallest-expected-first.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+struct ModeOutcome {
+    mode: MetricsMode,
+    events: u64,
+    job_end_ms: f64,
+    wall_s: f64,
+    /// Telemetry bytes: sample series + link digest.
+    obs_bytes: usize,
+    obs_samples: usize,
+    /// Figure-pipeline bytes: retained samples of the four channel CDFs.
+    cdf_bytes: usize,
+    peak_rss_kb: u64,
+    local_cdf: Cdf,
+    global_cdf: Cdf,
+}
+
+impl ModeOutcome {
+    fn metric_bytes(&self) -> usize {
+        self.obs_bytes + self.cdf_bytes
+    }
+}
+
+fn run_mode(cfg: &ExperimentConfig) -> ModeOutcome {
+    let topo = prepare_topology(cfg);
+    let t0 = Instant::now();
+    let r = execute_experiment(cfg, topo);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let obs = r.obs.as_ref().expect("obs on");
+    let all = MetricsFilter::All;
+    let cdfs = [
+        r.local_traffic_mb_cdf(&all),
+        r.global_traffic_mb_cdf(&all),
+        r.local_saturation_ms_cdf(&all),
+        r.global_saturation_ms_cdf(&all),
+    ];
+    let cdf_bytes = cdfs
+        .iter()
+        .map(|c| c.len() * std::mem::size_of::<f64>())
+        .sum();
+    let [local_cdf, global_cdf, _, _] = cdfs;
+    ModeOutcome {
+        mode: cfg.network.metrics,
+        events: r.events,
+        job_end_ms: r.job_end.as_ms_f64(),
+        wall_s,
+        obs_bytes: obs.approx_metric_bytes(),
+        obs_samples: obs.series.samples().len(),
+        cdf_bytes,
+        peak_rss_kb: peak_rss_kb(),
+        local_cdf,
+        global_cdf,
+    }
+}
+
+fn quantiles(c: &Cdf) -> [f64; 3] {
+    if c.is_empty() {
+        return [0.0; 3];
+    }
+    [c.quantile(0.5), c.quantile(0.9), c.quantile(0.99)]
+}
+
+fn main() {
+    let cli = parse_cli();
+    let topo_cfg = if cli.full {
+        // 257 groups x 32 routers x 16 nodes = 131,584 nodes; a*h = 512
+        // global ports per group comfortably wire 256 peers.
+        TopologyConfig::canonical(16, 32, 16, 257)
+    } else {
+        // 65 groups x 8 routers x 4 nodes = 2,080 nodes; a*h = 64 ports
+        // wire the other 64 groups exactly once (fully connected).
+        TopologyConfig::canonical(4, 8, 8, 65)
+    };
+    topo_cfg.validate().expect("canonic machine invalid");
+    let nodes = topo_cfg.total_nodes();
+    let ranks = scaled_ranks(AppKind::CrystalRouter, nodes).min(MAX_RANKS);
+
+    let mut base = ExperimentConfig::quick(AppKind::CrystalRouter);
+    base.topology = topo_cfg.clone();
+    base.app = AppSelection::CrystalRouter { ranks };
+    base.placement = PlacementPolicy::Contiguous;
+    base.routing = RoutingPolicy::Adaptive;
+    base.msg_scale *= cli.scale;
+    base.seed = SEED;
+    base.network.obs = true;
+    base.network.audit = false;
+    base.validate().expect("invalid scale config");
+
+    println!(
+        "Scale/memory A/B: CrystalRouter x{ranks}, canonic {}g x {}r x {}n = {} nodes, \
+         scale {}, seed {SEED:#x}, K={}",
+        topo_cfg.groups,
+        topo_cfg.routers_per_group(),
+        topo_cfg.nodes_per_router,
+        nodes,
+        cli.scale,
+        cli.reservoir_k,
+    );
+
+    // Streaming first: VmHWM only ever grows, so the bounded side must
+    // be measured before dense inflates the high-water mark.
+    let mut stream_cfg = base.clone();
+    stream_cfg.network.metrics = MetricsMode::Streaming {
+        reservoir_k: cli.reservoir_k,
+    };
+    let streaming = run_mode(&stream_cfg);
+    let dense = run_mode(&base);
+    assert_eq!(
+        streaming.events, dense.events,
+        "metrics mode changed the event count"
+    );
+    assert_eq!(
+        streaming.job_end_ms, dense.job_end_ms,
+        "metrics mode changed the simulation"
+    );
+
+    let outcomes = [&streaming, &dense];
+    for o in outcomes {
+        println!(
+            "{:>14}: {} events in {:.1}s, telemetry {} B ({} samples), CDFs {} B, peak RSS {} MiB",
+            o.mode.label(),
+            o.events,
+            o.wall_s,
+            o.obs_bytes,
+            o.obs_samples,
+            o.cdf_bytes,
+            o.peak_rss_kb / 1024,
+        );
+    }
+    let dl = quantiles(&dense.local_cdf);
+    let sl = quantiles(&streaming.local_cdf);
+    let dg = quantiles(&dense.global_cdf);
+    let sg = quantiles(&streaming.global_cdf);
+    println!(
+        "local traffic MB p50/p90/p99: dense {:.3}/{:.3}/{:.3} vs streaming {:.3}/{:.3}/{:.3}",
+        dl[0], dl[1], dl[2], sl[0], sl[1], sl[2]
+    );
+    println!(
+        "global traffic MB p50/p90/p99: dense {:.3}/{:.3}/{:.3} vs streaming {:.3}/{:.3}/{:.3}",
+        dg[0], dg[1], dg[2], sg[0], sg[1], sg[2]
+    );
+
+    std::fs::create_dir_all(&cli.out_dir).expect("create out dir");
+    let csv_path = cli.out_dir.join("scale_memory.csv");
+    let mut csv = dfly_stats::CsvWriter::create(
+        &csv_path,
+        &[
+            "mode",
+            "groups",
+            "nodes",
+            "ranks",
+            "events",
+            "job_end_ms",
+            "wall_s",
+            "obs_metric_bytes",
+            "obs_samples",
+            "cdf_bytes",
+            "metric_bytes_total",
+            "peak_rss_kb",
+            "local_mb_p50",
+            "local_mb_p90",
+            "local_mb_p99",
+            "global_mb_p50",
+            "global_mb_p90",
+            "global_mb_p99",
+        ],
+    )
+    .unwrap_or_else(|e| panic!("cannot create {csv_path:?}: {e}"));
+    for o in outcomes {
+        let l = quantiles(&o.local_cdf);
+        let g = quantiles(&o.global_cdf);
+        csv.row(&[
+            o.mode.label(),
+            topo_cfg.groups.to_string(),
+            nodes.to_string(),
+            ranks.to_string(),
+            o.events.to_string(),
+            format!("{:.3}", o.job_end_ms),
+            format!("{:.2}", o.wall_s),
+            o.obs_bytes.to_string(),
+            o.obs_samples.to_string(),
+            o.cdf_bytes.to_string(),
+            o.metric_bytes().to_string(),
+            o.peak_rss_kb.to_string(),
+            format!("{:.6}", l[0]),
+            format!("{:.6}", l[1]),
+            format!("{:.6}", l[2]),
+            format!("{:.6}", g[0]),
+            format!("{:.6}", g[1]),
+            format!("{:.6}", g[2]),
+        ])
+        .expect("csv write");
+    }
+    csv.finish().expect("csv flush");
+
+    // Hand-formatted JSON (no serde in the workspace): flat fields per
+    // mode plus the machine identity and the gate verdict.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"machine\": \"canonic {}g x {}r x {}n = {} nodes\",\n",
+        topo_cfg.groups,
+        topo_cfg.routers_per_group(),
+        topo_cfg.nodes_per_router,
+        nodes
+    ));
+    json.push_str(&format!(
+        "  \"workload\": \"crystalrouter x{ranks} scale {} seed {SEED:#x}\",\n",
+        cli.scale
+    ));
+    json.push_str(&format!("  \"reservoir_k\": {},\n", cli.reservoir_k));
+    json.push_str("  \"modes\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let l = quantiles(&o.local_cdf);
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"events\": {}, \"wall_s\": {:.2}, \
+             \"obs_metric_bytes\": {}, \"obs_samples\": {}, \"cdf_bytes\": {}, \
+             \"metric_bytes_total\": {}, \"peak_rss_kb\": {}, \
+             \"local_mb_p50\": {:.6}, \"local_mb_p90\": {:.6}, \"local_mb_p99\": {:.6}}}{}\n",
+            o.mode.label(),
+            o.events,
+            o.wall_s,
+            o.obs_bytes,
+            o.obs_samples,
+            o.cdf_bytes,
+            o.metric_bytes(),
+            o.peak_rss_kb,
+            l[0],
+            l[1],
+            l[2],
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"gate_bytes\": {},\n",
+        cli.gate.map_or("null".to_string(), |g| g.to_string())
+    ));
+    json.push_str(&format!(
+        "  \"streaming_metric_bytes\": {}\n}}\n",
+        streaming.metric_bytes()
+    ));
+    let json_path = cli.out_dir.join("BENCH_scale_memory.json");
+    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("cannot write {json_path:?}: {e}"));
+    println!("Wrote {} and {}", csv_path.display(), json_path.display());
+
+    if let Some(gate) = cli.gate {
+        let got = streaming.metric_bytes();
+        if got > gate {
+            eprintln!("FAIL: streaming metric bytes {got} exceed the {gate}-byte gate");
+            std::process::exit(1);
+        }
+        println!("gate {gate} B: ok (streaming metric bytes {got})");
+    }
+}

@@ -3,7 +3,7 @@
 use dfly_core::config::{AppSelection, ExperimentConfig, Parallelism};
 use dfly_core::report::ConfigLabel;
 use dfly_core::runner::ExperimentResult;
-use dfly_obs::{EventKind, ObsReport};
+use dfly_obs::{EventKind, MetricsMode, ObsReport};
 use dfly_stats::{render_boxplot_row, sparkline, AsciiTable, BoxStats, Cdf, CsvWriter};
 use dfly_topology::{GlobalArrangement, TopologyConfig};
 use dfly_workloads::AppKind;
@@ -153,6 +153,11 @@ pub struct RunArgs {
     /// Global-link arrangement override (`--arrangement ...`). `None`
     /// keeps the default round-robin wiring the goldens pin.
     pub arrangement: Option<GlobalArrangement>,
+    /// Metric-storage override (`--metrics dense|streaming[:K]`). `None`
+    /// keeps the dense default the goldens pin; streaming bounds metric
+    /// memory at `O(links * K)` for scale runs without touching any
+    /// simulation output.
+    pub metrics: Option<MetricsMode>,
 }
 
 impl RunArgs {
@@ -168,6 +173,7 @@ impl RunArgs {
             shards: 0,
             topo: None,
             arrangement: None,
+            metrics: None,
         }
     }
 
@@ -199,6 +205,9 @@ impl RunArgs {
         }
         if let Some(arr) = self.arrangement {
             cfg.topology.arrangement = arr;
+        }
+        if let Some(metrics) = self.metrics {
+            cfg.network.metrics = metrics;
         }
         cfg
     }
@@ -259,9 +268,13 @@ pub fn parse_args() -> RunArgs {
                 let v = args.next().expect("--arrangement needs a wiring spec");
                 parsed.arrangement = Some(parse_arrangement(&v).unwrap_or_else(|e| panic!("{e}")));
             }
+            "--metrics" => {
+                let v = args.next().expect("--metrics needs dense|streaming[:K]");
+                parsed.metrics = Some(MetricsMode::parse(&v).unwrap_or_else(|e| panic!("{e}")));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X] [--shards N] [--topo theta|quick|small|P,A,H,G] [--arrangement rr|consec|palm|random:SEED]"
+                    "usage: [--quick|--full] [--out DIR] [--obs] [--obs-stride N] [--obs-coarse] [--scale X] [--shards N] [--topo theta|quick|small|P,A,H,G] [--arrangement rr|consec|palm|random:SEED] [--metrics dense|streaming[:K]]"
                 );
                 std::process::exit(0);
             }
@@ -404,6 +417,54 @@ pub fn emit_obs_family(args: &RunArgs, tag: &str, reports: &[(String, &ObsReport
     }
     prof.finish().expect("csv flush");
 
+    // Streaming runs carry a per-link-class digest; surface it as one
+    // row per (config, class) so figure sweeps keep the bounded summary
+    // on disk. Dense runs have no digest and no file.
+    if reports.iter().any(|(_, r)| r.link_digest.is_some()) {
+        let mut dig = args.csv(
+            &format!("obs_link_digest_{tag}.csv"),
+            &[
+                "config",
+                "class",
+                "channels",
+                "traffic_mb_mean",
+                "traffic_mb_p50",
+                "traffic_mb_p99",
+                "sat_ms_mean",
+                "sat_ms_max",
+                "reservoir_len",
+            ],
+        );
+        for (label, r) in reports {
+            let digest = r
+                .link_digest
+                .as_ref()
+                .expect("metrics mode varies within one figure grid");
+            for (i, &(_, class)) in dfly_obs::OBS_CLASSES.iter().enumerate() {
+                let d = digest.class(i);
+                let (p50, p99) = if d.traffic_mb.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    let cdf = d.traffic_mb.to_cdf();
+                    (cdf.quantile(0.5), cdf.quantile(0.99))
+                };
+                dig.row(&[
+                    label.clone(),
+                    class.to_string(),
+                    digest.channels(i).to_string(),
+                    format!("{:.4}", d.traffic_bytes.mean() / 1.0e6),
+                    format!("{p50:.4}"),
+                    format!("{p99:.4}"),
+                    format!("{:.4}", d.saturated_ms.mean()),
+                    format!("{:.4}", d.saturated_ms.max().unwrap_or(0.0)),
+                    d.traffic_mb.len().to_string(),
+                ])
+                .expect("csv write");
+            }
+        }
+        dig.finish().expect("csv flush");
+    }
+
     println!("\n== telemetry: {tag} ==");
     let global = dfly_obs::OBS_CLASSES.len() - 1; // Global is the last class
     for (label, r) in reports {
@@ -507,6 +568,16 @@ mod tests {
         let cfg = args.base_config(AppKind::CrystalRouter);
         assert_eq!(cfg.parallelism, Parallelism::IntraRun(4));
         cfg.validate().unwrap();
+
+        // No --metrics: the golden-pinned dense default stands.
+        assert_eq!(cfg.network.metrics, MetricsMode::Dense);
+        args.metrics = Some(MetricsMode::parse("streaming:128").unwrap());
+        let cfg = args.base_config(AppKind::CrystalRouter);
+        assert_eq!(
+            cfg.network.metrics,
+            MetricsMode::Streaming { reservoir_k: 128 }
+        );
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -525,6 +596,7 @@ mod tests {
             series: SampleSeries::new(dfly_engine::Ns(1_000)),
             vc_occupancy: OccupancyHistogram::new(),
             route: RouteStats::new(),
+            link_digest: None,
             coarse_unavailable: false,
         };
         report.route.record(false, 0);

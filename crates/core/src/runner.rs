@@ -6,7 +6,7 @@ use dfly_engine::{Ns, Xoshiro256};
 use dfly_network::{AuditReport, MetricsFilter, Network, NetworkMetrics, ShardedNetwork, SimArena};
 use dfly_obs::ObsReport;
 use dfly_placement::NodePool;
-use dfly_stats::{BoxStats, Cdf};
+use dfly_stats::{BoxStats, Cdf, ReservoirCdf};
 use dfly_topology::{NodeId, RouterId, Topology};
 use dfly_workloads::{generate, BackgroundTraffic};
 use std::cell::RefCell;
@@ -74,9 +74,32 @@ impl ExperimentResult {
             .unwrap_or(Ns::ZERO)
     }
 
+    /// Build a figure CDF from a sample stream, honoring the run's
+    /// metrics mode: dense keeps every sample (exact, historical
+    /// behavior); streaming feeds them through a seeded [`ReservoirCdf`]
+    /// so the retained set — and thus figure-pipeline memory — is capped
+    /// at K samples per CDF no matter how many channels the topology has.
+    /// Each caller passes a distinct `tag` so every CDF draws from its
+    /// own reproducible tag stream; tags start at 0x51 to stay clear of
+    /// the runner's placement/workload/routing/background streams (1–4 on
+    /// the same master).
+    fn cdf_of(&self, tag: u64, samples: impl Iterator<Item = f64>) -> Cdf {
+        match self.config.network.metrics.reservoir_k() {
+            None => Cdf::from_samples(samples),
+            Some(k) => {
+                let seed = Xoshiro256::seed_from(self.config.seed)
+                    .split(tag)
+                    .next_u64();
+                let mut res = ReservoirCdf::new(k as usize, seed);
+                res.extend(samples);
+                res.to_cdf()
+            }
+        }
+    }
+
     /// CDF of per-rank average hops — Figure 4(a).
     pub fn hops_cdf(&self) -> Cdf {
-        Cdf::from_samples(self.rank_avg_hops.iter().copied())
+        self.cdf_of(0x51, self.rank_avg_hops.iter().copied())
     }
 
     /// Mean of the per-rank average hops.
@@ -95,7 +118,8 @@ impl ExperimentResult {
 
     /// CDF of local-channel traffic in MB.
     pub fn local_traffic_mb_cdf(&self, filter: &MetricsFilter) -> Cdf {
-        Cdf::from_samples(
+        self.cdf_of(
+            0x52,
             self.metrics
                 .local_traffic(filter)
                 .into_iter()
@@ -105,7 +129,8 @@ impl ExperimentResult {
 
     /// CDF of global-channel traffic in MB.
     pub fn global_traffic_mb_cdf(&self, filter: &MetricsFilter) -> Cdf {
-        Cdf::from_samples(
+        self.cdf_of(
+            0x53,
             self.metrics
                 .global_traffic(filter)
                 .into_iter()
@@ -115,12 +140,12 @@ impl ExperimentResult {
 
     /// CDF of local-link saturation time in ms.
     pub fn local_saturation_ms_cdf(&self, filter: &MetricsFilter) -> Cdf {
-        Cdf::from_samples(self.metrics.local_saturation_ms(filter))
+        self.cdf_of(0x54, self.metrics.local_saturation_ms(filter).into_iter())
     }
 
     /// CDF of global-link saturation time in ms.
     pub fn global_saturation_ms_cdf(&self, filter: &MetricsFilter) -> Cdf {
-        Cdf::from_samples(self.metrics.global_saturation_ms(filter))
+        self.cdf_of(0x55, self.metrics.global_saturation_ms(filter).into_iter())
     }
 }
 
@@ -387,6 +412,53 @@ mod tests {
         assert_eq!(global.len(), 96);
         let app = r.app_filter();
         assert!(r.local_traffic_mb_cdf(&app).len() <= local.len());
+    }
+
+    #[test]
+    fn streaming_mode_bounds_cdfs_without_perturbing_simulation() {
+        use dfly_network::MetricsMode;
+        let dense_cfg = small(
+            PlacementPolicy::RandomNode,
+            crate::config::RoutingPolicy::Adaptive,
+        );
+        let mut stream_cfg = dense_cfg.clone();
+        stream_cfg.network.metrics = MetricsMode::Streaming { reservoir_k: 32 };
+        stream_cfg.network.obs = true;
+
+        let d = run_experiment(&dense_cfg);
+        let s = run_experiment(&stream_cfg);
+        // Simulation outputs are mode-independent (metric storage only).
+        assert_eq!(d.rank_comm_times, s.rank_comm_times);
+        assert_eq!(d.placement, s.placement);
+        assert_eq!(d.job_end, s.job_end);
+
+        // Streaming CDFs retain at most K samples; the population (128
+        // local channels on the small machine) exceeds K here.
+        let all = MetricsFilter::All;
+        assert_eq!(d.local_traffic_mb_cdf(&all).len(), 128);
+        let sc = s.local_traffic_mb_cdf(&all);
+        assert_eq!(sc.len(), 32);
+        // A uniform subsample's median sits within the dense population's
+        // central range.
+        let dc = d.local_traffic_mb_cdf(&all);
+        assert!(sc.quantile(0.5) >= dc.quantile(0.05));
+        assert!(sc.quantile(0.5) <= dc.quantile(0.95));
+        // And the same run reproduces the same reservoir exactly.
+        let s2 = run_experiment(&stream_cfg);
+        assert_eq!(
+            sc.sampled_points(32).collect::<Vec<_>>(),
+            s2.local_traffic_mb_cdf(&all)
+                .sampled_points(32)
+                .collect::<Vec<_>>()
+        );
+
+        // The streaming telemetry report carries the link digest.
+        let obs = s.obs.as_ref().expect("obs on");
+        let digest = obs.link_digest.as_ref().expect("streaming digest");
+        assert_eq!(
+            (0..5).map(|c| digest.channels(c)).sum::<u64>(),
+            s.metrics.channels().count() as u64
+        );
     }
 
     #[test]

@@ -41,8 +41,10 @@ pub mod shard;
 
 pub use arena::SimArena;
 pub use audit::{AuditKind, AuditReport, AuditViolation};
-pub use dfly_obs::ObsReport;
-pub use metrics::{class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, TrafficTimeline};
+pub use dfly_obs::{CoarseTimeline, MetricsMode, ObsReport};
+pub use metrics::{
+    class_index, ChannelSnapshot, MetricsFilter, NetworkMetrics, TrafficTimeline, TIMELINE_CLASSES,
+};
 pub use net::{Delivery, Network, NetworkEvent};
 pub use packet::{MessageId, PacketId};
 pub use params::NetworkParams;

@@ -313,6 +313,10 @@ pub struct TrafficTimeline {
     bins: [Vec<u64>; 5],
 }
 
+/// Number of channel classes a timeline tracks (one lane per
+/// [`class_index`] value).
+pub const TIMELINE_CLASSES: usize = 5;
+
 /// Dense index of a channel class inside [`TrafficTimeline`].
 pub fn class_index(class: ChannelClass) -> usize {
     match class {
@@ -363,6 +367,14 @@ impl TrafficTimeline {
     /// are zero).
     pub fn series(&self, class: ChannelClass) -> &[u64] {
         &self.bins[class_index(class)]
+    }
+
+    /// Approximate heap bytes held by the bin vectors.
+    pub fn approx_bytes(&self) -> usize {
+        self.bins
+            .iter()
+            .map(|s| s.capacity() * std::mem::size_of::<u64>())
+            .sum()
     }
 
     /// Combined local (row + col) series.

@@ -19,14 +19,14 @@ use crate::arbiter;
 use crate::arena::SimArena;
 use crate::audit::{AuditReport, Auditor};
 use crate::channel::{ChannelState, InFlight, PacketList};
-use crate::metrics::{ChannelSnapshot, NetworkMetrics, TrafficTimeline};
+use crate::metrics::{class_index, ChannelSnapshot, NetworkMetrics, TrafficTimeline};
 use crate::obs::ObsCollector;
 use crate::packet::{MessageId, MessageKind, MessageState, Packet, PacketId, Route, MAX_ROUTE_LEN};
 use crate::params::NetworkParams;
 use crate::routing::{RouteComputer, Routing};
 use crate::shard::{ShardState, WireRecord};
 use dfly_engine::{Bytes, EventQueue, Ns, Xoshiro256};
-use dfly_obs::{EventKind, ObsReport};
+use dfly_obs::{CoarseTimeline, EventKind, ObsReport};
 use dfly_topology::{ChannelClass, ChannelEnd, ChannelId, NodeId, Topology};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -115,6 +115,13 @@ pub struct Network {
     wakeup_fired: bool,
     total_queued: Bytes,
     traffic_timeline: Option<TrafficTimeline>,
+    /// Streaming-mode replacement for `traffic_timeline`: fixed bin
+    /// count, geometrically coarsening width. At most one of the two is
+    /// live, picked by `params.metrics` at `enable_traffic_timeline`.
+    coarse_timeline: Option<CoarseTimeline>,
+    /// Seed for streaming metric reservoirs (derived from the network
+    /// seed; stored so a collector rebuild keeps the same tag streams).
+    obs_seed: u64,
     /// Shadow-accounting audit ledger (see [`crate::audit`]); `None`
     /// when auditing is off — the hot path then pays one branch per hook.
     audit: Option<Box<Auditor>>,
@@ -170,11 +177,17 @@ impl Network {
             .then(|| Box::new(Auditor::new(topo.channel_count())));
         let mut router = RouteComputer::new(routing, Xoshiro256::seed_from(seed));
         router.adopt_buffers(arena.take_router_buffers());
+        // Streaming reservoirs tag samples from their own stream, derived
+        // from the routing seed so sharded replicas (seeded per group) get
+        // distinct, reproducible tag streams.
+        let obs_seed = seed ^ 0x9E37_79B9_7F4A_7C15;
         let obs = params.obs.then(|| {
             Box::new(ObsCollector::new(
                 ObsCollector::DEFAULT_INTERVAL,
                 params.obs_stride,
                 params.obs_coarse_clock,
+                params.metrics,
+                obs_seed,
                 arena.take_sample_buffer(),
             ))
         });
@@ -213,6 +226,8 @@ impl Network {
             wakeup_fired: false,
             total_queued: 0,
             traffic_timeline: None,
+            coarse_timeline: None,
+            obs_seed,
             audit,
             obs,
             shard: None,
@@ -351,6 +366,8 @@ impl Network {
             interval,
             self.params.obs_stride,
             self.params.obs_coarse_clock,
+            self.params.metrics,
+            self.obs_seed,
             buf,
         )));
     }
@@ -914,6 +931,9 @@ impl Network {
             if let Some(tl) = &mut self.traffic_timeline {
                 tl.record(ch.class, self.queue.now(), size);
             }
+            if let Some(ct) = &mut self.coarse_timeline {
+                ct.record(class_index(ch.class), self.queue.now(), size);
+            }
             if let Some(a) = self.audit.as_mut() {
                 a.on_tx_start(pid, ch_id, v, self.queue.now());
             }
@@ -1456,15 +1476,54 @@ impl Network {
         self.packets.len() - self.free_packets.len()
     }
 
+    /// Bin count of the streaming-mode coarse timeline: enough bins for
+    /// fig4-style plots, small enough that five lanes stay under 24 KiB.
+    const COARSE_TIMELINE_BINS: usize = 512;
+
     /// Start recording a per-class traffic time series with the given bin
-    /// width (call before injecting traffic).
+    /// width (call before injecting traffic). In `MetricsMode::Dense` this
+    /// is the exact [`TrafficTimeline`] (bins grow with run duration, up
+    /// to its internal cap); in streaming mode it is a [`CoarseTimeline`]
+    /// whose bin *width* doubles instead — memory stays fixed no matter
+    /// how long the run is, starting from the same `bin_width`.
     pub fn enable_traffic_timeline(&mut self, bin_width: Ns) {
-        self.traffic_timeline = Some(TrafficTimeline::new(bin_width));
+        if self.params.metrics.is_streaming() {
+            self.coarse_timeline = Some(CoarseTimeline::new(
+                bin_width,
+                crate::metrics::TIMELINE_CLASSES,
+                Self::COARSE_TIMELINE_BINS,
+            ));
+        } else {
+            self.traffic_timeline = Some(TrafficTimeline::new(bin_width));
+        }
     }
 
-    /// The recorded traffic timeline, if enabled.
+    /// The recorded dense traffic timeline, if enabled (dense mode only).
     pub fn traffic_timeline(&self) -> Option<&TrafficTimeline> {
         self.traffic_timeline.as_ref()
+    }
+
+    /// The recorded coarsening traffic timeline, if enabled (streaming
+    /// mode only).
+    pub fn coarse_timeline(&self) -> Option<&CoarseTimeline> {
+        self.coarse_timeline.as_ref()
+    }
+
+    /// Approximate heap bytes currently held by metric structures:
+    /// timelines plus the telemetry collector's series and link digest.
+    /// Simulation state (channels, packets, the event queue) is excluded
+    /// — this is the quantity the streaming mode bounds.
+    pub fn metric_bytes_approx(&self) -> usize {
+        let tl = self
+            .traffic_timeline
+            .as_ref()
+            .map_or(0, TrafficTimeline::approx_bytes);
+        let ct = self
+            .coarse_timeline
+            .as_ref()
+            .map_or(0, CoarseTimeline::approx_bytes);
+        let obs = self.obs.as_ref().map_or(0, |o| o.approx_metric_bytes());
+        tl + ct + obs
     }
 }
 
@@ -1812,6 +1871,61 @@ mod tests {
             tl.series(ChannelClass::Global).len() > 1,
             "spans multiple bins"
         );
+    }
+
+    #[test]
+    fn streaming_timeline_matches_dense_mass_with_bounded_bins() {
+        use dfly_obs::MetricsMode;
+        let drive = |n: &mut Network| {
+            n.enable_traffic_timeline(Ns::from_us(1));
+            for i in 0..20u64 {
+                n.send(
+                    Ns(i * 500),
+                    NodeId((i % 8) as u32),
+                    NodeId(32 + (i % 8) as u32),
+                    20_000,
+                    i,
+                );
+            }
+            n.run_to_idle();
+        };
+
+        let mut dense = net(Routing::Minimal);
+        drive(&mut dense);
+        let dense_total: Vec<u64> = [
+            ChannelClass::TerminalUp,
+            ChannelClass::TerminalDown,
+            ChannelClass::LocalRow,
+            ChannelClass::LocalCol,
+            ChannelClass::Global,
+        ]
+        .iter()
+        .map(|&c| dense.traffic_timeline().unwrap().series(c).iter().sum())
+        .collect();
+
+        let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+        let params = NetworkParams {
+            metrics: MetricsMode::Streaming { reservoir_k: 64 },
+            ..NetworkParams::default()
+        };
+        let mut streaming = Network::new(topo, params, Routing::Minimal, 12345);
+        drive(&mut streaming);
+        assert!(streaming.traffic_timeline().is_none());
+        let ct = streaming.coarse_timeline().expect("streaming timeline");
+        // Same bytes per class — coarsening redistributes, never loses.
+        for (lane, &want) in dense_total.iter().enumerate() {
+            assert_eq!(ct.total(lane), want, "lane {lane}");
+        }
+        assert!(ct.lane_count() == crate::metrics::TIMELINE_CLASSES);
+        for lane in 0..ct.lane_count() {
+            assert!(ct.series(lane).len() <= Network::COARSE_TIMELINE_BINS);
+        }
+        // Simulation outputs are mode-independent.
+        assert_eq!(
+            dense.metrics().total_traffic(ChannelClass::Global),
+            streaming.metrics().total_traffic(ChannelClass::Global)
+        );
+        assert!(streaming.metric_bytes_approx() > 0);
     }
 
     #[test]

@@ -21,8 +21,8 @@ use crate::metrics::class_index;
 use crate::params::NetworkParams;
 use dfly_engine::Ns;
 use dfly_obs::{
-    EventKind, EventLoopProfile, NetSample, ObsClock, ObsReport, OccupancyHistogram, RouteStats,
-    SampleSeries, OBS_CLASSES,
+    EventKind, EventLoopProfile, LinkDigest, MetricsMode, NetSample, ObsClock, ObsReport,
+    OccupancyHistogram, RouteStats, SampleSeries, OBS_CLASSES,
 };
 
 /// Collects telemetry for one network over its lifetime.
@@ -30,6 +30,12 @@ pub(crate) struct ObsCollector {
     profile: EventLoopProfile,
     series: SampleSeries,
     vc_occupancy: OccupancyHistogram,
+    /// Metric storage discipline (dense = historical exact structures).
+    mode: MetricsMode,
+    /// Seed for the streaming link digest's reservoirs.
+    digest_seed: u64,
+    /// Per-link-class digest, rebuilt at every close (streaming only).
+    digest: Option<LinkDigest>,
     /// The wall-clock source for handler timing.
     clock: ObsClock,
     /// Coarse timing was requested but the platform lacks a coarse source.
@@ -65,21 +71,38 @@ impl ObsCollector {
     /// coarse enough that a long run stays within the series cap.
     pub(crate) const DEFAULT_INTERVAL: Ns = Ns(50_000);
 
+    /// Retained-sample cap of the coarsening series in streaming mode
+    /// (4 Ki samples ≈ 600 KiB): long runs double their effective
+    /// sampling stride instead of dropping the tail.
+    pub(crate) const STREAM_SERIES_CAP: usize = 4096;
+
     /// Fresh collector sampling every `interval` of simulation time,
     /// timing every `stride`th event per kind with a precise or `coarse`
-    /// clock, reusing `sample_buf`'s capacity for the series.
+    /// clock, reusing `sample_buf`'s capacity for the series. `mode`
+    /// picks dense (exact, historical) or streaming (bounded) metric
+    /// storage; `digest_seed` seeds the streaming reservoirs.
     pub(crate) fn new(
         interval: Ns,
         stride: u32,
         coarse_clock: bool,
+        mode: MetricsMode,
+        digest_seed: u64,
         sample_buf: Vec<NetSample>,
     ) -> ObsCollector {
         assert!(stride >= 1, "obs stride must be at least 1");
         let clock = ObsClock::new(coarse_clock);
+        let series = if mode.is_streaming() {
+            SampleSeries::bounded_with_buffer(interval, Self::STREAM_SERIES_CAP, sample_buf)
+        } else {
+            SampleSeries::with_buffer(interval, sample_buf)
+        };
         ObsCollector {
             profile: EventLoopProfile::new(),
-            series: SampleSeries::with_buffer(interval, sample_buf),
+            series,
             vc_occupancy: OccupancyHistogram::new(),
+            mode,
+            digest_seed,
+            digest: None,
             coarse_unavailable: coarse_clock && !clock.is_coarse(),
             clock,
             stride,
@@ -173,7 +196,8 @@ impl ObsCollector {
 
     /// Emit every due aligned window, then close the partial tail window
     /// at `now`. Called once when a report is taken; safe to repeat (a
-    /// zero-width tail is skipped).
+    /// zero-width tail is skipped, and the streaming digest is an
+    /// idempotent rebuild from cumulative channel counters).
     pub(crate) fn close(
         &mut self,
         now: Ns,
@@ -183,6 +207,22 @@ impl ObsCollector {
     ) {
         self.sample(now, channels, params, route);
         self.push_window(now, channels, params, route);
+        self.series.finalize_tail();
+        if let Some(k) = self.mode.reservoir_k() {
+            // Rebuild from scratch: channel counters are cumulative, so
+            // a repeated close must not double-count. In shard mode only
+            // owned channels are digested; the drain merges per-group
+            // digests in fixed group order.
+            let mut digest = LinkDigest::new(k as usize, self.digest_seed);
+            let owned = self.owned.as_deref();
+            for (i, ch) in channels.iter().enumerate() {
+                if owned.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                digest.observe_channel(class_index(ch.class), ch.traffic, ch.saturated_until(now));
+            }
+            self.digest = Some(digest);
+        }
     }
 
     /// Sweep the channel state and push one sample covering the window
@@ -249,6 +289,12 @@ impl ObsCollector {
         self.last_sample_at = at;
     }
 
+    /// Approximate heap bytes of the collector's metric structures (the
+    /// sample series plus the streaming digest, if any).
+    pub(crate) fn approx_metric_bytes(&self) -> usize {
+        self.series.approx_bytes() + self.digest.as_ref().map_or(0, LinkDigest::approx_bytes)
+    }
+
     /// Bundle everything collected into a report. `queue_high_water` comes
     /// from the event queue (it sees peaks between profiled events);
     /// `route` is the cumulative UGAL ledger from the route computer.
@@ -260,6 +306,7 @@ impl ObsCollector {
             series: self.series.clone(),
             vc_occupancy: self.vc_occupancy,
             route: route.copied().unwrap_or_default(),
+            link_digest: self.digest.clone(),
             coarse_unavailable: self.coarse_unavailable,
         }
     }
@@ -272,7 +319,7 @@ mod tests {
     use dfly_topology::ChannelClass;
 
     fn collector(interval: Ns) -> ObsCollector {
-        ObsCollector::new(interval, 1, false, Vec::new())
+        ObsCollector::new(interval, 1, false, MetricsMode::Dense, 0, Vec::new())
     }
 
     fn channels() -> Vec<ChannelState> {
@@ -403,7 +450,7 @@ mod tests {
 
     #[test]
     fn stride_times_first_then_every_nth_per_kind() {
-        let mut c = ObsCollector::new(Ns(1_000), 4, false, Vec::new());
+        let mut c = ObsCollector::new(Ns(1_000), 4, false, MetricsMode::Dense, 0, Vec::new());
         let timed: Vec<bool> = (0..9).map(|_| c.timing_due(EventKind::Arrive)).collect();
         assert_eq!(
             timed,
@@ -415,8 +462,43 @@ mod tests {
     }
 
     #[test]
+    fn streaming_collector_builds_digest_and_bounded_series() {
+        let params = NetworkParams::default();
+        let mode = MetricsMode::Streaming { reservoir_k: 8 };
+        let mut c = ObsCollector::new(Ns(1_000), 1, false, mode, 42, Vec::new());
+        let mut chans = channels();
+        chans[2].traffic = 5_000_000;
+        chans[2].saturated = Ns(2_000_000);
+        c.close(Ns(10_500), &chans, &params, None);
+        let report = c.report(0, None);
+        let digest = report.link_digest.as_ref().expect("streaming digest");
+        let gi = class_index(ChannelClass::Global);
+        assert_eq!(digest.channels(gi), 1);
+        assert_eq!(digest.class(gi).traffic_bytes.sum(), 5_000_000.0);
+        assert_eq!(digest.class(gi).saturated_ms.max(), Some(2.0));
+        // Closing again must not double-count the cumulative counters.
+        c.close(Ns(10_500), &chans, &params, None);
+        let again = c.report(0, None);
+        assert_eq!(
+            again.link_digest.as_ref().unwrap().channels(gi),
+            1,
+            "repeated close double-counts"
+        );
+        assert!(report.series.samples().len() <= ObsCollector::STREAM_SERIES_CAP);
+    }
+
+    #[test]
+    fn dense_collector_has_no_digest() {
+        let params = NetworkParams::default();
+        let mut c = collector(Ns(1_000));
+        let chans = channels();
+        c.close(Ns(2_000), &chans, &params, None);
+        assert!(c.report(0, None).link_digest.is_none());
+    }
+
+    #[test]
     fn sampled_profile_counts_all_events_but_times_a_subset() {
-        let mut c = ObsCollector::new(Ns(1_000), 8, false, Vec::new());
+        let mut c = ObsCollector::new(Ns(1_000), 8, false, MetricsMode::Dense, 0, Vec::new());
         for _ in 0..100 {
             let started = c.timing_due(EventKind::TxDone).then(|| c.clock_now());
             c.note_event(EventKind::TxDone, started, 3);

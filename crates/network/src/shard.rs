@@ -668,6 +668,12 @@ impl ShardParts {
         merged
     }
 
+    /// Approximate metric-structure bytes summed over every replica (see
+    /// [`Network::metric_bytes_approx`]).
+    pub fn metric_bytes_approx(&self) -> usize {
+        self.nets.iter().map(Network::metric_bytes_approx).sum()
+    }
+
     /// Donate every replica's buffer capacities back into the per-group
     /// arena pool for the next sharded run.
     pub fn recycle(self, arenas: &mut Vec<SimArena>) {
@@ -703,6 +709,13 @@ fn merge_obs(into: &mut ObsReport, from: &ObsReport) {
         into.route.margin_hist[i] += from.route.margin_hist[i];
     }
     into.route.margin_sum += from.route.margin_sum;
+    match (into.link_digest.as_mut(), from.link_digest.as_ref()) {
+        // Replicas digest disjoint owned-channel sets; merged in fixed
+        // group order, so the result is identical for any worker count.
+        (Some(a), Some(b)) => a.merge_from(b),
+        (None, None) => {}
+        _ => panic!("replicas disagree on metrics mode"),
+    }
     into.coarse_unavailable |= from.coarse_unavailable;
 }
 

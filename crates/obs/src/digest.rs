@@ -1,0 +1,192 @@
+//! Per-link-class streaming digests — the bounded replacement for dense
+//! per-channel metric vectors at scale.
+//!
+//! In `MetricsMode::Streaming`, the collector feeds every channel's
+//! end-of-run counters (traffic bytes, credit-saturated time, busy time)
+//! into a [`LinkDigest`] instead of materializing per-channel CDFs: one
+//! seeded [`ReservoirCdf`] plus two exact-moment [`StreamSummary`]s per
+//! channel class, so the figure-4/6-style distributions survive at
+//! `O(classes * K)` memory no matter how many links the machine has.
+//! Digests merge deterministically across PDES shards (each group
+//! replica digests only the channels it owns; the drain merges in fixed
+//! group order).
+
+use crate::sampler::OBS_CLASSES;
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_stats::{Cdf, ReservoirCdf, StreamSummary};
+
+/// One channel class's digest: traffic distribution (reservoir + exact
+/// moments) and saturated-time moments.
+#[derive(Debug, Clone)]
+pub struct ClassDigest {
+    /// Reservoir sample of per-channel traffic, in megabytes.
+    pub traffic_mb: ReservoirCdf,
+    /// Exact moments + log-histogram of per-channel traffic, in bytes.
+    pub traffic_bytes: StreamSummary,
+    /// Exact moments + log-histogram of per-channel credit-saturated
+    /// time, in milliseconds.
+    pub saturated_ms: StreamSummary,
+}
+
+/// Streaming digest over all channel classes (indexed like
+/// [`OBS_CLASSES`]).
+#[derive(Debug, Clone)]
+pub struct LinkDigest {
+    reservoir_k: usize,
+    classes: Vec<ClassDigest>,
+}
+
+impl LinkDigest {
+    /// Empty digest with `reservoir_k`-sample reservoirs. Each class's
+    /// reservoir gets its own tag stream split from `seed`, so class
+    /// populations sample independently but reproducibly.
+    pub fn new(reservoir_k: usize, seed: u64) -> LinkDigest {
+        let mut master = Xoshiro256::seed_from(seed);
+        let classes = (0..OBS_CLASSES.len())
+            .map(|c| ClassDigest {
+                traffic_mb: ReservoirCdf::new(reservoir_k, master.split(c as u64 + 1).next_u64()),
+                traffic_bytes: StreamSummary::new(),
+                saturated_ms: StreamSummary::new(),
+            })
+            .collect();
+        LinkDigest {
+            reservoir_k,
+            classes,
+        }
+    }
+
+    /// Reservoir capacity per class.
+    pub fn reservoir_k(&self) -> usize {
+        self.reservoir_k
+    }
+
+    /// Record one channel's end-of-run counters under its class index
+    /// (dense class order, as in [`OBS_CLASSES`]).
+    pub fn observe_channel(&mut self, class_idx: usize, traffic_bytes: u64, saturated: Ns) {
+        let d = &mut self.classes[class_idx];
+        d.traffic_mb.push(traffic_bytes as f64 / 1.0e6);
+        d.traffic_bytes.record(traffic_bytes as f64);
+        d.saturated_ms.record(saturated.as_nanos() as f64 / 1.0e6);
+    }
+
+    /// One class's digest.
+    pub fn class(&self, class_idx: usize) -> &ClassDigest {
+        &self.classes[class_idx]
+    }
+
+    /// Channels digested under a class.
+    pub fn channels(&self, class_idx: usize) -> u64 {
+        self.classes[class_idx].traffic_bytes.count()
+    }
+
+    /// The class's sampled traffic distribution as a [`Cdf`] (MB).
+    pub fn traffic_mb_cdf(&self, class_idx: usize) -> Cdf {
+        self.classes[class_idx].traffic_mb.to_cdf()
+    }
+
+    /// Merge another digest (same `reservoir_k`): reservoirs union
+    /// bottom-k, summaries merge field-wise. Order-independent for the
+    /// retained reservoir values; deterministic in any case because the
+    /// shard drain merges in fixed group order.
+    pub fn merge_from(&mut self, other: &LinkDigest) {
+        assert_eq!(
+            self.reservoir_k, other.reservoir_k,
+            "merging digests with different reservoir capacities"
+        );
+        for (a, b) in self.classes.iter_mut().zip(other.classes.iter()) {
+            a.traffic_mb.merge_from(&b.traffic_mb);
+            a.traffic_bytes.merge_from(&b.traffic_bytes);
+            a.saturated_ms.merge_from(&b.saturated_ms);
+        }
+    }
+
+    /// Approximate heap footprint, in bytes — `O(classes * K)`, duration
+    /// and link-count independent.
+    pub fn approx_bytes(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|d| {
+                d.traffic_mb.approx_bytes()
+                    + d.traffic_bytes.approx_bytes()
+                    + d.saturated_ms.approx_bytes()
+            })
+            .sum::<usize>()
+            + std::mem::size_of::<LinkDigest>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_records_per_class() {
+        let mut d = LinkDigest::new(16, 7);
+        d.observe_channel(4, 2_000_000, Ns(3_000_000));
+        d.observe_channel(4, 4_000_000, Ns(1_000_000));
+        d.observe_channel(0, 1_000, Ns(0));
+        assert_eq!(d.channels(4), 2);
+        assert_eq!(d.channels(0), 1);
+        assert_eq!(d.channels(2), 0);
+        assert_eq!(d.class(4).traffic_bytes.sum(), 6_000_000.0);
+        assert_eq!(d.class(4).saturated_ms.max(), Some(3.0));
+        let cdf = d.traffic_mb_cdf(4);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.max(), Some(4.0));
+    }
+
+    #[test]
+    fn digest_merge_matches_single_feed_counts() {
+        let mut whole = LinkDigest::new(8, 11);
+        let mut a = LinkDigest::new(8, 11);
+        let mut b = LinkDigest::new(8, 11);
+        for i in 0..100u64 {
+            let (cls, traffic, sat) = ((i % 5) as usize, i * 1_000, Ns(i * 10));
+            whole.observe_channel(cls, traffic, sat);
+            if i < 50 {
+                a.observe_channel(cls, traffic, sat);
+            } else {
+                b.observe_channel(cls, traffic, sat);
+            }
+        }
+        a.merge_from(&b);
+        for c in 0..5 {
+            assert_eq!(a.channels(c), whole.channels(c));
+            assert_eq!(
+                a.class(c).traffic_bytes.min(),
+                whole.class(c).traffic_bytes.min()
+            );
+            assert_eq!(
+                a.class(c).traffic_bytes.max(),
+                whole.class(c).traffic_bytes.max()
+            );
+        }
+    }
+
+    #[test]
+    fn digest_is_seed_deterministic_and_bounded() {
+        let feed = |seed: u64| {
+            let mut d = LinkDigest::new(4, seed);
+            for i in 0..10_000u64 {
+                d.observe_channel((i % 5) as usize, i, Ns(i));
+            }
+            d
+        };
+        let (x, y) = (feed(3), feed(3));
+        for c in 0..5 {
+            assert_eq!(
+                x.class(c).traffic_mb.values(),
+                y.class(c).traffic_mb.values()
+            );
+            assert_eq!(x.class(c).traffic_mb.len(), 4, "reservoir capped");
+        }
+        assert!(x.approx_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "different reservoir capacities")]
+    fn digest_merge_rejects_k_mismatch() {
+        let mut a = LinkDigest::new(4, 1);
+        a.merge_from(&LinkDigest::new(8, 1));
+    }
+}

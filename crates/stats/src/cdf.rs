@@ -66,34 +66,27 @@ impl Cdf {
     }
 
     /// The full `(x, percent)` step series: one point per sample, suitable
-    /// for plotting the paper's channel-CDF figures.
-    pub fn steps(&self) -> Vec<(f64, f64)> {
+    /// for plotting the paper's channel-CDF figures. Lazy — no per-call
+    /// allocation; `.collect()` when a `Vec` is needed.
+    pub fn steps(&self) -> impl ExactSizeIterator<Item = (f64, f64)> + '_ {
         let n = self.sorted.len();
         self.sorted
             .iter()
             .enumerate()
-            .map(|(i, &v)| (v, 100.0 * (i + 1) as f64 / n as f64))
-            .collect()
+            .map(move |(i, &v)| (v, 100.0 * (i + 1) as f64 / n as f64))
     }
 
     /// A downsampled series of at most `k` points, evenly spaced in rank;
     /// always includes the final (max, 100%) point. Used to print readable
-    /// tables for populations of tens of thousands of channels.
-    pub fn sampled_points(&self, k: usize) -> Vec<(f64, f64)> {
+    /// tables for populations of tens of thousands of channels. Lazy — no
+    /// per-call allocation.
+    pub fn sampled_points(&self, k: usize) -> impl ExactSizeIterator<Item = (f64, f64)> + '_ {
         assert!(k >= 2, "need at least 2 points");
         let n = self.sorted.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        if n <= k {
-            return self.steps();
-        }
-        let mut out = Vec::with_capacity(k);
-        for j in 0..k {
-            let i = j * (n - 1) / (k - 1);
-            out.push((self.sorted[i], 100.0 * (i + 1) as f64 / n as f64));
-        }
-        out
+        (0..n.min(k)).map(move |j| {
+            let i = if n <= k { j } else { j * (n - 1) / (k - 1) };
+            (self.sorted[i], 100.0 * (i + 1) as f64 / n as f64)
+        })
     }
 
     /// Area-style mean of the samples.
@@ -129,7 +122,7 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.fraction_at_or_below(10.0), 0.0);
         assert_eq!(c.min(), None);
-        assert!(c.steps().is_empty());
+        assert_eq!(c.steps().len(), 0);
     }
 
     #[test]
@@ -144,7 +137,7 @@ mod tests {
     #[test]
     fn steps_end_at_100_percent() {
         let c = Cdf::from_samples([5.0, 7.0, 9.0]);
-        let s = c.steps();
+        let s: Vec<_> = c.steps().collect();
         assert_eq!(s.len(), 3);
         assert_eq!(s[2], (9.0, 100.0));
         assert!((s[0].1 - 100.0 / 3.0).abs() < 1e-9);
@@ -153,7 +146,7 @@ mod tests {
     #[test]
     fn sampled_points_downsamples() {
         let c = Cdf::from_samples((0..1000).map(|i| i as f64));
-        let pts = c.sampled_points(11);
+        let pts: Vec<_> = c.sampled_points(11).collect();
         assert_eq!(pts.len(), 11);
         assert_eq!(pts[10].0, 999.0);
         assert_eq!(pts[10].1, 100.0);
@@ -168,6 +161,49 @@ mod tests {
     fn sampled_points_small_population_returns_all() {
         let c = Cdf::from_samples([1.0, 2.0]);
         assert_eq!(c.sampled_points(10).len(), 2);
+    }
+
+    /// Pin the lazy iterators against the frozen Vec-building reference
+    /// they replaced (the pre-iterator implementations, inlined here).
+    #[test]
+    fn iterator_series_match_vec_reference() {
+        fn steps_ref(sorted: &[f64]) -> Vec<(f64, f64)> {
+            let n = sorted.len();
+            sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 100.0 * (i + 1) as f64 / n as f64))
+                .collect()
+        }
+        fn sampled_ref(sorted: &[f64], k: usize) -> Vec<(f64, f64)> {
+            let n = sorted.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            if n <= k {
+                return steps_ref(sorted);
+            }
+            (0..k)
+                .map(|j| {
+                    let i = j * (n - 1) / (k - 1);
+                    (sorted[i], 100.0 * (i + 1) as f64 / n as f64)
+                })
+                .collect()
+        }
+        for n in [0usize, 1, 2, 5, 99, 100, 101, 1000] {
+            let data: Vec<f64> = (0..n).map(|i| (i * 7 % 113) as f64).collect();
+            let c = Cdf::from_samples(data.iter().copied());
+            let mut sorted = data.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(c.steps().collect::<Vec<_>>(), steps_ref(&sorted), "n={n}");
+            for k in [2usize, 3, 11, 100] {
+                assert_eq!(
+                    c.sampled_points(k).collect::<Vec<_>>(),
+                    sampled_ref(&sorted, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod balance;
 pub mod cdf;
 pub mod csv;
 pub mod plot;
+pub mod streaming;
 pub mod summary;
 pub mod table;
 
@@ -28,5 +29,8 @@ pub use balance::{gini, Histogram};
 pub use cdf::Cdf;
 pub use csv::CsvWriter;
 pub use plot::{render_boxplot_row, sparkline};
+pub use streaming::{
+    CoarseTimeline, MetricsMode, ReservoirCdf, StreamSummary, DEFAULT_RESERVOIR_K,
+};
 pub use summary::{mean, percentile, relative_percent, stddev, BoxStats};
 pub use table::AsciiTable;

@@ -1,0 +1,801 @@
+//! Streaming, bounded replacements for the dense metric structures.
+//!
+//! The paper's machine stops at Theta (3,456 nodes); the canonic
+//! `(p,a,h,g)` parameterization builds dragonflies with hundreds of
+//! groups and 100k+ nodes, where dense per-link vectors and full-sample
+//! CDFs make a run memory-bound before it is compute-bound. This module
+//! holds the fixed-footprint equivalents, all deterministic and
+//! mergeable across PDES shards:
+//!
+//! * [`ReservoirCdf`] — a seeded bottom-k reservoir sample of a value
+//!   stream. Holds at most `K` values regardless of stream length; its
+//!   quantiles converge to the dense CDF's with error `O(1/sqrt(K))`.
+//!   Merging two reservoirs is exactly equivalent to feeding one
+//!   reservoir both streams (keep-smallest-tag union), so shard merges
+//!   commute and reorder freely.
+//! * [`StreamSummary`] — count/sum/min/max moments plus a fixed-bin
+//!   log-scale histogram for quantile estimates. Merging is field-wise;
+//!   counts, extrema, and bins merge exactly, the sum to floating-point
+//!   reassociation error.
+//! * [`CoarseTimeline`] — a time-binned series that keeps a fixed bin
+//!   *count* by geometrically doubling its bin *width* when the run
+//!   outgrows it, instead of growing the bin vector. Folding preserves
+//!   total byte mass exactly.
+//! * [`MetricsMode`] — the knob the network/telemetry layers switch on:
+//!   `Dense` (the historical structures, byte-identical to every
+//!   existing golden) or `Streaming { reservoir_k }` (bounded memory,
+//!   `O(links * K)` regardless of run duration).
+
+use crate::cdf::Cdf;
+use dfly_engine::{Ns, Xoshiro256};
+use std::collections::BinaryHeap;
+
+/// Default reservoir capacity for `--metrics streaming` without an
+/// explicit `:K`. 1024 samples put ~3% worst-case standard error on
+/// mid-range quantiles — tighter than the paper's figure resolution.
+pub const DEFAULT_RESERVOIR_K: u32 = 1024;
+
+/// How metric-heavy layers store their data: dense (exact, unbounded)
+/// or streaming (bounded, sampled). Dense is the default and is
+/// byte-identical to every release before this knob existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// Full-resolution structures: per-sample CDFs, an uncoarsened
+    /// sample series, dense timeline bins. Memory grows with run
+    /// duration; fine through Theta scale.
+    #[default]
+    Dense,
+    /// Bounded structures: reservoir-sampled CDFs, a geometrically
+    /// coarsening sample series and timeline, per-link-class digests.
+    /// Metric memory is `O(links * reservoir_k)` for any duration.
+    Streaming {
+        /// Reservoir capacity per sampled distribution.
+        reservoir_k: u32,
+    },
+}
+
+impl MetricsMode {
+    /// True for any `Streaming` variant.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, MetricsMode::Streaming { .. })
+    }
+
+    /// The reservoir capacity, if streaming.
+    pub fn reservoir_k(&self) -> Option<u32> {
+        match *self {
+            MetricsMode::Dense => None,
+            MetricsMode::Streaming { reservoir_k } => Some(reservoir_k),
+        }
+    }
+
+    /// Stable label: `dense` or `streaming:K`.
+    pub fn label(&self) -> String {
+        match *self {
+            MetricsMode::Dense => "dense".to_string(),
+            MetricsMode::Streaming { reservoir_k } => format!("streaming:{reservoir_k}"),
+        }
+    }
+
+    /// Parse `dense`, `streaming`, or `streaming:K`.
+    pub fn parse(s: &str) -> Result<MetricsMode, String> {
+        match s {
+            "dense" => Ok(MetricsMode::Dense),
+            "streaming" => Ok(MetricsMode::Streaming {
+                reservoir_k: DEFAULT_RESERVOIR_K,
+            }),
+            _ => {
+                let k_str = s.strip_prefix("streaming:").ok_or_else(|| {
+                    format!("metrics mode wants dense|streaming|streaming:K (got {s:?})")
+                })?;
+                let k: u32 = k_str
+                    .parse()
+                    .map_err(|_| format!("streaming reservoir size {k_str:?} is not an integer"))?;
+                if k < 2 {
+                    return Err(format!("streaming reservoir size must be >= 2 (got {k})"));
+                }
+                Ok(MetricsMode::Streaming { reservoir_k: k })
+            }
+        }
+    }
+
+    /// Validate the mode's parameters (mirrors `NetworkParams::validate`).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            MetricsMode::Dense => Ok(()),
+            MetricsMode::Streaming { reservoir_k } if reservoir_k >= 2 => Ok(()),
+            MetricsMode::Streaming { reservoir_k } => Err(format!(
+                "metrics reservoir_k must be >= 2 (got {reservoir_k})"
+            )),
+        }
+    }
+}
+
+/// A seeded bottom-k reservoir sample over a stream of `f64` values.
+///
+/// Every pushed value draws a `u64` tag from the reservoir's own
+/// [`Xoshiro256`] stream; the reservoir keeps the `K` values with the
+/// smallest `(tag, value-bits)` keys. Because "keep the K smallest of a
+/// multiset" is order-independent and associative, [`merge_from`] is
+/// *exactly* the reservoir a single feed of both tag/value streams would
+/// produce — the property the sharded drain relies on.
+///
+/// [`merge_from`]: ReservoirCdf::merge_from
+#[derive(Debug, Clone)]
+pub struct ReservoirCdf {
+    k: usize,
+    seen: u64,
+    rng: Xoshiro256,
+    /// Max-heap of `(tag, value_bits)`: the root is the first entry a
+    /// smaller-tagged newcomer evicts.
+    entries: BinaryHeap<(u64, u64)>,
+}
+
+impl ReservoirCdf {
+    /// Empty reservoir holding at most `k` samples, tagging from `seed`.
+    pub fn new(k: usize, seed: u64) -> ReservoirCdf {
+        assert!(k >= 1, "reservoir capacity must be at least 1");
+        ReservoirCdf {
+            k,
+            seen: 0,
+            rng: Xoshiro256::seed_from(seed),
+            entries: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Values currently retained (≤ `K`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total values offered to the reservoir (including merged streams).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Offer one value. NaN is rejected with a panic, matching [`Cdf`].
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample in reservoir input");
+        let tag = self.rng.next_u64();
+        self.seen += 1;
+        self.insert_tagged(tag, value);
+    }
+
+    /// Offer every value of an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    fn insert_tagged(&mut self, tag: u64, value: f64) {
+        let key = (tag, value.to_bits());
+        if self.entries.len() < self.k {
+            self.entries.push(key);
+        } else if let Some(&root) = self.entries.peek() {
+            if key < root {
+                self.entries.pop();
+                self.entries.push(key);
+            }
+        }
+    }
+
+    /// An empty reservoir that continues this one's tag stream — the
+    /// "hand the RNG to the next shard" construction that makes
+    /// `merge(prefix, suffix) == single_feed(whole)` exactly testable.
+    pub fn continuation(&self) -> ReservoirCdf {
+        ReservoirCdf {
+            k: self.k,
+            seen: 0,
+            rng: self.rng.clone(),
+            entries: BinaryHeap::with_capacity(self.k + 1),
+        }
+    }
+
+    /// Merge another reservoir of the same capacity: keep the `K`
+    /// smallest keys of the union; `seen` counts add. Deterministic and
+    /// order-independent.
+    pub fn merge_from(&mut self, other: &ReservoirCdf) {
+        assert_eq!(
+            self.k, other.k,
+            "merging reservoirs of different capacities"
+        );
+        self.seen += other.seen;
+        for &(tag, bits) in other.entries.iter() {
+            let key = (tag, bits);
+            if self.entries.len() < self.k {
+                self.entries.push(key);
+            } else if let Some(&root) = self.entries.peek() {
+                if key < root {
+                    self.entries.pop();
+                    self.entries.push(key);
+                }
+            }
+        }
+    }
+
+    /// The retained values, sorted ascending.
+    pub fn values(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|&(_, bits)| f64::from_bits(bits))
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in reservoir"));
+        out
+    }
+
+    /// The retained sample as an empirical [`Cdf`].
+    pub fn to_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.entries.iter().map(|&(_, bits)| f64::from_bits(bits)))
+    }
+
+    /// Estimated quantile (empty reservoir panics, matching [`Cdf`]).
+    pub fn quantile(&self, fraction: f64) -> f64 {
+        self.to_cdf().quantile(fraction)
+    }
+
+    /// Approximate heap footprint of the retained state, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, u64)>()
+            + std::mem::size_of::<ReservoirCdf>()
+    }
+}
+
+/// Number of log-scale histogram bins in a [`StreamSummary`]:
+/// `SUB_BINS` bins per factor of two over binary exponents
+/// `MIN_EXP..MAX_EXP`, plus one underflow bin for values `<= 0` (or
+/// below `2^MIN_EXP`).
+const SUMMARY_BINS: usize = 1 + ((MAX_EXP - MIN_EXP) as usize) * SUB_BINS;
+const MIN_EXP: i32 = -20; // ~1e-6: finer than any ms/MB metric here
+const MAX_EXP: i32 = 60; // ~1e18: above any byte count a run produces
+const SUB_BINS: usize = 4; // quarter-octave resolution
+
+/// Mergeable moment/quantile summary of a value stream in O(1) memory.
+///
+/// Exact count, sum, min, and max, plus a fixed-bin quarter-octave
+/// log2 histogram for quantile estimates. Quantiles carry the bin's
+/// relative width as error: at 4 sub-bins per octave the estimate is
+/// within `2^(1/8) - 1 ≈ 9%` of the dense value (plus interpolation
+/// slack), clamped into `[min, max]`. Negative values clamp into the
+/// underflow bin — the simulator's metrics (bytes, nanoseconds) are
+/// non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    bins: Vec<u64>,
+}
+
+impl Default for StreamSummary {
+    fn default() -> StreamSummary {
+        StreamSummary::new()
+    }
+}
+
+impl StreamSummary {
+    /// Fresh, empty summary.
+    pub fn new() -> StreamSummary {
+        StreamSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            bins: vec![0; SUMMARY_BINS],
+        }
+    }
+
+    fn bin_of(value: f64) -> usize {
+        if value <= 0.0 {
+            return 0;
+        }
+        let e = value.log2();
+        if e < MIN_EXP as f64 {
+            return 0;
+        }
+        let idx = ((e - MIN_EXP as f64) * SUB_BINS as f64) as usize;
+        (1 + idx).min(SUMMARY_BINS - 1)
+    }
+
+    /// Lower edge of a histogram bin (the underflow bin's edge is 0).
+    fn bin_lo(idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.0;
+        }
+        2f64.powf(MIN_EXP as f64 + (idx - 1) as f64 / SUB_BINS as f64)
+    }
+
+    /// Record one value. NaN panics.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample in summary input");
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.bins[Self::bin_of(value)] += 1;
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (None if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Estimated quantile via the log histogram: find the bin holding
+    /// the target rank and interpolate geometrically inside it. Within
+    /// ~9% relative of the dense quantile (see type docs); exact for
+    /// the extremes (`fraction` 0 → min, 1 → max). Panics when empty.
+    pub fn quantile(&self, fraction: f64) -> f64 {
+        assert!(self.count > 0, "quantile of empty summary");
+        let f = fraction.clamp(0.0, 1.0);
+        if f <= 0.0 {
+            return self.min;
+        }
+        if f >= 1.0 {
+            return self.max;
+        }
+        let target = (f * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let lo = Self::bin_lo(i);
+                let hi = if i + 1 < SUMMARY_BINS {
+                    Self::bin_lo(i + 1)
+                } else {
+                    self.max
+                };
+                // Geometric midpoint of the bin, clamped into the
+                // observed range.
+                let mid = if lo > 0.0 && hi > lo {
+                    (lo * hi).sqrt()
+                } else {
+                    (lo + hi) / 2.0
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another summary: counts, extrema, and bins merge exactly;
+    /// the sum merges to floating-point reassociation error.
+    pub fn merge_from(&mut self, other: &StreamSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Approximate heap footprint, in bytes. Constant by construction.
+    pub fn approx_bytes(&self) -> usize {
+        self.bins.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<StreamSummary>()
+    }
+}
+
+/// A time-binned byte series with a *fixed* bin count: when an event
+/// lands past the last bin, the bin width doubles and adjacent bins fold
+/// pairwise (sums, so total mass is preserved exactly) until the event
+/// fits. The dense [`TrafficTimeline`]'s growth axis — bins per duration
+/// — becomes a resolution axis instead.
+///
+/// Lanes are parallel series sharing one width (the per-class split in
+/// the network layer); folding coarsens every lane together so they stay
+/// aligned.
+///
+/// [`TrafficTimeline`]: https://docs.rs — see `dfly-network::metrics`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseTimeline {
+    bin_width: Ns,
+    max_bins: usize,
+    lanes: Vec<Vec<u64>>,
+}
+
+impl CoarseTimeline {
+    /// Empty timeline: `lanes` parallel series, starting at `bin_width`,
+    /// never exceeding `max_bins` bins (a power of two ≥ 2) per lane.
+    pub fn new(bin_width: Ns, lanes: usize, max_bins: usize) -> CoarseTimeline {
+        assert!(bin_width > Ns::ZERO, "bin width must be positive");
+        assert!(
+            max_bins.is_power_of_two() && max_bins >= 2,
+            "max_bins must be a power of two >= 2 (got {max_bins})"
+        );
+        assert!(lanes >= 1, "need at least one lane");
+        CoarseTimeline {
+            bin_width,
+            max_bins,
+            lanes: vec![Vec::new(); lanes],
+        }
+    }
+
+    /// Current bin width (grows geometrically as the run outlives the
+    /// initial resolution).
+    pub fn bin_width(&self) -> Ns {
+        self.bin_width
+    }
+
+    /// The fixed bin-count cap.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Record `bytes` on `lane` at time `at`, coarsening first if `at`
+    /// falls past the last bin.
+    pub fn record(&mut self, lane: usize, at: Ns, bytes: u64) {
+        let mut idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        while idx >= self.max_bins {
+            self.coarsen();
+            idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        }
+        let series = &mut self.lanes[lane];
+        if series.len() <= idx {
+            series.resize(idx + 1, 0);
+        }
+        series[idx] += bytes;
+    }
+
+    /// Double the bin width, folding adjacent bins pairwise in every
+    /// lane. Total mass per lane is invariant.
+    fn coarsen(&mut self) {
+        for lane in &mut self.lanes {
+            let folded = lane.len().div_ceil(2);
+            for i in 0..folded {
+                let a = lane[2 * i];
+                let b = lane.get(2 * i + 1).copied().unwrap_or(0);
+                lane[i] = a + b;
+            }
+            lane.truncate(folded);
+        }
+        self.bin_width = Ns(self.bin_width.as_nanos() * 2);
+    }
+
+    /// One lane's bins at the current width (missing tail bins are 0).
+    pub fn series(&self, lane: usize) -> &[u64] {
+        &self.lanes[lane]
+    }
+
+    /// Total mass recorded on a lane — invariant under coarsening.
+    pub fn total(&self, lane: usize) -> u64 {
+        self.lanes[lane].iter().sum()
+    }
+
+    /// Merge another timeline of the same shape: the finer side folds to
+    /// the coarser width, then bins add. Mass-preserving, deterministic,
+    /// order-independent.
+    pub fn merge_from(&mut self, other: &CoarseTimeline) {
+        assert_eq!(self.lanes.len(), other.lanes.len(), "lane count mismatch");
+        assert_eq!(self.max_bins, other.max_bins, "max_bins mismatch");
+        let (a, b) = (self.bin_width.as_nanos(), other.bin_width.as_nanos());
+        let (big, small) = (a.max(b), a.min(b));
+        assert!(
+            big % small == 0 && (big / small).is_power_of_two(),
+            "widths {a} and {b} do not share a base"
+        );
+        while self.bin_width.as_nanos() < other.bin_width.as_nanos() {
+            self.coarsen();
+        }
+        let ratio = (self.bin_width.as_nanos() / other.bin_width.as_nanos()) as usize;
+        for (mine, theirs) in self.lanes.iter_mut().zip(other.lanes.iter()) {
+            let folded = theirs.len().div_ceil(ratio);
+            if mine.len() < folded {
+                mine.resize(folded, 0);
+            }
+            for (i, chunk) in theirs.chunks(ratio).enumerate() {
+                mine[i] += chunk.iter().sum::<u64>();
+            }
+        }
+    }
+
+    /// Approximate heap footprint, in bytes. Bounded by
+    /// `lanes * max_bins * 8` regardless of duration.
+    pub fn approx_bytes(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<u64>())
+            .sum::<usize>()
+            + std::mem::size_of::<CoarseTimeline>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_and_labels() {
+        assert_eq!(MetricsMode::parse("dense"), Ok(MetricsMode::Dense));
+        assert_eq!(
+            MetricsMode::parse("streaming"),
+            Ok(MetricsMode::Streaming {
+                reservoir_k: DEFAULT_RESERVOIR_K
+            })
+        );
+        assert_eq!(
+            MetricsMode::parse("streaming:256"),
+            Ok(MetricsMode::Streaming { reservoir_k: 256 })
+        );
+        assert!(MetricsMode::parse("streaming:1").is_err());
+        assert!(MetricsMode::parse("sparse").is_err());
+        assert!(MetricsMode::parse("streaming:x").is_err());
+        assert_eq!(MetricsMode::Dense.label(), "dense");
+        assert_eq!(
+            MetricsMode::Streaming { reservoir_k: 64 }.label(),
+            "streaming:64"
+        );
+        assert_eq!(MetricsMode::default(), MetricsMode::Dense);
+        assert!(MetricsMode::Streaming { reservoir_k: 1 }
+            .validate()
+            .is_err());
+        MetricsMode::Dense.validate().unwrap();
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_below_capacity() {
+        let mut r = ReservoirCdf::new(16, 7);
+        r.extend((0..10).map(|i| i as f64));
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10);
+        assert_eq!(r.values(), (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reservoir_caps_at_k() {
+        let mut r = ReservoirCdf::new(32, 99);
+        r.extend((0..10_000).map(|i| i as f64));
+        assert_eq!(r.len(), 32);
+        assert_eq!(r.seen(), 10_000);
+        assert!(r.approx_bytes() < 2048);
+    }
+
+    #[test]
+    fn reservoir_is_seed_deterministic() {
+        let feed = |seed| {
+            let mut r = ReservoirCdf::new(8, seed);
+            r.extend((0..1000).map(|i| (i * 17 % 1000) as f64));
+            r.values()
+        };
+        assert_eq!(feed(1), feed(1));
+        assert_ne!(feed(1), feed(2), "different seeds sample differently");
+    }
+
+    #[test]
+    fn reservoir_merge_equals_single_stream() {
+        let stream: Vec<f64> = (0..500).map(|i| (i * 13 % 500) as f64).collect();
+        for cut in [0, 1, 250, 499, 500] {
+            let mut single = ReservoirCdf::new(24, 42);
+            single.extend(stream.iter().copied());
+
+            let mut left = ReservoirCdf::new(24, 42);
+            left.extend(stream[..cut].iter().copied());
+            let mut right = left.continuation();
+            right.extend(stream[cut..].iter().copied());
+            left.merge_from(&right);
+
+            assert_eq!(left.seen(), single.seen());
+            assert_eq!(left.values(), single.values(), "cut at {cut}");
+
+            // And the mirror merge retains the same multiset.
+            let mut l2 = ReservoirCdf::new(24, 42);
+            l2.extend(stream[..cut].iter().copied());
+            let mut r2 = l2.continuation();
+            r2.extend(stream[cut..].iter().copied());
+            r2.merge_from(&l2);
+            assert_eq!(r2.values(), single.values(), "merge commutes at {cut}");
+        }
+    }
+
+    #[test]
+    fn reservoir_quantiles_track_dense() {
+        // Uniform 0..10_000: reservoir quantiles within a few percent.
+        let mut r = ReservoirCdf::new(512, 0xC0FFEE);
+        let dense: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        r.extend(dense.iter().copied());
+        let cdf = Cdf::from_samples(dense.iter().copied());
+        for q in [0.1, 0.5, 0.9] {
+            let d = cdf.quantile(q);
+            let s = r.quantile(q);
+            assert!(
+                (d - s).abs() / 10_000.0 < 0.06,
+                "q{q}: dense {d} vs reservoir {s}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn reservoir_rejects_nan() {
+        ReservoirCdf::new(4, 1).push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn reservoir_merge_rejects_capacity_mismatch() {
+        let mut a = ReservoirCdf::new(4, 1);
+        a.merge_from(&ReservoirCdf::new(8, 1));
+    }
+
+    #[test]
+    fn summary_moments_exact() {
+        let mut s = StreamSummary::new();
+        for v in [4.0, 1.0, 9.0, 0.0, 16.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 30.0);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(16.0));
+        assert_eq!(s.mean(), 6.0);
+    }
+
+    #[test]
+    fn summary_quantile_within_bin_tolerance() {
+        let mut s = StreamSummary::new();
+        let dense: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        for &v in &dense {
+            s.record(v);
+        }
+        let cdf = Cdf::from_samples(dense.iter().copied());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            let d = cdf.quantile(q);
+            let est = s.quantile(q);
+            // Quarter-octave bins: within 2^(1/8)-1 ≈ 9.05% relative,
+            // plus a hair of interpolation slack.
+            assert!(
+                (est - d).abs() / d < 0.095,
+                "q{q}: dense {d} vs summary {est}"
+            );
+        }
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 10_000.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_single_feed() {
+        let stream: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 * 1.5).collect();
+        let mut single = StreamSummary::new();
+        for &v in &stream {
+            single.record(v);
+        }
+        let mut a = StreamSummary::new();
+        let mut b = StreamSummary::new();
+        for &v in &stream[..400] {
+            a.record(v);
+        }
+        for &v in &stream[400..] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), single.count());
+        assert_eq!(a.min(), single.min());
+        assert_eq!(a.max(), single.max());
+        assert_eq!(a.bins, single.bins, "histogram merge is exact");
+        assert!((a.sum() - single.sum()).abs() <= 1e-9 * single.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn summary_footprint_is_constant() {
+        let mut s = StreamSummary::new();
+        let before = s.approx_bytes();
+        for i in 0..100_000 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.approx_bytes(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty summary")]
+    fn summary_quantile_empty_panics() {
+        StreamSummary::new().quantile(0.5);
+    }
+
+    #[test]
+    fn timeline_records_and_coarsens() {
+        let mut t = CoarseTimeline::new(Ns(100), 2, 4);
+        t.record(0, Ns(0), 10);
+        t.record(0, Ns(150), 5);
+        t.record(0, Ns(399), 1);
+        assert_eq!(t.bin_width(), Ns(100));
+        assert_eq!(t.series(0), &[10, 5, 0, 1]);
+        // Bin index 4 forces one doubling: 100 -> 200 ns bins.
+        t.record(0, Ns(420), 7);
+        assert_eq!(t.bin_width(), Ns(200));
+        assert_eq!(t.series(0), &[15, 1, 7]);
+        assert_eq!(t.total(0), 23);
+        // A far-future event coarsens repeatedly but never grows bins.
+        t.record(1, Ns(1_000_000), 3);
+        assert!(t.series(1).len() <= 4);
+        assert!(t.series(0).len() <= 4);
+        assert_eq!(t.total(0), 23, "mass preserved across coarsening");
+        assert_eq!(t.total(1), 3);
+    }
+
+    #[test]
+    fn timeline_mass_preserved_under_heavy_coarsening() {
+        let mut t = CoarseTimeline::new(Ns(1), 1, 8);
+        let mut mass = 0u64;
+        for i in 0..10_000u64 {
+            t.record(0, Ns(i * i), i % 7);
+            mass += i % 7;
+        }
+        assert_eq!(t.total(0), mass);
+        assert_eq!(t.series(0).len().max(1) <= 8, true);
+        assert!(t.approx_bytes() < 1024);
+    }
+
+    #[test]
+    fn timeline_extreme_timestamp_is_bounded() {
+        let mut t = CoarseTimeline::new(Ns(1), 1, 4);
+        t.record(0, Ns(5), 2);
+        t.record(0, Ns(u64::MAX), 7);
+        assert!(t.series(0).len() <= 4);
+        assert_eq!(t.total(0), 9);
+    }
+
+    #[test]
+    fn timeline_merge_aligns_widths_and_preserves_mass() {
+        let mut fine = CoarseTimeline::new(Ns(10), 1, 8);
+        for i in 0..8u64 {
+            fine.record(0, Ns(i * 10), 1);
+        }
+        let mut coarse = CoarseTimeline::new(Ns(10), 1, 8);
+        coarse.record(0, Ns(300), 5); // forces widths 10 -> 40
+        assert_eq!(coarse.bin_width(), Ns(40));
+
+        let mut merged = fine.clone();
+        merged.merge_from(&coarse);
+        assert_eq!(merged.bin_width(), Ns(40));
+        assert_eq!(merged.total(0), 13);
+
+        // Mirror order gives the same bins.
+        let mut mirror = coarse.clone();
+        mirror.merge_from(&fine);
+        assert_eq!(mirror, merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins must be a power of two")]
+    fn timeline_rejects_odd_cap() {
+        let _ = CoarseTimeline::new(Ns(1), 1, 3);
+    }
+}

@@ -1,0 +1,348 @@
+//! Property tests for the streaming metric structures (ISSUE 10
+//! satellite): reservoir CDFs track the dense CDF within analytic
+//! tolerance, merges are exactly equivalent to single-stream feeds,
+//! timeline coarsening preserves byte mass, and everything is
+//! deterministic across runs and split points (the shard-count axis).
+
+use dfly_engine::proptest::{check, check_with_shrink, gen, shrink, Config};
+use dfly_engine::{Ns, Xoshiro256};
+use dfly_stats::{Cdf, CoarseTimeline, ReservoirCdf, StreamSummary};
+
+/// Reservoir quantiles vs the dense CDF on the same stream: for K
+/// samples from a population, the empirical quantile's standard error in
+/// *rank* space is sqrt(q(1-q)/K) <= 0.5/sqrt(K). We assert a 6-sigma
+/// band, translated into value space through the dense CDF itself, so
+/// the bound adapts to whatever distribution the generator produced.
+#[test]
+fn reservoir_quantiles_within_analytic_tolerance() {
+    check(
+        "reservoir_quantiles_within_analytic_tolerance",
+        &Config::with_cases(24),
+        |rng| {
+            let data = gen::vec_f64(rng, 2000, 6000, 0.0, 1e6);
+            let seed = rng.next_u64();
+            (data, seed)
+        },
+        |(data, seed)| {
+            let k = 512usize;
+            let dense = Cdf::from_samples(data.iter().copied());
+            let mut res = ReservoirCdf::new(k, *seed);
+            res.extend(data.iter().copied());
+            if res.len() != k {
+                return Err(format!("reservoir holds {} of {k}", res.len()));
+            }
+            let sigma = 0.5 / (k as f64).sqrt();
+            for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+                let est = res.quantile(q);
+                // The streamed estimate must land between the dense
+                // quantiles at q ± 6σ (rank-space tolerance mapped
+                // through the dense distribution).
+                let lo = dense.quantile((q - 6.0 * sigma).max(0.0));
+                let hi = dense.quantile((q + 6.0 * sigma).min(1.0));
+                if est < lo || est > hi {
+                    return Err(format!(
+                        "q{q}: reservoir {est} outside dense band [{lo}, {hi}]"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// merge(prefix-reservoir, continuation-fed-suffix) is *identical* to
+/// feeding the whole stream through one reservoir — the exact property
+/// the sharded drain depends on — at every split point, in both merge
+/// directions.
+#[test]
+fn reservoir_merge_equals_single_stream_feed() {
+    check_with_shrink(
+        "reservoir_merge_equals_single_stream_feed",
+        &Config::with_cases(32),
+        |rng| {
+            let data = gen::vec_f64(rng, 1, 800, 0.0, 1e9);
+            let cut = rng.next_below(data.len() as u64 + 1) as usize;
+            let seed = rng.next_u64();
+            let k = 1 + rng.next_below(64) as usize;
+            (data, cut, seed, k)
+        },
+        |(data, cut, seed, k)| {
+            let mut cands: Vec<_> = shrink::vec(data, |_| Vec::new())
+                .into_iter()
+                .map(|d| {
+                    let c = (*cut).min(d.len());
+                    (d, c, *seed, *k)
+                })
+                .collect();
+            cands.extend(
+                shrink::usize_toward(1, *k)
+                    .into_iter()
+                    .map(|k2| (data.clone(), *cut, *seed, k2)),
+            );
+            cands
+        },
+        |(data, cut, seed, k)| {
+            let mut single = ReservoirCdf::new(*k, *seed);
+            single.extend(data.iter().copied());
+
+            let mut left = ReservoirCdf::new(*k, *seed);
+            left.extend(data[..*cut].iter().copied());
+            let mut right = left.continuation();
+            right.extend(data[*cut..].iter().copied());
+
+            let mut fwd = left.clone();
+            fwd.merge_from(&right);
+            if fwd.values() != single.values() || fwd.seen() != single.seen() {
+                return Err(format!(
+                    "merge != single feed at cut {cut}: {:?} vs {:?}",
+                    fwd.values(),
+                    single.values()
+                ));
+            }
+            let mut rev = right.clone();
+            rev.merge_from(&left);
+            if rev.values() != single.values() {
+                return Err("merge is order-dependent".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Summary merge ≡ single feed: count/min/max/histogram exactly, sum to
+/// floating-point reassociation error; quantile estimates agree exactly
+/// (they read only exact fields).
+#[test]
+fn summary_merge_equals_single_stream_feed() {
+    check(
+        "summary_merge_equals_single_stream_feed",
+        &Config::with_cases(48),
+        |rng| {
+            let data = gen::vec_f64(rng, 1, 600, 0.0, 1e12);
+            let cut = rng.next_below(data.len() as u64 + 1) as usize;
+            (data, cut)
+        },
+        |(data, cut)| {
+            let mut single = StreamSummary::new();
+            for &v in data.iter() {
+                single.record(v);
+            }
+            let (mut a, mut b) = (StreamSummary::new(), StreamSummary::new());
+            for &v in &data[..*cut] {
+                a.record(v);
+            }
+            for &v in &data[*cut..] {
+                b.record(v);
+            }
+            a.merge_from(&b);
+            if a.count() != single.count() {
+                return Err("count mismatch".into());
+            }
+            if a.min() != single.min() || a.max() != single.max() {
+                return Err("extrema mismatch".into());
+            }
+            let tol = 1e-9 * single.sum().abs().max(1.0);
+            if (a.sum() - single.sum()).abs() > tol {
+                return Err(format!("sum {} vs {}", a.sum(), single.sum()));
+            }
+            for q in [0.1, 0.5, 0.9] {
+                if a.quantile(q) != single.quantile(q) {
+                    return Err(format!("quantile({q}) mismatch"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Summary quantiles stay within the documented quarter-octave bin
+/// tolerance (~9% relative) of the dense quantile on positive streams.
+#[test]
+fn summary_quantiles_within_documented_tolerance() {
+    check(
+        "summary_quantiles_within_documented_tolerance",
+        &Config::with_cases(24),
+        |rng| gen::vec_f64(rng, 500, 3000, 1.0, 1e9),
+        |data| {
+            let dense = Cdf::from_samples(data.iter().copied());
+            let mut s = StreamSummary::new();
+            for &v in data.iter() {
+                s.record(v);
+            }
+            for q in [0.25, 0.5, 0.75] {
+                let d = dense.quantile(q);
+                let est = s.quantile(q);
+                // Bin width 2^(1/4): estimate within one half-bin
+                // (2^(1/8) ≈ 1.0905) of the dense value, plus slack for
+                // the rank falling at a bin edge — 12% covers both.
+                if (est - d).abs() / d > 0.12 {
+                    return Err(format!("q{q}: dense {d} vs summary {est}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Coarsening preserves total byte mass exactly, never exceeds the bin
+/// cap, and merging timelines of different widths preserves the combined
+/// mass in both merge orders.
+#[test]
+fn timeline_coarsening_preserves_mass() {
+    check_with_shrink(
+        "timeline_coarsening_preserves_mass",
+        &Config::with_cases(48),
+        |rng| {
+            let events: Vec<(u64, u64)> = gen::vec_with(rng, 1, 400, |r| {
+                (r.next_below(1 << 40), r.next_below(1 << 20))
+            });
+            let cut = rng.next_below(events.len() as u64 + 1) as usize;
+            let max_bins = 1usize << (1 + rng.next_below(8)) as usize;
+            (events, cut, max_bins)
+        },
+        |(events, cut, max_bins)| {
+            shrink::vec(events, |_| Vec::new())
+                .into_iter()
+                .map(|e| {
+                    let c = (*cut).min(e.len());
+                    (e, c, *max_bins)
+                })
+                .collect()
+        },
+        |(events, cut, max_bins)| {
+            let mut whole = CoarseTimeline::new(Ns(64), 1, *max_bins);
+            let mut mass = 0u64;
+            for &(at, bytes) in events.iter() {
+                whole.record(0, Ns(at), bytes);
+                mass += bytes;
+            }
+            if whole.total(0) != mass {
+                return Err(format!("mass {} != {}", whole.total(0), mass));
+            }
+            if whole.series(0).len() > *max_bins {
+                return Err(format!(
+                    "bins {} exceed cap {max_bins}",
+                    whole.series(0).len()
+                ));
+            }
+            // Split feed + merge preserves mass in both orders.
+            let mut a = CoarseTimeline::new(Ns(64), 1, *max_bins);
+            let mut b = CoarseTimeline::new(Ns(64), 1, *max_bins);
+            for &(at, bytes) in &events[..*cut] {
+                a.record(0, Ns(at), bytes);
+            }
+            for &(at, bytes) in &events[*cut..] {
+                b.record(0, Ns(at), bytes);
+            }
+            let mut ab = a.clone();
+            ab.merge_from(&b);
+            let mut ba = b.clone();
+            ba.merge_from(&a);
+            if ab.total(0) != mass || ba.total(0) != mass {
+                return Err("merge loses mass".into());
+            }
+            if ab != ba {
+                return Err("merge is order-dependent".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Determinism across runs and across shard counts: feeding the same
+/// tagged stream through 1, 2, or 4 "shards" (continuation reservoirs,
+/// split summaries) and merging yields byte-identical retained state.
+#[test]
+fn streaming_structures_deterministic_across_shard_counts() {
+    check(
+        "streaming_structures_deterministic_across_shard_counts",
+        &Config::with_cases(24),
+        |rng| {
+            let data = gen::vec_f64(rng, 4, 500, 0.0, 1e9);
+            let seed = rng.next_u64();
+            (data, seed)
+        },
+        |(data, seed)| {
+            let k = 32usize;
+            let feed_sharded = |shards: usize| -> (Vec<f64>, u64, Vec<u64>) {
+                // Chain continuation reservoirs across contiguous
+                // chunks, then merge in a scrambled order to prove
+                // order-independence.
+                let chunk = data.len().div_ceil(shards);
+                let mut parts: Vec<ReservoirCdf> = Vec::new();
+                let mut summaries: Vec<StreamSummary> = Vec::new();
+                for (i, slice) in data.chunks(chunk).enumerate() {
+                    let mut r = if i == 0 {
+                        ReservoirCdf::new(k, *seed)
+                    } else {
+                        parts[i - 1].continuation()
+                    };
+                    r.extend(slice.iter().copied());
+                    parts.push(r);
+                    let mut s = StreamSummary::new();
+                    for &v in slice {
+                        s.record(v);
+                    }
+                    summaries.push(s);
+                }
+                let mut merged = parts.pop().unwrap();
+                while let Some(p) = parts.pop() {
+                    merged.merge_from(&p);
+                }
+                let mut sum = summaries.remove(0);
+                for s in &summaries {
+                    sum.merge_from(s);
+                }
+                let hist: Vec<u64> = (0..=100)
+                    .step_by(25)
+                    .map(|p| sum.quantile(p as f64 / 100.0).to_bits())
+                    .collect();
+                (merged.values(), merged.seen(), hist)
+            };
+            let one = feed_sharded(1);
+            for shards in [2usize, 4] {
+                let s = feed_sharded(shards);
+                if s.0 != one.0 || s.1 != one.1 {
+                    return Err(format!("reservoir differs at {shards} shards"));
+                }
+                if s.2 != one.2 {
+                    return Err(format!("summary quantiles differ at {shards} shards"));
+                }
+            }
+            // Two identical runs are byte-identical.
+            if feed_sharded(3) != feed_sharded(3) {
+                return Err("two runs differ".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The structures' footprints are bounded: feeding 100x more data does
+/// not grow retained bytes.
+#[test]
+fn streaming_footprints_bounded() {
+    let mut r = ReservoirCdf::new(256, 1);
+    let mut s = StreamSummary::new();
+    let mut t = CoarseTimeline::new(Ns(1), 5, 512);
+    let mut rng = Xoshiro256::seed_from(7);
+    for i in 0..1000u64 {
+        let v = rng.next_f64() * 1e6;
+        r.push(v);
+        s.record(v);
+        t.record((i % 5) as usize, Ns(i * 37), i % 1000);
+    }
+    let (rb, sb, tb) = (r.approx_bytes(), s.approx_bytes(), t.approx_bytes());
+    for i in 1000..100_000u64 {
+        let v = rng.next_f64() * 1e6;
+        r.push(v);
+        s.record(v);
+        t.record((i % 5) as usize, Ns(i * i), i % 1000);
+    }
+    assert_eq!(r.approx_bytes(), rb, "reservoir grew");
+    assert_eq!(s.approx_bytes(), sb, "summary grew");
+    assert!(
+        t.approx_bytes() <= tb.max(5 * 512 * 8 + 256),
+        "timeline grew past cap"
+    );
+}

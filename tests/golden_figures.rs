@@ -95,6 +95,46 @@ fn fig3_pipeline_matches_golden() {
     let _ = std::fs::remove_dir_all(&args.out_dir);
 }
 
+/// The streaming-metrics fig3 pipeline cannot be compared against the
+/// dense goldens (its CDF sinks legitimately retain a reservoir subset),
+/// but it must still be perfectly reproducible: two runs with the same
+/// seed — telemetry on, so the obs sinks and the link digest are in play
+/// — must produce byte-identical copies of every CSV artifact.
+#[test]
+fn fig3_streaming_pipeline_is_byte_reproducible() {
+    use dfly_obs::MetricsMode;
+    let run = |tag: &str| {
+        let mut args = run_args(tag);
+        args.obs = true;
+        args.metrics = Some(MetricsMode::Streaming { reservoir_k: 64 });
+        figures::fig3(&args);
+        args.out_dir
+    };
+    let a = run("fig3_stream_a");
+    let b = run("fig3_stream_b");
+    let mut names: Vec<String> = std::fs::read_dir(&a)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        // The event-loop profile reports wall-clock throughput
+        // (`events_per_sec`), which legitimately varies run to run;
+        // every other sink is pure simulated-time data.
+        .filter(|n| !n.starts_with("obs_profile"))
+        .collect();
+    names.sort();
+    assert!(
+        names.iter().any(|n| n.starts_with("obs_link_digest")),
+        "streaming digest sink missing: {names:?}"
+    );
+    for name in &names {
+        let ba = std::fs::read(a.join(name)).unwrap();
+        let bb = std::fs::read(b.join(name))
+            .unwrap_or_else(|e| panic!("second run did not write {name}: {e}"));
+        assert_eq!(ba, bb, "{name} differs between identically-seeded runs");
+    }
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
 #[test]
 fn table2_pipeline_matches_golden() {
     let args = run_args("table2");

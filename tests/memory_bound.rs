@@ -1,0 +1,73 @@
+//! Memory-bound regression: streaming metric structures must stop
+//! growing once they hit their caps, no matter how long the run gets.
+//!
+//! Drives a `Network` directly on the 64-node test machine with
+//! telemetry and a traffic timeline on, long enough that every bounded
+//! structure has saturated (sample series past its coarsening cap,
+//! timeline past its bin cap), then runs ten times longer and asserts
+//! the metric-structure footprint did not move while the event count
+//! grew ~10x. The dense twin runs the same loads and demonstrates the
+//! growth streaming mode exists to remove.
+
+use dragonfly_tradeoff::engine::Ns;
+use dragonfly_tradeoff::network::{MetricsMode, Network, NetworkParams, Routing};
+use dragonfly_tradeoff::topology::{NodeId, Topology, TopologyConfig};
+use std::sync::Arc;
+
+/// Messages per run unit: one message every telemetry interval (50 µs),
+/// so `rounds` is also the number of sample windows the collector sees.
+fn run_rounds(metrics: MetricsMode, rounds: u64) -> (u64, usize) {
+    let topo = Arc::new(Topology::build(TopologyConfig::small_test()));
+    let mut params = NetworkParams::default();
+    params.obs = true;
+    params.audit = false;
+    params.metrics = metrics;
+    let mut net = Network::new(topo, params, Routing::Adaptive, 7);
+    net.enable_traffic_timeline(Ns::from_us(10));
+    for i in 0..rounds {
+        net.send(
+            Ns(i * 50_000),
+            NodeId((i % 8) as u32),
+            NodeId(32 + (i % 8) as u32),
+            4096,
+            i,
+        );
+    }
+    net.run_to_idle();
+    let report = net.obs_report().expect("obs on");
+    assert!(!report.series.samples().is_empty());
+    (net.events_processed(), net.metric_bytes_approx())
+}
+
+#[test]
+fn streaming_footprint_constant_while_events_grow_10x() {
+    // 8192 rounds push the 4096-cap sample series into coarsening and
+    // the 512-bin timeline well past its first width doubling; 81920
+    // rounds are ~10x the events on the same saturated structures.
+    let k = MetricsMode::Streaming { reservoir_k: 64 };
+    let (events_1x, bytes_1x) = run_rounds(k, 8_192);
+    let (events_10x, bytes_10x) = run_rounds(k, 81_920);
+    assert!(
+        events_10x >= 8 * events_1x,
+        "long run only grew events {events_1x} -> {events_10x}"
+    );
+    assert_eq!(
+        bytes_1x, bytes_10x,
+        "streaming metric footprint moved: {bytes_1x} -> {bytes_10x} bytes \
+         over a ~10x event-count increase"
+    );
+}
+
+#[test]
+fn dense_footprint_grows_with_run_length() {
+    // The contrast case: dense structures (exact sample series, exact
+    // timeline bins) scale with run duration. If this ever stops
+    // holding, the streaming test above is probably testing nothing.
+    let (_, bytes_1x) = run_rounds(MetricsMode::Dense, 8_192);
+    let (_, bytes_10x) = run_rounds(MetricsMode::Dense, 81_920);
+    assert!(
+        bytes_10x > 4 * bytes_1x,
+        "dense metrics no longer grow with the run ({bytes_1x} -> {bytes_10x} bytes); \
+         update the streaming memory-bound test"
+    );
+}

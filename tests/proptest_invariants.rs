@@ -215,7 +215,7 @@ fn cdf_is_monotone_distribution() {
         |v| shrink::vec(v, |_| Vec::new()),
         |data| {
             let cdf = Cdf::from_samples(data.iter().copied());
-            let steps = cdf.steps();
+            let steps: Vec<_> = cdf.steps().collect();
             if steps.len() != data.len() {
                 return Err(format!("{} steps for {} samples", steps.len(), data.len()));
             }
